@@ -1,0 +1,553 @@
+// Benchmark harness regenerating every figure and demonstration
+// scenario of the paper (see DESIGN.md's per-experiment index and
+// EXPERIMENTS.md for paper-vs-measured). The paper is a demo paper
+// with no quantitative tables; the benches therefore measure the
+// system behaviours the demo shows on stage: elicitation suggestion
+// latency, requirement interpretation, incremental integration,
+// deployment artifact generation, and the headline claim — reduced
+// overall execution effort for integrated ETL processes.
+package quarry_test
+
+import (
+	"fmt"
+	"testing"
+
+	"quarry"
+	"quarry/internal/elicitor"
+	"quarry/internal/engine"
+	"quarry/internal/etlintegrator"
+	"quarry/internal/interpreter"
+	"quarry/internal/mdintegrator"
+	"quarry/internal/olap"
+	"quarry/internal/ontology"
+	"quarry/internal/pdi"
+	"quarry/internal/quality"
+	"quarry/internal/repo"
+	"quarry/internal/sqlgen"
+	"quarry/internal/storage"
+	"quarry/internal/tpch"
+	"quarry/internal/xlm"
+	"quarry/internal/xmd"
+	"quarry/internal/xmljson"
+	"quarry/internal/xrq"
+)
+
+// xrqMeasure aliases the xRQ measure type for the workload builders.
+type xrqMeasure = xrq.Measure
+
+// tpchInterp builds the shared interpreter fixture.
+func tpchInterp(b *testing.B, sf float64) (*interpreter.Interpreter, *quality.ExecutionTimeModel) {
+	b.Helper()
+	o, err := tpch.Ontology()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := tpch.Mapping()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := tpch.Catalog(sf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := interpreter.New(o, m, c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in, quality.DefaultETLCost(c)
+}
+
+// BenchmarkFig1_EndToEndLifecycle runs the full Figure 1 pipeline:
+// four requirements through interpretation, MD+ETL integration,
+// validation and deployment artifact generation.
+func BenchmarkFig1_EndToEndLifecycle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, _, err := quarry.NewTPCHPlatform(1, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range quarry.CanonicalRequirements() {
+			if _, err := p.AddRequirement(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := p.Deploy("demo"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2_ElicitorSuggestions measures the Requirements
+// Elicitor's perspective suggestion over ontologies of growing size
+// (the TPC-H ontology plus synthetic chains around it).
+func BenchmarkFig2_ElicitorSuggestions(b *testing.B) {
+	for _, extra := range []int{0, 32, 128, 512} {
+		b.Run(fmt.Sprintf("concepts=%d", 8+extra), func(b *testing.B) {
+			o, err := tpch.Ontology()
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := tpch.Mapping()
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Grow the ontology: chains of to-one hops hanging off
+			// Part (unmapped concepts are skipped by suggestion, so
+			// they only exercise graph traversal).
+			prev := "Part"
+			for i := 0; i < extra; i++ {
+				id := fmt.Sprintf("Synth%04d", i)
+				o.AddConcept(id, "")
+				o.AddProperty(id, "name", "string", "")
+				o.AddObjectProperty(fmt.Sprintf("synth_%04d", i), "", prev, id, ontology.ManyToOne)
+				if i%8 != 7 {
+					prev = id
+				} else {
+					prev = "Part" // branch
+				}
+			}
+			e := elicitor.New(o, m)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Suggest("Lineitem"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3_IntegrationAndDeployment measures the Figure 3 step:
+// integrating the net-profit partial design into the revenue design
+// (MD + ETL) and generating the deployment artifacts.
+func BenchmarkFig3_IntegrationAndDeployment(b *testing.B) {
+	in, cost := tpchInterp(b, 10)
+	pd1, err := in.Interpret(tpch.RevenueRequirement())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pd2, err := in.Interpret(tpch.NetProfitRequirement())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mdInt := mdintegrator.New(nil, nil)
+	etlInt := etlintegrator.New(cost, true)
+	b.ResetTimer()
+	var lastReuse float64
+	for i := 0; i < b.N; i++ {
+		md, _, err := mdInt.Integrate(nil, pd1.MD)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if md, _, err = mdInt.Integrate(md, pd2.MD); err != nil {
+			b.Fatal(err)
+		}
+		etl, _, err := etlInt.Integrate(nil, pd1.ETL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		etl, rep, err := etlInt.Integrate(etl, pd2.ETL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastReuse = rep.ReuseRatio()
+		if _, err := quarryDeployArtifacts(md, etl); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lastReuse, "reuse_ratio")
+}
+
+// quarryDeployArtifacts mirrors core.Deploy without a platform.
+func quarryDeployArtifacts(md *xmd.Schema, etl *xlm.Design) (int, error) {
+	ddl, err := sqlgen.DDL("demo", etl)
+	if err != nil {
+		return 0, err
+	}
+	ktr, err := pdi.Marshal(etl, "demo")
+	if err != nil {
+		return 0, err
+	}
+	_ = md
+	return len(ddl) + len(ktr), nil
+}
+
+// BenchmarkFig4_RequirementInterpretation measures xRQ → (xMD, xLM)
+// translation for the Figure 4 revenue requirement.
+func BenchmarkFig4_RequirementInterpretation(b *testing.B) {
+	in, _ := tpchInterp(b, 10)
+	r := tpch.RevenueRequirement()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Interpret(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioA_AssistedDesign measures the non-expert path:
+// focus ranking, suggestion, guided requirement assembly, and
+// interpretation.
+func BenchmarkScenarioA_AssistedDesign(b *testing.B) {
+	in, _ := tpchInterp(b, 1)
+	o, _ := tpch.Ontology()
+	m, _ := tpch.Mapping()
+	e := elicitor.New(o, m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		foci := e.SuggestFoci()
+		sg, err := e.Suggest(foci[0].Concept)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := e.NewRequirement(fmt.Sprintf("IR_a_%d", i), "assisted").
+			AddMeasure("quantity", "Lineitem.l_quantity").
+			AddDimension(sg.Dimensions[0].Attributes[0]).
+			Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := in.Interpret(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioB_IncrementalVsRedesign compares accommodating the
+// N-th requirement incrementally against redesigning from scratch —
+// the efficiency argument of the evolution scenario.
+func BenchmarkScenarioB_IncrementalVsRedesign(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		in, cost := tpchInterp(b, 1)
+		reqs := tpch.GenerateRequirements(n + 1)
+		partials := make([]*interpreter.PartialDesign, 0, n+1)
+		for _, r := range reqs {
+			pd, err := in.Interpret(r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			partials = append(partials, pd)
+		}
+		mdInt := mdintegrator.New(nil, nil)
+		etlInt := etlintegrator.New(cost, true)
+		// Pre-build the unified design over the first n requirements.
+		var baseMD *xmd.Schema
+		var baseETL *xlm.Design
+		for _, pd := range partials[:n] {
+			var err error
+			baseMD, _, err = mdInt.Integrate(baseMD, pd.MD)
+			if err != nil {
+				b.Fatal(err)
+			}
+			baseETL, _, err = etlInt.Integrate(baseETL, pd.ETL)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("incremental/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := mdInt.Integrate(baseMD, partials[n].MD); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := etlInt.Integrate(baseETL, partials[n].ETL); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("redesign/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var md *xmd.Schema
+				var etl *xlm.Design
+				for _, pd := range partials[:n+1] {
+					var err error
+					md, _, err = mdInt.Integrate(md, pd.MD)
+					if err != nil {
+						b.Fatal(err)
+					}
+					etl, _, err = etlInt.Integrate(etl, pd.ETL)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// relatedRequirements is a family of Lineitem-based reports sharing
+// dimensions and slicer but differing in measures — the "many related
+// reports over the same subject" workload where ETL integration pays
+// off most (the flows share the whole extraction + join + selection
+// prefix).
+func relatedRequirements() []*quarry.Requirement {
+	base := tpch.RevenueRequirement()
+	mk := func(id, measure, formula string) *quarry.Requirement {
+		r := base.Clone()
+		r.ID = id
+		r.Measures = []xrqMeasure{{ID: measure, Function: formula}}
+		r.Aggs = nil
+		return r
+	}
+	return []*quarry.Requirement{
+		base,
+		mk("IR_quantity", "quantity", "Lineitem.l_quantity"),
+		mk("IR_charged", "charged", "Lineitem.l_extendedprice * (1 + Lineitem.l_tax)"),
+		mk("IR_discounted", "discounted", "Lineitem.l_extendedprice * Lineitem.l_discount"),
+	}
+}
+
+// BenchmarkScenarioB_IntegratedETLExecution measures the headline
+// demo claim: the integrated ETL flow does less total work (and runs
+// faster) than executing each requirement's flow separately. Sweeps
+// scale factor and workload shape; reports the work-reduction ratio.
+func BenchmarkScenarioB_IntegratedETLExecution(b *testing.B) {
+	workloads := []struct {
+		name string
+		reqs []*quarry.Requirement
+	}{
+		{"diverse", []*quarry.Requirement{tpch.RevenueRequirement(), tpch.NetProfitRequirement()}},
+		{"related", relatedRequirements()},
+	}
+	for _, wl := range workloads {
+		for _, sf := range []float64{5, 20, 50} {
+			in, cost := tpchInterp(b, sf)
+			var partials []*interpreter.PartialDesign
+			etlInt := etlintegrator.New(cost, true)
+			var unified *xlm.Design
+			for _, r := range wl.reqs {
+				pd, err := in.Interpret(r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				partials = append(partials, pd)
+				unified, _, err = etlInt.Integrate(unified, pd.ETL)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			db := storage.NewDB()
+			if _, err := tpch.Generate(db, sf, 42); err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/sf=%v", wl.name, sf), func(b *testing.B) {
+				var ratio float64
+				for i := 0; i < b.N; i++ {
+					res, err := engine.Run(unified, db)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var sep int64
+					for _, pd := range partials {
+						r, err := engine.Run(pd.ETL, db)
+						if err != nil {
+							b.Fatal(err)
+						}
+						sep += r.RowsProcessed()
+					}
+					ratio = float64(sep) / float64(res.RowsProcessed())
+				}
+				b.ReportMetric(ratio, "work_reduction_x")
+			})
+		}
+	}
+}
+
+// BenchmarkScenarioC_Deployment measures Design Deployer artifact
+// generation (PostgreSQL DDL + PDI .ktr + star queries).
+func BenchmarkScenarioC_Deployment(b *testing.B) {
+	p, _, err := quarry.NewTPCHPlatform(1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range []*quarry.Requirement{quarry.RevenueRequirement(), quarry.NetProfitRequirement()} {
+		if _, err := p.AddRequirement(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Deploy("demo"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_ETLReordering quantifies the equivalence-rule
+// reordering of the ETL integrator: reuse with and without it when
+// the incoming flow orders operations differently.
+func BenchmarkAblation_ETLReordering(b *testing.B) {
+	mk := func(selFirst bool, name string) *xlm.Design {
+		d := xlm.NewDesign(name)
+		d.AddNode(&xlm.Node{Name: "DS", Type: xlm.OpDatastore,
+			Fields: []xlm.Field{{Name: "a", Type: "int"}, {Name: "b", Type: "float"}, {Name: "g", Type: "string"}},
+			Params: map[string]string{"store": "s", "table": "t"}})
+		fn := &xlm.Node{Name: "F", Type: xlm.OpFunction, Params: map[string]string{"name": "f", "expr": "b * 2"}}
+		sel := &xlm.Node{Name: "SEL", Type: xlm.OpSelection, Params: map[string]string{"predicate": "g = 'x'"}}
+		first, second := fn, sel
+		if selFirst {
+			first, second = sel, fn
+		}
+		d.AddNode(first)
+		d.AddNode(second)
+		d.AddNode(&xlm.Node{Name: "LOAD", Type: xlm.OpLoader, Params: map[string]string{"table": "out_" + name}})
+		d.AddEdge("DS", first.Name)
+		d.AddEdge(first.Name, second.Name)
+		d.AddEdge(second.Name, "LOAD")
+		return d
+	}
+	for _, reorder := range []bool{true, false} {
+		b.Run(fmt.Sprintf("reorder=%v", reorder), func(b *testing.B) {
+			it := etlintegrator.New(nil, reorder)
+			var reuse float64
+			for i := 0; i < b.N; i++ {
+				u, _, err := it.Integrate(nil, mk(false, "u"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, rep, err := it.Integrate(u, mk(true, "p"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				reuse = rep.ReuseRatio()
+			}
+			b.ReportMetric(reuse, "reuse_ratio")
+		})
+	}
+}
+
+// BenchmarkAblation_MDCostModel compares cost-guided MD integration
+// against the naive side-by-side union over a growing requirement
+// set; reports the final structural complexity of each.
+func BenchmarkAblation_MDCostModel(b *testing.B) {
+	in, _ := tpchInterp(b, 1)
+	reqs := tpch.GenerateRequirements(12)
+	var partials []*xmd.Schema
+	for _, r := range reqs {
+		pd, err := in.Interpret(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		partials = append(partials, pd.MD)
+	}
+	cost := quality.DefaultMDCost()
+	for _, guided := range []bool{true, false} {
+		b.Run(fmt.Sprintf("cost_guided=%v", guided), func(b *testing.B) {
+			it := mdintegrator.New(cost, nil)
+			var complexity float64
+			for i := 0; i < b.N; i++ {
+				var u *xmd.Schema
+				var err error
+				for _, p := range partials {
+					if guided {
+						u, _, err = it.Integrate(u, p)
+					} else {
+						u, err = it.IntegrateNaive(u, p)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				complexity = cost.Complexity(u)
+			}
+			b.ReportMetric(complexity, "structural_complexity")
+		})
+	}
+}
+
+// BenchmarkAblation_OLAPFromDWvsSources quantifies the paper's §1
+// motivation for the DW: answering an analytical question (total
+// revenue per nation) from the pre-aggregated, ETL-maintained fact
+// table versus recomputing it from the raw sources on every ask.
+func BenchmarkAblation_OLAPFromDWvsSources(b *testing.B) {
+	for _, sf := range []float64{10, 50} {
+		p, db, err := quarry.NewTPCHPlatform(sf, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.AddRequirement(quarry.RevenueRequirement()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Run(); err != nil {
+			b.Fatal(err)
+		}
+		oe, err := p.OLAP()
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := olap.CubeQuery{
+			Fact:     "fact_table_revenue",
+			GroupBy:  []string{"n_name"},
+			Measures: []olap.MeasureSpec{{Out: "total", Func: "SUM", Col: "revenue"}},
+		}
+		rev, ok := p.Partial("IR_revenue")
+		if !ok {
+			b.Fatal("partial missing")
+		}
+		b.Run(fmt.Sprintf("from_dw/sf=%v", sf), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := oe.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("from_sources/sf=%v", sf), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Recomputation = re-running the requirement's full
+				// ETL flow against the raw sources.
+				if _, err := engine.Run(rev.ETL, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_MetadataLayer measures the Communication &
+// Metadata layer: XML↔JSON conversion and repository save/load of a
+// unified ETL design of realistic size.
+func BenchmarkAblation_MetadataLayer(b *testing.B) {
+	in, cost := tpchInterp(b, 1)
+	etlInt := etlintegrator.New(cost, true)
+	var unified *xlm.Design
+	for _, r := range tpch.CanonicalRequirements() {
+		pd, err := in.Interpret(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		unified, _, err = etlInt.Integrate(unified, pd.ETL)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	text, err := xlm.Marshal(unified)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("xml_json_roundtrip", func(b *testing.B) {
+		b.SetBytes(int64(len(text)))
+		for i := 0; i < b.N; i++ {
+			doc, err := xmljson.DecodeString(text)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := xmljson.EncodeString(doc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("repository_save_load", func(b *testing.B) {
+		store, err := repo.Open("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		designs := repo.NewDesigns(store)
+		for i := 0; i < b.N; i++ {
+			if err := designs.SaveETL("unified", unified); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := designs.ETL("unified"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

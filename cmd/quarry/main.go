@@ -1,0 +1,274 @@
+// Command quarry drives the DW design lifecycle from the command
+// line over a generated micro-TPC-H domain. It covers the three
+// demonstration scenarios of the paper (§3):
+//
+//	quarry elicit [-focus Lineitem]       assisted data exploration
+//	quarry demo [-sf 10]                  DW design: Figure 3 end-to-end
+//	quarry evolve [-sf 10]                accommodating a design to changes
+//	quarry export [-sf 10] [-out DIR]     deployment artifacts (DDL, .ktr)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"quarry"
+	"quarry/internal/olap"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "elicit":
+		err = cmdElicit(os.Args[2:])
+	case "demo":
+		err = cmdDemo(os.Args[2:])
+	case "evolve":
+		err = cmdEvolve(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "olap":
+		err = cmdOLAP(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quarry: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: quarry <elicit|demo|evolve|export|olap> [flags]")
+}
+
+// cmdOLAP: consume the deployed DW — build it for the revenue
+// requirement, then answer an analytical question from it.
+func cmdOLAP(args []string) error {
+	fs := flag.NewFlagSet("olap", flag.ExitOnError)
+	sf := fs.Float64("sf", 10, "scale factor")
+	by := fs.String("by", "n_name", "comma-separated group-by columns")
+	measure := fs.String("measure", "SUM:revenue", "FUNC:column aggregate")
+	filter := fs.String("filter", "", "optional predicate over fact/dimension columns")
+	fs.Parse(args)
+	p, err := newPlatform(*sf)
+	if err != nil {
+		return err
+	}
+	if _, err := p.AddRequirement(quarry.RevenueRequirement()); err != nil {
+		return err
+	}
+	if _, err := p.Run(); err != nil {
+		return err
+	}
+	oe, err := p.OLAP()
+	if err != nil {
+		return err
+	}
+	parts := strings.SplitN(*measure, ":", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("measure must be FUNC:column, got %q", *measure)
+	}
+	q := olap.CubeQuery{
+		Fact:     "fact_table_revenue",
+		GroupBy:  strings.Split(*by, ","),
+		Measures: []olap.MeasureSpec{{Out: "answer", Func: parts[0], Col: parts[1]}},
+		Filter:   *filter,
+	}
+	res, err := oe.Query(q)
+	if err != nil {
+		return err
+	}
+	for _, c := range res.Columns {
+		fmt.Printf("%-20s", c)
+	}
+	fmt.Println()
+	for _, row := range res.Rows {
+		for _, v := range row {
+			fmt.Printf("%-20s", strings.Trim(v.String(), "'"))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+	return nil
+}
+
+func newPlatform(sf float64) (*quarry.Platform, error) {
+	p, _, err := quarry.NewTPCHPlatform(sf, 42)
+	return p, err
+}
+
+// cmdElicit: scenario "DW design", elicitation phase — explore the
+// ontology and print suggested analytical perspectives.
+func cmdElicit(args []string) error {
+	fs := flag.NewFlagSet("elicit", flag.ExitOnError)
+	focus := fs.String("focus", "Lineitem", "analysis focus concept")
+	sf := fs.Float64("sf", 1, "scale factor")
+	fs.Parse(args)
+	p, err := newPlatform(*sf)
+	if err != nil {
+		return err
+	}
+	e := p.Elicitor()
+	fmt.Println("Ranked analysis foci:")
+	for i, f := range e.SuggestFoci() {
+		fmt.Printf("  %d. %-10s score=%.1f (measures=%d, dimensions=%d)\n",
+			i+1, f.Concept, f.Score, f.Measures, f.Dimensions)
+	}
+	s, err := e.Suggest(*focus)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nSuggestions for focus %s:\n  measures:\n", *focus)
+	for _, m := range s.Measures {
+		fmt.Printf("    %-35s %s\n", m.Attribute, m.Type)
+	}
+	fmt.Println("  dimensions:")
+	for _, d := range s.Dimensions {
+		fmt.Printf("    %-12s distance=%d score=%.2f attrs=%v\n", d.Concept, d.Distance, d.Score, d.Attributes)
+	}
+	return nil
+}
+
+// cmdDemo: scenario "DW design" — the Figure 3 pipeline end-to-end.
+func cmdDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	sf := fs.Float64("sf", 10, "scale factor")
+	fs.Parse(args)
+	p, err := newPlatform(*sf)
+	if err != nil {
+		return err
+	}
+	for _, r := range []*quarry.Requirement{quarry.RevenueRequirement(), quarry.NetProfitRequirement()} {
+		rep, err := p.AddRequirement(r)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("added %-14s: ETL reused=%d added=%d; MD matches=%d\n",
+			r.ID, rep.ETL.Reused, rep.ETL.Added,
+			len(rep.MD.MatchedFacts)+len(rep.MD.MatchedDimensions))
+	}
+	md, etl := p.Unified()
+	fmt.Printf("unified MD: %d facts, %d dimensions (shared: %v)\n",
+		len(md.Facts), len(md.Dimensions), md.SharedDimensions())
+	fmt.Printf("unified ETL: %d operations, %d edges\n", len(etl.Nodes()), len(etl.Edges()))
+	res, err := p.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Println("native execution loaded:")
+	var tables []string
+	for tbl := range res.Loaded {
+		tables = append(tables, tbl)
+	}
+	sort.Strings(tables)
+	for _, tbl := range tables {
+		fmt.Printf("  %-22s %6d rows\n", tbl, res.Loaded[tbl])
+	}
+	sep, err := p.RunSeparately()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("integration benefit: %d rows processed vs %d separate (%.2fx)\n",
+		res.RowsProcessed(), sep.RowsProcessed(),
+		float64(sep.RowsProcessed())/float64(res.RowsProcessed()))
+	return nil
+}
+
+// cmdEvolve: scenario "accommodating a DW design to changes".
+func cmdEvolve(args []string) error {
+	fs := flag.NewFlagSet("evolve", flag.ExitOnError)
+	sf := fs.Float64("sf", 10, "scale factor")
+	fs.Parse(args)
+	p, err := newPlatform(*sf)
+	if err != nil {
+		return err
+	}
+	for _, r := range quarry.CanonicalRequirements() {
+		if _, err := p.AddRequirement(r); err != nil {
+			return err
+		}
+	}
+	cost, _ := p.EstimatedETLCost()
+	fmt.Printf("after 4 requirements: estimated ETL cost %.0f\n", cost)
+
+	changed := quarry.RevenueRequirement()
+	changed.Slicers[0].Value = "FRANCE"
+	if _, err := p.ChangeRequirement(changed); err != nil {
+		return err
+	}
+	fmt.Println("changed IR_revenue slicer SPAIN → FRANCE (design re-derived)")
+
+	if _, err := p.RemoveRequirement("IR_quantity_market"); err != nil {
+		return err
+	}
+	fmt.Println("removed IR_quantity_market (design re-derived)")
+
+	if err := p.CheckSatisfiability(); err != nil {
+		return fmt.Errorf("satisfiability broken: %w", err)
+	}
+	md, _ := p.Unified()
+	cost, _ = p.EstimatedETLCost()
+	fmt.Printf("final design: %d facts, %d dimensions, estimated ETL cost %.0f; all requirements satisfied\n",
+		len(md.Facts), len(md.Dimensions), cost)
+	return nil
+}
+
+// cmdExport: scenario "design deployment" — write the artifacts.
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	sf := fs.Float64("sf", 10, "scale factor")
+	out := fs.String("out", ".", "output directory")
+	fs.Parse(args)
+	p, err := newPlatform(*sf)
+	if err != nil {
+		return err
+	}
+	for _, r := range []*quarry.Requirement{quarry.RevenueRequirement(), quarry.NetProfitRequirement()} {
+		if _, err := p.AddRequirement(r); err != nil {
+			return err
+		}
+	}
+	dep, err := p.Deploy("quarry_dw")
+	if err != nil {
+		return err
+	}
+	ddlPath := filepath.Join(*out, "quarry_dw.sql")
+	if err := os.WriteFile(ddlPath, []byte(dep.DDL), 0o644); err != nil {
+		return err
+	}
+	ktrPath := filepath.Join(*out, "quarry_dw.ktr")
+	if err := os.WriteFile(ktrPath, []byte(dep.PDI), 0o644); err != nil {
+		return err
+	}
+	flowSQLPath := filepath.Join(*out, "quarry_dw_etl.sql")
+	if err := os.WriteFile(flowSQLPath, []byte(dep.FlowSQL), 0o644); err != nil {
+		return err
+	}
+	pigPath := filepath.Join(*out, "quarry_dw_etl.pig")
+	if err := os.WriteFile(pigPath, []byte(dep.PigLatin), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (PostgreSQL DDL, %d tables)\n", ddlPath, len(dep.Tables))
+	fmt.Printf("wrote %s (Pentaho PDI transformation)\n", ktrPath)
+	fmt.Printf("wrote %s (ETL as SQL INSERT…SELECT)\n", flowSQLPath)
+	fmt.Printf("wrote %s (ETL as Apache PigLatin)\n", pigPath)
+	var facts []string
+	for f := range dep.StarQueries {
+		facts = append(facts, f)
+	}
+	sort.Strings(facts)
+	for _, f := range facts {
+		fmt.Printf("\n-- sample star query for %s:\n%s\n", f, dep.StarQueries[f])
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCmdElicit(t *testing.T) {
+	if err := cmdElicit([]string{"-focus", "Lineitem", "-sf", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdElicit([]string{"-focus", "Ghost", "-sf", "1"}); err == nil {
+		t.Error("unknown focus accepted")
+	}
+}
+
+func TestCmdDemo(t *testing.T) {
+	if err := cmdDemo([]string{"-sf", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdEvolve(t *testing.T) {
+	if err := cmdEvolve([]string{"-sf", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdOLAP(t *testing.T) {
+	if err := cmdOLAP([]string{"-sf", "1", "-by", "n_name", "-measure", "SUM:revenue"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdOLAP([]string{"-sf", "1", "-measure", "nonsense"}); err == nil {
+		t.Error("bad measure accepted")
+	}
+	if err := cmdOLAP([]string{"-sf", "1", "-by", "ghost_col"}); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestCmdExport(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdExport([]string{"-sf", "1", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"quarry_dw.sql", "quarry_dw.ktr", "quarry_dw_etl.sql", "quarry_dw_etl.pig"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+	ddl, _ := os.ReadFile(filepath.Join(dir, "quarry_dw.sql"))
+	if !strings.Contains(string(ddl), "CREATE TABLE") {
+		t.Error("DDL artifact malformed")
+	}
+	pig, _ := os.ReadFile(filepath.Join(dir, "quarry_dw_etl.pig"))
+	if !strings.Contains(string(pig), "STORE") {
+		t.Error("Pig artifact malformed")
+	}
+}

@@ -1,0 +1,55 @@
+// Command quarryd serves the Quarry platform over HTTP: the RESTful
+// service-oriented deployment of §2.6. By default it hosts a
+// generated micro-TPC-H domain (the paper's demo setting).
+//
+// Usage:
+//
+//	quarryd [-addr :8080] [-sf 10] [-seed 42] [-store DIR]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"quarry/internal/core"
+	"quarry/internal/server"
+	"quarry/internal/storage"
+	"quarry/internal/tpch"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	sf := flag.Float64("sf", 10, "micro-TPC-H scale factor")
+	seed := flag.Int64("seed", 42, "data generator seed")
+	store := flag.String("store", "", "metadata repository directory (empty: in-memory)")
+	flag.Parse()
+
+	onto, err := tpch.Ontology()
+	if err != nil {
+		log.Fatalf("quarryd: %v", err)
+	}
+	mapg, err := tpch.Mapping()
+	if err != nil {
+		log.Fatalf("quarryd: %v", err)
+	}
+	cat, err := tpch.Catalog(*sf)
+	if err != nil {
+		log.Fatalf("quarryd: %v", err)
+	}
+	db := storage.NewDB()
+	sizes, err := tpch.Generate(db, *sf, *seed)
+	if err != nil {
+		log.Fatalf("quarryd: %v", err)
+	}
+	p, err := core.New(core.Config{
+		Ontology: onto, Mapping: mapg, Catalog: cat, DB: db, StoreDir: *store,
+	})
+	if err != nil {
+		log.Fatalf("quarryd: %v", err)
+	}
+	log.Printf("quarryd: micro-TPC-H ready (%d lineitems); listening on %s", sizes.Lineitem, *addr)
+	if err := http.ListenAndServe(*addr, server.New(p).Handler()); err != nil {
+		log.Fatalf("quarryd: %v", err)
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"quarry/internal/storage"
+	"quarry/internal/tpch"
+)
+
+// newPersistentPlatform builds a platform over a metadata repository
+// directory.
+func newPersistentPlatform(t *testing.T, dir string) *Platform {
+	t.Helper()
+	o, err := tpch.Ontology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tpch.Mapping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tpch.Catalog(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDB()
+	if _, err := tpch.Generate(db, 1, 42); err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{Ontology: o, Mapping: m, Catalog: c, DB: db, StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestLifecycleSurvivesRestart: a new platform over the same
+// repository directory resumes the previous session's lifecycle.
+func TestLifecycleSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	p1 := newPersistentPlatform(t, dir)
+	if _, err := p1.AddRequirement(tpch.RevenueRequirement()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.AddRequirement(tpch.NetProfitRequirement()); err != nil {
+		t.Fatal(err)
+	}
+	md1, etl1 := p1.Unified()
+
+	// "Restart": a fresh platform over the same directory.
+	p2 := newPersistentPlatform(t, dir)
+	reqs := p2.Requirements()
+	if len(reqs) != 2 {
+		t.Fatalf("restored %d requirements, want 2", len(reqs))
+	}
+	if reqs[0].ID != "IR_revenue" || reqs[1].ID != "IR_netprofit" {
+		t.Errorf("restored order = %s, %s", reqs[0].ID, reqs[1].ID)
+	}
+	md2, etl2 := p2.Unified()
+	if md2 == nil || etl2 == nil {
+		t.Fatal("unified designs not restored")
+	}
+	if md1.Stats() != md2.Stats() {
+		t.Errorf("restored MD differs: %+v vs %+v", md1.Stats(), md2.Stats())
+	}
+	if len(etl1.Nodes()) != len(etl2.Nodes()) {
+		t.Errorf("restored ETL differs: %d vs %d nodes", len(etl1.Nodes()), len(etl2.Nodes()))
+	}
+	if err := p2.CheckSatisfiability(); err != nil {
+		t.Fatal(err)
+	}
+	// Lifecycle continues after restore.
+	if _, err := p2.AddRequirement(tpch.SupplyCostRequirement()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestartAfterRemoval: removals persist too.
+func TestRestartAfterRemoval(t *testing.T) {
+	dir := t.TempDir()
+	p1 := newPersistentPlatform(t, dir)
+	for _, r := range tpch.CanonicalRequirements() {
+		if _, err := p1.AddRequirement(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p1.RemoveRequirement("IR_netprofit"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Repository().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	p2 := newPersistentPlatform(t, dir)
+	for _, r := range p2.Requirements() {
+		if r.ID == "IR_netprofit" {
+			t.Error("removed requirement restored")
+		}
+	}
+	if len(p2.Requirements()) != 3 {
+		t.Errorf("restored %d requirements, want 3", len(p2.Requirements()))
+	}
+}
+
+// TestEmptyDirRestoresNothing: a fresh directory yields an empty
+// lifecycle.
+func TestEmptyDirRestoresNothing(t *testing.T) {
+	p := newPersistentPlatform(t, t.TempDir())
+	if len(p.Requirements()) != 0 {
+		t.Error("phantom requirements restored")
+	}
+	md, etl := p.Unified()
+	if md != nil || etl != nil {
+		t.Error("phantom designs restored")
+	}
+}

@@ -1,0 +1,177 @@
+package etlintegrator
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"quarry/internal/xlm"
+)
+
+// genLinearFlow builds a random linear flow src → ops… → loader with
+// parameters drawn from a small pool (so independently generated
+// flows share operations and reuse is plausible).
+func genLinearFlow(r *rand.Rand, name string) *xlm.Design {
+	d := xlm.NewDesign(name)
+	d.Metadata["requirement"] = name
+	d.AddNode(&xlm.Node{Name: "DS", Type: xlm.OpDatastore,
+		Fields: []xlm.Field{
+			{Name: "k", Type: "int"}, {Name: "v", Type: "float"}, {Name: "g", Type: "string"},
+		},
+		Params: map[string]string{"store": "s", "table": "t"}})
+	cur := "DS"
+	preds := []string{"v > 10", "g = 'x'", "v < 100"}
+	exprs := [][2]string{{"f1", "v * 2"}, {"f2", "v + 1"}, {"f3", "v * v"}}
+	used := map[string]bool{}
+	for i := 0; i < 1+r.Intn(4); i++ {
+		name := fmt.Sprintf("OP%d", i)
+		var n *xlm.Node
+		if r.Intn(2) == 0 {
+			n = &xlm.Node{Name: name, Type: xlm.OpSelection,
+				Params: map[string]string{"predicate": preds[r.Intn(len(preds))]}}
+		} else {
+			e := exprs[r.Intn(len(exprs))]
+			if used[e[0]] {
+				continue // a column cannot be derived twice in a chain
+			}
+			used[e[0]] = true
+			n = &xlm.Node{Name: name, Type: xlm.OpFunction,
+				Params: map[string]string{"name": e[0], "expr": e[1]}}
+		}
+		d.AddNode(n)
+		d.AddEdge(cur, name)
+		cur = name
+	}
+	d.AddNode(&xlm.Node{Name: "LOAD", Type: xlm.OpLoader,
+		Params: map[string]string{"table": "out_" + name}})
+	d.AddEdge(cur, "LOAD")
+	return d
+}
+
+// Property: integrating a flow into itself is a fixpoint — everything
+// is reused, nothing is added, the design does not grow.
+func TestQuickSelfIntegrationFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		flow := genLinearFlow(r, "a")
+		it := New(nil, true)
+		u, _, err := it.Integrate(nil, flow)
+		if err != nil {
+			return false
+		}
+		u2, rep, err := it.Integrate(u, flow)
+		if err != nil {
+			return false
+		}
+		return rep.Added == 0 &&
+			rep.Reused == len(flow.Nodes()) &&
+			len(u2.Nodes()) == len(u.Nodes()) &&
+			len(u2.Edges()) == len(u.Edges())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: integration with reordering never reuses less than
+// integration without it, and both results validate.
+func TestQuickReorderingNeverHurtsReuse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := genLinearFlow(r, "a")
+		b := genLinearFlow(r, "b")
+		with := New(nil, true)
+		without := New(nil, false)
+		u1, _, err := with.Integrate(nil, a)
+		if err != nil {
+			return false
+		}
+		u1, rep1, err := with.Integrate(u1, b)
+		if err != nil {
+			return false
+		}
+		u2, _, err := without.Integrate(nil, a)
+		if err != nil {
+			return false
+		}
+		u2, rep2, err := without.Integrate(u2, b)
+		if err != nil {
+			return false
+		}
+		if u1.Validate() != nil || u2.Validate() != nil {
+			return false
+		}
+		return rep1.Reused >= rep2.Reused
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the mapping covers every partial node and maps it to an
+// existing unified node; loaders map to loaders with the same target
+// table.
+func TestQuickMappingIsTotalAndTyped(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := genLinearFlow(r, "a")
+		b := genLinearFlow(r, "b")
+		it := New(nil, true)
+		u, _, err := it.Integrate(nil, a)
+		if err != nil {
+			return false
+		}
+		u, rep, err := it.Integrate(u, b)
+		if err != nil {
+			return false
+		}
+		for _, p := range b.Nodes() {
+			un, ok := rep.Mapping[p.Name]
+			if !ok {
+				return false
+			}
+			target, ok := u.Node(un)
+			if !ok || target.Type != p.Type {
+				return false
+			}
+			if p.Type == xlm.OpLoader && target.Param("table") != p.Param("table") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: integration is monotone in nodes — the unified design
+// contains at least as many operations as the larger input, and at
+// most the sum of both.
+func TestQuickIntegrationSizeBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := genLinearFlow(r, "a")
+		b := genLinearFlow(r, "b")
+		it := New(nil, true)
+		u, _, err := it.Integrate(nil, a)
+		if err != nil {
+			return false
+		}
+		u, _, err = it.Integrate(u, b)
+		if err != nil {
+			return false
+		}
+		n := len(u.Nodes())
+		lo := len(a.Nodes())
+		if len(b.Nodes()) > lo {
+			lo = len(b.Nodes())
+		}
+		hi := len(a.Nodes()) + len(b.Nodes())
+		return n >= lo && n <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

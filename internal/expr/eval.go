@@ -1,0 +1,250 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Env resolves identifier names to runtime values during evaluation.
+// The boolean result reports whether the name is bound at all (an
+// unbound name is an evaluation error, distinct from a NULL binding).
+type Env func(name string) (Value, bool)
+
+// MapEnv adapts a plain map to an Env.
+func MapEnv(m map[string]Value) Env {
+	return func(name string) (Value, bool) {
+		v, ok := m[name]
+		return v, ok
+	}
+}
+
+// Eval evaluates the expression under the environment. NULL propagates
+// through arithmetic and comparisons (three-valued logic collapses to
+// NULL=false at the boolean connectives, like SQL WHERE).
+func Eval(n Node, env Env) (Value, error) {
+	switch x := n.(type) {
+	case *Ident:
+		v, ok := env(x.Name)
+		if !ok {
+			return Null(), fmt.Errorf("expr: unbound identifier %q", x.Name)
+		}
+		return v, nil
+	case *Literal:
+		return x.Val, nil
+	case *Unary:
+		v, err := Eval(x.X, env)
+		if err != nil {
+			return Null(), err
+		}
+		return evalUnary(x.Op, v)
+	case *Binary:
+		return evalBinary(x, env)
+	case *Call:
+		fn, ok := builtins[strings.ToUpper(x.Name)]
+		if !ok {
+			return Null(), fmt.Errorf("expr: unknown function %q", x.Name)
+		}
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := Eval(a, env)
+			if err != nil {
+				return Null(), err
+			}
+			args[i] = v
+		}
+		return fn.eval(args)
+	}
+	return Null(), fmt.Errorf("expr: cannot evaluate %T", n)
+}
+
+// EvalBool evaluates a predicate; NULL results count as false (SQL
+// WHERE semantics).
+func EvalBool(n Node, env Env) (bool, error) {
+	v, err := Eval(n, env)
+	if err != nil {
+		return false, err
+	}
+	if v.IsNull() {
+		return false, nil
+	}
+	if v.Kind() != KindBool {
+		return false, fmt.Errorf("expr: predicate evaluated to %s, want bool", v.Kind())
+	}
+	return v.AsBool(), nil
+}
+
+func evalUnary(op Token, v Value) (Value, error) {
+	if v.IsNull() {
+		return Null(), nil
+	}
+	switch op {
+	case tokMinus:
+		switch v.Kind() {
+		case KindInt:
+			return Int(-v.AsInt()), nil
+		case KindFloat:
+			f, _ := v.AsFloat()
+			return Float(-f), nil
+		}
+		return Null(), fmt.Errorf("expr: cannot negate %s", v.Kind())
+	case tokNot:
+		if v.Kind() != KindBool {
+			return Null(), fmt.Errorf("expr: NOT applied to %s", v.Kind())
+		}
+		return Bool(!v.AsBool()), nil
+	}
+	return Null(), fmt.Errorf("expr: unknown unary operator %s", op)
+}
+
+func evalBinary(x *Binary, env Env) (Value, error) {
+	// AND/OR get short-circuit + three-valued NULL handling.
+	switch x.Op {
+	case tokAnd, tokOr:
+		return evalLogical(x, env)
+	}
+	l, err := Eval(x.L, env)
+	if err != nil {
+		return Null(), err
+	}
+	r, err := Eval(x.R, env)
+	if err != nil {
+		return Null(), err
+	}
+	if l.IsNull() || r.IsNull() {
+		return Null(), nil
+	}
+	switch x.Op {
+	case tokPlus, tokMinus, tokStar, tokSlash, tokPercent:
+		return evalArith(x.Op, l, r)
+	case tokEq:
+		return Bool(l.Equal(r)), nil
+	case tokNeq:
+		return Bool(!l.Equal(r)), nil
+	case tokLt, tokLe, tokGt, tokGe:
+		c, err := l.Compare(r)
+		if err != nil {
+			return Null(), err
+		}
+		switch x.Op {
+		case tokLt:
+			return Bool(c < 0), nil
+		case tokLe:
+			return Bool(c <= 0), nil
+		case tokGt:
+			return Bool(c > 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	}
+	return Null(), fmt.Errorf("expr: unknown binary operator %s", x.Op)
+}
+
+func evalLogical(x *Binary, env Env) (Value, error) {
+	l, err := Eval(x.L, env)
+	if err != nil {
+		return Null(), err
+	}
+	boolOrNull := func(v Value) (bool, bool, error) { // (val, isNull, err)
+		if v.IsNull() {
+			return false, true, nil
+		}
+		if v.Kind() != KindBool {
+			return false, false, fmt.Errorf("expr: %s operand is %s, want bool", x.Op, v.Kind())
+		}
+		return v.AsBool(), false, nil
+	}
+	lb, lnull, err := boolOrNull(l)
+	if err != nil {
+		return Null(), err
+	}
+	// Short circuit.
+	if !lnull {
+		if x.Op == tokAnd && !lb {
+			return Bool(false), nil
+		}
+		if x.Op == tokOr && lb {
+			return Bool(true), nil
+		}
+	}
+	r, err := Eval(x.R, env)
+	if err != nil {
+		return Null(), err
+	}
+	rb, rnull, err := boolOrNull(r)
+	if err != nil {
+		return Null(), err
+	}
+	if x.Op == tokAnd {
+		switch {
+		case !rnull && !rb:
+			return Bool(false), nil
+		case lnull || rnull:
+			return Null(), nil
+		default:
+			return Bool(lb && rb), nil
+		}
+	}
+	// OR
+	switch {
+	case !rnull && rb:
+		return Bool(true), nil
+	case lnull || rnull:
+		return Null(), nil
+	default:
+		return Bool(lb || rb), nil
+	}
+}
+
+func evalArith(op Token, l, r Value) (Value, error) {
+	if !l.IsNumeric() || !r.IsNumeric() {
+		return Null(), fmt.Errorf("expr: arithmetic on %s and %s", l.Kind(), r.Kind())
+	}
+	// Integer op integer stays integer (except division by zero guard);
+	// any float operand promotes to float.
+	if l.Kind() == KindInt && r.Kind() == KindInt {
+		a, b := l.AsInt(), r.AsInt()
+		switch op {
+		case tokPlus:
+			return Int(a + b), nil
+		case tokMinus:
+			return Int(a - b), nil
+		case tokStar:
+			return Int(a * b), nil
+		case tokSlash:
+			if b == 0 {
+				return Null(), fmt.Errorf("expr: division by zero")
+			}
+			if a%b == 0 {
+				return Int(a / b), nil
+			}
+			return Float(float64(a) / float64(b)), nil
+		case tokPercent:
+			if b == 0 {
+				return Null(), fmt.Errorf("expr: modulo by zero")
+			}
+			return Int(a % b), nil
+		}
+	}
+	a, _ := l.AsFloat()
+	b, _ := r.AsFloat()
+	switch op {
+	case tokPlus:
+		return Float(a + b), nil
+	case tokMinus:
+		return Float(a - b), nil
+	case tokStar:
+		return Float(a * b), nil
+	case tokSlash:
+		if b == 0 {
+			return Null(), fmt.Errorf("expr: division by zero")
+		}
+		return Float(a / b), nil
+	case tokPercent:
+		if b == 0 {
+			return Null(), fmt.Errorf("expr: modulo by zero")
+		}
+		return Float(math.Mod(a, b)), nil
+	}
+	return Null(), fmt.Errorf("expr: unknown arithmetic operator %s", op)
+}

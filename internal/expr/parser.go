@@ -1,0 +1,290 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError describes a failure to parse an expression.
+type ParseError struct {
+	Src string
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	if e.Src == "" {
+		return "expr: " + e.Msg
+	}
+	return fmt.Sprintf("expr: parsing %q: %s", e.Src, e.Msg)
+}
+
+// Parse parses an expression source string into its AST.
+//
+// Grammar (precedence low→high):
+//
+//	or     = and { OR and }
+//	and    = not { AND not }
+//	not    = NOT not | cmp
+//	cmp    = add [ (=|!=|<>|<|<=|>|>=) add ]
+//	add    = mul { (+|-) mul }
+//	mul    = unary { (*|/|%) unary }
+//	unary  = - unary | primary
+//	primary= IDENT | IDENT ( args ) | NUMBER | STRING
+//	       | TRUE | FALSE | NULL | ( or )
+func Parse(src string) (Node, error) {
+	p := &parser{s: newScanner(src), src: src}
+	if err := p.s.next(); err != nil {
+		return nil, &ParseError{Src: src, Msg: err.Error()}
+	}
+	n, err := p.parseOr()
+	if err != nil {
+		return nil, &ParseError{Src: src, Msg: err.Error()}
+	}
+	if p.s.tok != tokEOF {
+		return nil, &ParseError{Src: src, Msg: "unexpected trailing " + p.s.tok.String()}
+	}
+	return n, nil
+}
+
+// MustParse is Parse that panics on error; for tests and static
+// generator tables only.
+func MustParse(src string) Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	s   *scanner
+	src string
+}
+
+func (p *parser) expect(t Token) error {
+	if p.s.tok != t {
+		return fmt.Errorf("expected %s, found %s", t, p.s.tok)
+	}
+	return p.s.next()
+}
+
+func (p *parser) parseOr() (Node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.s.tok == tokOr {
+		if err := p.s.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: tokOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.s.tok == tokAnd {
+		if err := p.s.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: tokAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Node, error) {
+	if p.s.tok == tokNot {
+		if err := p.s.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: tokNot, X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Node, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	switch p.s.tok {
+	case tokEq, tokNeq, tokLt, tokLe, tokGt, tokGe:
+		op := p.s.tok
+		if err := p.s.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Node, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.s.tok == tokPlus || p.s.tok == tokMinus {
+		op := p.s.tok
+		if err := p.s.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Node, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.s.tok == tokStar || p.s.tok == tokSlash || p.s.tok == tokPercent {
+		op := p.s.tok
+		if err := p.s.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	if p.s.tok == tokMinus {
+		if err := p.s.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: tokMinus, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	switch p.s.tok {
+	case tokIdent:
+		name := p.s.lit
+		if err := p.s.next(); err != nil {
+			return nil, err
+		}
+		if p.s.tok != tokLParen {
+			return &Ident{Name: name}, nil
+		}
+		// Function call.
+		if err := p.s.next(); err != nil {
+			return nil, err
+		}
+		var args []Node
+		if p.s.tok != tokRParen {
+			for {
+				a, err := p.parseOr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.s.tok != tokComma {
+					break
+				}
+				if err := p.s.next(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		upper := strings.ToUpper(name)
+		if _, ok := builtins[upper]; !ok {
+			return nil, fmt.Errorf("unknown function %q", name)
+		}
+		return &Call{Name: upper, Args: args}, nil
+	case tokNumber:
+		lit := p.s.lit
+		if err := p.s.next(); err != nil {
+			return nil, err
+		}
+		if strings.Contains(lit, ".") {
+			f, err := strconv.ParseFloat(lit, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad number %q: %v", lit, err)
+			}
+			return &Literal{Val: Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(lit, 10, 64)
+		if err != nil {
+			// Overflowing integers degrade to float.
+			f, ferr := strconv.ParseFloat(lit, 64)
+			if ferr != nil {
+				return nil, fmt.Errorf("bad number %q: %v", lit, err)
+			}
+			return &Literal{Val: Float(f)}, nil
+		}
+		return &Literal{Val: Int(i)}, nil
+	case tokString:
+		s := p.s.lit
+		if err := p.s.next(); err != nil {
+			return nil, err
+		}
+		return &Literal{Val: Str(s)}, nil
+	case tokTrue:
+		if err := p.s.next(); err != nil {
+			return nil, err
+		}
+		return &Literal{Val: Bool(true)}, nil
+	case tokFalse:
+		if err := p.s.next(); err != nil {
+			return nil, err
+		}
+		return &Literal{Val: Bool(false)}, nil
+	case tokNull:
+		if err := p.s.next(); err != nil {
+			return nil, err
+		}
+		return &Literal{Val: Null()}, nil
+	case tokLParen:
+		if err := p.s.next(); err != nil {
+			return nil, err
+		}
+		n, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return n, nil
+	default:
+		return nil, fmt.Errorf("unexpected %s", p.s.tok)
+	}
+}

@@ -1,0 +1,175 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// scanner tokenises an expression source string.
+type scanner struct {
+	src []rune
+	pos int
+
+	tok Token  // current token kind
+	lit string // current literal text (idents, numbers, strings)
+}
+
+func newScanner(src string) *scanner {
+	return &scanner{src: []rune(src)}
+}
+
+func (s *scanner) errorf(format string, args ...any) error {
+	return fmt.Errorf("expr: scan error at offset %d: %s", s.pos, fmt.Sprintf(format, args...))
+}
+
+func (s *scanner) peek() rune {
+	if s.pos >= len(s.src) {
+		return 0
+	}
+	return s.src[s.pos]
+}
+
+func (s *scanner) advance() rune {
+	r := s.peek()
+	s.pos++
+	return r
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// next scans the next token into s.tok / s.lit.
+func (s *scanner) next() error {
+	for s.pos < len(s.src) && unicode.IsSpace(s.peek()) {
+		s.pos++
+	}
+	if s.pos >= len(s.src) {
+		s.tok, s.lit = tokEOF, ""
+		return nil
+	}
+	r := s.peek()
+	switch {
+	case isIdentStart(r):
+		start := s.pos
+		for s.pos < len(s.src) && isIdentPart(s.peek()) {
+			s.pos++
+		}
+		word := string(s.src[start:s.pos])
+		switch strings.ToUpper(word) {
+		case "AND":
+			s.tok = tokAnd
+		case "OR":
+			s.tok = tokOr
+		case "NOT":
+			s.tok = tokNot
+		case "TRUE":
+			s.tok = tokTrue
+		case "FALSE":
+			s.tok = tokFalse
+		case "NULL":
+			s.tok = tokNull
+		default:
+			s.tok, s.lit = tokIdent, word
+		}
+		return nil
+	case unicode.IsDigit(r):
+		start := s.pos
+		seenDot := false
+		for s.pos < len(s.src) {
+			c := s.peek()
+			if c == '.' {
+				if seenDot {
+					break
+				}
+				// A dot is part of the number only when followed by a digit.
+				if s.pos+1 >= len(s.src) || !unicode.IsDigit(s.src[s.pos+1]) {
+					break
+				}
+				seenDot = true
+				s.pos++
+				continue
+			}
+			if !unicode.IsDigit(c) {
+				break
+			}
+			s.pos++
+		}
+		s.tok, s.lit = tokNumber, string(s.src[start:s.pos])
+		return nil
+	case r == '\'':
+		s.advance()
+		var b strings.Builder
+		for {
+			if s.pos >= len(s.src) {
+				return s.errorf("unterminated string literal")
+			}
+			c := s.advance()
+			if c == '\'' {
+				if s.peek() == '\'' { // escaped quote
+					b.WriteRune('\'')
+					s.advance()
+					continue
+				}
+				break
+			}
+			b.WriteRune(c)
+		}
+		s.tok, s.lit = tokString, b.String()
+		return nil
+	}
+	s.advance()
+	switch r {
+	case '+':
+		s.tok = tokPlus
+	case '-':
+		s.tok = tokMinus
+	case '*':
+		s.tok = tokStar
+	case '/':
+		s.tok = tokSlash
+	case '%':
+		s.tok = tokPercent
+	case '(':
+		s.tok = tokLParen
+	case ')':
+		s.tok = tokRParen
+	case ',':
+		s.tok = tokComma
+	case '=':
+		s.tok = tokEq
+	case '!':
+		if s.peek() == '=' {
+			s.advance()
+			s.tok = tokNeq
+			return nil
+		}
+		return s.errorf("unexpected character %q", r)
+	case '<':
+		switch s.peek() {
+		case '=':
+			s.advance()
+			s.tok = tokLe
+		case '>':
+			s.advance()
+			s.tok = tokNeq
+		default:
+			s.tok = tokLt
+		}
+	case '>':
+		if s.peek() == '=' {
+			s.advance()
+			s.tok = tokGe
+		} else {
+			s.tok = tokGt
+		}
+	default:
+		return s.errorf("unexpected character %q", r)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package expr
+
+import "fmt"
+
+// Token identifies a lexical token kind produced by the scanner.
+type Token int
+
+// Token kinds.
+const (
+	tokEOF Token = iota
+	tokIdent
+	tokNumber
+	tokString
+
+	tokPlus    // +
+	tokMinus   // -
+	tokStar    // *
+	tokSlash   // /
+	tokPercent // %
+
+	tokEq  // =
+	tokNeq // != or <>
+	tokLt  // <
+	tokLe  // <=
+	tokGt  // >
+	tokGe  // >=
+
+	tokAnd // AND
+	tokOr  // OR
+	tokNot // NOT
+
+	tokLParen // (
+	tokRParen // )
+	tokComma  // ,
+
+	tokTrue  // TRUE
+	tokFalse // FALSE
+	tokNull  // NULL
+)
+
+// opName maps operator tokens to their canonical source text.
+var opName = map[Token]string{
+	tokPlus:    "+",
+	tokMinus:   "-",
+	tokStar:    "*",
+	tokSlash:   "/",
+	tokPercent: "%",
+	tokEq:      "=",
+	tokNeq:     "<>",
+	tokLt:      "<",
+	tokLe:      "<=",
+	tokGt:      ">",
+	tokGe:      ">=",
+	tokAnd:     "AND",
+	tokOr:      "OR",
+	tokNot:     "NOT",
+}
+
+// String returns the canonical spelling of the token kind.
+func (t Token) String() string {
+	if s, ok := opName[t]; ok {
+		return s
+	}
+	switch t {
+	case tokEOF:
+		return "EOF"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	case tokComma:
+		return ","
+	case tokTrue:
+		return "TRUE"
+	case tokFalse:
+		return "FALSE"
+	case tokNull:
+		return "NULL"
+	default:
+		return fmt.Sprintf("token(%d)", int(t))
+	}
+}

@@ -1,0 +1,397 @@
+// Package interpreter implements Quarry's Requirements Interpreter:
+// the semi-automatic translation of an information requirement (xRQ)
+// into a partial DW design — an MD schema (xMD) plus the ETL process
+// (xLM) that populates it — following the GEM approach [11] the paper
+// builds on.
+//
+// The stages are:
+//
+//  1. validate the requirement against the domain ontology;
+//  2. tag concepts with MD roles: the factual concept is the most
+//     specific concept carrying the measures; dimension and slicer
+//     concepts must be reachable from it through to-one (functional)
+//     paths, which is exactly the MD integrity constraint
+//     (strictness/summarizability) the paper enforces;
+//  3. complete the design: pull in the intermediate concepts of those
+//     paths and the roll-up chains of every dimension;
+//  4. emit the partial MD schema (a star) and the partial ETL flow
+//     (extraction → joins along the ontology paths → slicer
+//     selections → measure derivations → aggregation → fact load,
+//     plus one denormalised load branch per dimension table).
+package interpreter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"quarry/internal/expr"
+	"quarry/internal/mapping"
+	"quarry/internal/ontology"
+	"quarry/internal/sources"
+	"quarry/internal/xlm"
+	"quarry/internal/xmd"
+	"quarry/internal/xrq"
+)
+
+// Interpreter translates requirements over one ontology/mapping/
+// catalog triple.
+type Interpreter struct {
+	onto *ontology.Ontology
+	mapg *mapping.Mapping
+	cat  *sources.Catalog
+}
+
+// New creates an interpreter after cross-validating the mapping.
+func New(onto *ontology.Ontology, mapg *mapping.Mapping, cat *sources.Catalog) (*Interpreter, error) {
+	if err := mapg.Validate(onto, cat); err != nil {
+		return nil, err
+	}
+	return &Interpreter{onto: onto, mapg: mapg, cat: cat}, nil
+}
+
+// PartialDesign is the interpreter's output for one requirement.
+type PartialDesign struct {
+	Requirement *xrq.Requirement
+	MD          *xmd.Schema
+	ETL         *xlm.Design
+	// FactConcept is the ontology concept tagged as the subject of
+	// analysis.
+	FactConcept string
+	// DimPaths maps each dimension/slicer concept to its functional
+	// path from the fact concept.
+	DimPaths map[string]ontology.Path
+}
+
+// FactTableName derives the deployed fact table name for a
+// requirement, Figure 3 style: fact_table_<first measure>.
+func FactTableName(r *xrq.Requirement) string {
+	return "fact_table_" + r.Measures[0].ID
+}
+
+// DimTableName derives the deployed dimension table name for a
+// dimension concept.
+func DimTableName(concept string) string {
+	return "dim_" + strings.ToLower(concept)
+}
+
+// Interpret runs the full pipeline for one requirement.
+func (in *Interpreter) Interpret(r *xrq.Requirement) (*PartialDesign, error) {
+	if err := r.Validate(in.onto); err != nil {
+		return nil, err
+	}
+	// ---- Stage 2: tag concepts with MD roles.
+	measureConcepts, err := conceptsOf(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(measureConcepts.measures) == 0 {
+		return nil, fmt.Errorf("interpreter: requirement %q has constant-only measures; no factual concept", r.ID)
+	}
+	needed := measureConcepts.all()
+	fact, err := in.chooseFact(r, measureConcepts.measures, needed)
+	if err != nil {
+		return nil, err
+	}
+	// Functional paths from the fact to every other needed concept.
+	// Resolution order matters: dimensions first (requirement order),
+	// then measure concepts, then slicers — later concepts prefer
+	// routes through already-resolved ones, so the revenue demo's
+	// Nation slicer rides the Supplier dimension path (Figure 3)
+	// instead of picking an arbitrary equal-length alternative, and
+	// the union of paths stays a consistent join tree.
+	var order []string
+	seenOrder := map[string]bool{fact: true}
+	push := func(cs []string) {
+		for _, c := range cs {
+			if !seenOrder[c] {
+				seenOrder[c] = true
+				order = append(order, c)
+			}
+		}
+	}
+	push(measureConcepts.dims)
+	push(measureConcepts.measures)
+	push(measureConcepts.slicers)
+	paths := map[string]ontology.Path{fact: {}}
+	var resolved []string
+	for _, c := range order {
+		p, ok := in.resolvePath(fact, c, paths, resolved)
+		if !ok {
+			return nil, fmt.Errorf(
+				"interpreter: requirement %q violates MD integrity: concept %q is not functionally determined by fact %q (no to-one path)",
+				r.ID, c, fact)
+		}
+		paths[c] = p
+		resolved = append(resolved, c)
+	}
+	// Every concept on any path must be mapped to sources.
+	for c, p := range paths {
+		for _, step := range p {
+			for _, cc := range []string{step.From, step.To} {
+				if _, ok := in.mapg.Concept(cc); !ok {
+					return nil, fmt.Errorf("interpreter: path to %q traverses unmapped concept %q", c, cc)
+				}
+			}
+		}
+	}
+	pd := &PartialDesign{Requirement: r.Clone(), FactConcept: fact, DimPaths: paths}
+
+	dims := dimensionGroups(r)
+	md, err := in.buildMD(r, fact, dims)
+	if err != nil {
+		return nil, err
+	}
+	pd.MD = md
+
+	etl, err := in.buildETL(r, fact, dims, paths)
+	if err != nil {
+		return nil, err
+	}
+	pd.ETL = etl
+
+	// ---- Soundness: both artifacts must validate.
+	if err := md.Validate(); err != nil {
+		return nil, fmt.Errorf("interpreter: generated MD schema unsound: %w", err)
+	}
+	if err := etl.Validate(); err != nil {
+		return nil, fmt.Errorf("interpreter: generated ETL flow unsound: %w", err)
+	}
+	// ---- Satisfiability: the design must answer its own requirement.
+	if err := Satisfies(md, r); err != nil {
+		return nil, fmt.Errorf("interpreter: generated design does not satisfy %q: %w", r.ID, err)
+	}
+	return pd, nil
+}
+
+// conceptRoles collects the concepts referenced by each requirement
+// part.
+type conceptRoles struct {
+	measures []string
+	dims     []string
+	slicers  []string
+}
+
+func (cr conceptRoles) all() []string {
+	set := map[string]bool{}
+	for _, g := range [][]string{cr.measures, cr.dims, cr.slicers} {
+		for _, c := range g {
+			set[c] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func conceptsOf(r *xrq.Requirement) (conceptRoles, error) {
+	var cr conceptRoles
+	seenM := map[string]bool{}
+	for _, m := range r.Measures {
+		n, err := m.Expr()
+		if err != nil {
+			return cr, err
+		}
+		for _, id := range expr.Idents(n) {
+			c, _, err := ontology.SplitQualified(id)
+			if err != nil {
+				return cr, err
+			}
+			if !seenM[c] {
+				seenM[c] = true
+				cr.measures = append(cr.measures, c)
+			}
+		}
+	}
+	seenD := map[string]bool{}
+	for _, d := range r.Dimensions {
+		c, _, err := ontology.SplitQualified(d.Concept)
+		if err != nil {
+			return cr, err
+		}
+		if !seenD[c] {
+			seenD[c] = true
+			cr.dims = append(cr.dims, c)
+		}
+	}
+	seenS := map[string]bool{}
+	for _, s := range r.Slicers {
+		c, _, err := ontology.SplitQualified(s.Concept)
+		if err != nil {
+			return cr, err
+		}
+		if !seenS[c] {
+			seenS[c] = true
+			cr.slicers = append(cr.slicers, c)
+		}
+	}
+	sort.Strings(cr.measures)
+	sort.Strings(cr.dims)
+	sort.Strings(cr.slicers)
+	return cr, nil
+}
+
+// resolvePath finds the functional path fact→c, preferring (1) a
+// prefix of an already-resolved path that visits c, (2) a composite
+// route through an already-resolved concept when not longer than the
+// direct shortest path, (3) the direct shortest path.
+func (in *Interpreter) resolvePath(fact, c string, paths map[string]ontology.Path, resolved []string) (ontology.Path, bool) {
+	if c == fact {
+		return ontology.Path{}, true
+	}
+	// (1) prefix reuse.
+	for _, rc := range resolved {
+		for i, s := range paths[rc] {
+			if s.To == c {
+				return append(ontology.Path{}, paths[rc][:i+1]...), true
+			}
+		}
+	}
+	direct, haveDirect := in.onto.ShortestToOnePath(fact, c)
+	best := direct
+	have := haveDirect
+	composite := false
+	// (2) composite routes via resolved concepts.
+	for _, via := range resolved {
+		tail, ok := in.onto.ShortestToOnePath(via, c)
+		if !ok || len(tail) == 0 {
+			continue
+		}
+		// Reject composites that revisit concepts (not simple paths).
+		onPath := map[string]bool{fact: true}
+		for _, s := range paths[via] {
+			onPath[s.To] = true
+		}
+		simple := true
+		for _, s := range tail {
+			if onPath[s.To] {
+				simple = false
+				break
+			}
+			onPath[s.To] = true
+		}
+		if !simple {
+			continue
+		}
+		cand := append(append(ontology.Path{}, paths[via]...), tail...)
+		if !have || len(cand) < len(best) || (len(cand) == len(best) && !composite) {
+			best, have, composite = cand, true, true
+		}
+	}
+	return best, have
+}
+
+// chooseFact picks the factual concept: the measure-bearing concept
+// that functionally determines every other needed concept, preferring
+// the one with the shortest total path length (most specific wins,
+// since paths to it from coarser concepts do not exist).
+func (in *Interpreter) chooseFact(r *xrq.Requirement, candidates, needed []string) (string, error) {
+	best := ""
+	bestCost := -1
+	for _, cand := range candidates {
+		cost := 0
+		ok := true
+		for _, c := range needed {
+			if c == cand {
+				continue
+			}
+			p, found := in.onto.ShortestToOnePath(cand, c)
+			if !found {
+				ok = false
+				break
+			}
+			cost += len(p)
+		}
+		if !ok {
+			continue
+		}
+		if bestCost == -1 || cost < bestCost || (cost == bestCost && cand < best) {
+			best, bestCost = cand, cost
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf(
+			"interpreter: requirement %q violates MD integrity: no measure concept functionally determines all of %v",
+			r.ID, needed)
+	}
+	return best, nil
+}
+
+// dimensionGroups groups requested dimension attributes by concept,
+// preserving requirement order of first appearance.
+func dimensionGroups(r *xrq.Requirement) []dimGroup {
+	var out []dimGroup
+	idx := map[string]int{}
+	for _, d := range r.Dimensions {
+		c, attr, _ := ontology.SplitQualified(d.Concept)
+		if i, ok := idx[c]; ok {
+			out[i].attrs = append(out[i].attrs, attr)
+			continue
+		}
+		idx[c] = len(out)
+		out = append(out, dimGroup{concept: c, attrs: []string{attr}})
+	}
+	return out
+}
+
+type dimGroup struct {
+	concept string
+	attrs   []string
+}
+
+// Satisfies checks that an MD schema answers a requirement: a fact
+// carrying all its measures exists and, for every requested dimension
+// attribute, that fact links (at base level) to a dimension holding
+// the attribute as a descriptor of a level reachable by roll-up. This
+// is the satisfiability check the paper re-runs after every
+// integration step.
+func Satisfies(md *xmd.Schema, r *xrq.Requirement) error {
+	var fact *xmd.Fact
+	for _, f := range md.Facts {
+		ok := true
+		for _, m := range r.Measures {
+			if _, has := f.Measure(m.ID); !has {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			fact = f
+			break
+		}
+	}
+	if fact == nil {
+		return fmt.Errorf("no fact carries measures of requirement %q", r.ID)
+	}
+	for _, d := range r.Dimensions {
+		if err := findDescriptor(md, fact, d.Concept); err != nil {
+			return fmt.Errorf("requirement %q dimension %s: %w", r.ID, d.Concept, err)
+		}
+	}
+	return nil
+}
+
+// findDescriptor verifies the fact can reach the qualified attribute
+// through one of its dimensions.
+func findDescriptor(md *xmd.Schema, fact *xmd.Fact, qualified string) error {
+	for _, use := range fact.Uses {
+		dim, ok := md.Dimension(use.Dimension)
+		if !ok {
+			continue
+		}
+		for _, lvl := range dim.Levels {
+			if !dim.RollsUpTo(use.Level, lvl.Name) {
+				continue
+			}
+			for _, desc := range lvl.Descriptors {
+				if desc.Attr == qualified {
+					return nil
+				}
+			}
+		}
+	}
+	return fmt.Errorf("attribute %s not reachable from fact %s", qualified, fact.Name)
+}

@@ -1,0 +1,431 @@
+// Package mdintegrator implements Quarry's MD Schema Integrator: the
+// semi-automatic consolidation of partial MD schemata into a unified
+// constellation satisfying all requirements processed so far (§2.3,
+// after [6]).
+//
+// Integration runs the paper's four stages:
+//
+//  1. matching facts — partial facts are matched to unified facts
+//     through their ontology anchors (subject concepts);
+//  2. matching dimensions — partial dimensions are matched through
+//     their base-level concepts, yielding conformed dimensions;
+//  3. complementing — matched elements are completed with the
+//     levels, descriptors and roll-up edges the other side carries;
+//  4. integration — matchings are applied (subject to the end-user
+//     feedback hook), and the cost model picks between the merged
+//     constellation and the side-by-side alternative.
+//
+// Every produced schema is re-validated against the MD integrity
+// constraints (soundness).
+package mdintegrator
+
+import (
+	"fmt"
+
+	"quarry/internal/quality"
+	"quarry/internal/xmd"
+)
+
+// Resolver is the end-user feedback hook of the integration stage: it
+// approves or rejects proposed merges. The default AutoApprove
+// accepts every sound merge, which is what the automated lifecycle
+// uses; an interactive front-end can substitute real user decisions.
+type Resolver interface {
+	ApproveFactMerge(existing, incoming *xmd.Fact) bool
+	ApproveDimensionMerge(existing, incoming *xmd.Dimension) bool
+}
+
+// AutoApprove accepts every proposed merge.
+type AutoApprove struct{}
+
+// ApproveFactMerge implements Resolver.
+func (AutoApprove) ApproveFactMerge(_, _ *xmd.Fact) bool { return true }
+
+// ApproveDimensionMerge implements Resolver.
+func (AutoApprove) ApproveDimensionMerge(_, _ *xmd.Dimension) bool { return true }
+
+// Decision records one integration action for the report.
+type Decision struct {
+	Kind   string // match-fact | match-dimension | new-fact | new-dimension | complement | conflict | cost-choice
+	Detail string
+}
+
+// Report summarises one integration step.
+type Report struct {
+	MatchedFacts      [][2]string
+	MatchedDimensions [][2]string
+	Decisions         []Decision
+	ComplexityBefore  float64
+	ComplexityAfter   float64
+	// ComplexityNaive is the side-by-side alternative's complexity
+	// (what the cost model saved us from when merging won).
+	ComplexityNaive float64
+	MergedChosen    bool
+}
+
+func (r *Report) say(kind, format string, args ...any) {
+	r.Decisions = append(r.Decisions, Decision{Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Integrator consolidates partial MD schemata.
+type Integrator struct {
+	cost     quality.MDCostModel
+	resolver Resolver
+}
+
+// New creates an integrator; nil arguments select the defaults
+// (structural complexity, auto-approval).
+func New(cost quality.MDCostModel, resolver Resolver) *Integrator {
+	if cost == nil {
+		cost = quality.DefaultMDCost()
+	}
+	if resolver == nil {
+		resolver = AutoApprove{}
+	}
+	return &Integrator{cost: cost, resolver: resolver}
+}
+
+// Integrate consolidates the partial schema into the unified one and
+// returns the new unified schema (inputs are not mutated). A nil
+// unified schema starts a fresh design.
+func (it *Integrator) Integrate(unified, partial *xmd.Schema) (*xmd.Schema, *Report, error) {
+	if partial == nil {
+		return nil, nil, fmt.Errorf("mdintegrator: nil partial schema")
+	}
+	if err := partial.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("mdintegrator: partial schema unsound: %w", err)
+	}
+	rep := &Report{}
+	if unified == nil || (len(unified.Facts) == 0 && len(unified.Dimensions) == 0) {
+		out := partial.Clone()
+		out.Name = "unified"
+		rep.ComplexityAfter = it.cost.Complexity(out)
+		rep.ComplexityNaive = rep.ComplexityAfter
+		rep.MergedChosen = true
+		rep.say("new-fact", "initial design from %s", partial.Name)
+		return out, rep, nil
+	}
+	if err := unified.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("mdintegrator: unified schema unsound: %w", err)
+	}
+	rep.ComplexityBefore = it.cost.Complexity(unified)
+
+	merged, mergeOK := it.merge(unified, partial, rep)
+	naive := sideBySide(unified, partial)
+	if err := naive.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("mdintegrator: side-by-side integration unsound: %w", err)
+	}
+	rep.ComplexityNaive = it.cost.Complexity(naive)
+
+	// Stage 4: cost-based choice between the merged constellation and
+	// the side-by-side alternative.
+	choice := naive
+	rep.MergedChosen = false
+	if mergeOK {
+		if err := merged.Validate(); err == nil {
+			mc := it.cost.Complexity(merged)
+			if mc <= rep.ComplexityNaive {
+				choice = merged
+				rep.MergedChosen = true
+				rep.say("cost-choice", "merged constellation wins: %.1f vs %.1f", mc, rep.ComplexityNaive)
+			} else {
+				rep.say("cost-choice", "side-by-side wins: %.1f vs %.1f", rep.ComplexityNaive, mc)
+			}
+		} else {
+			rep.say("conflict", "merged constellation invalid (%v); falling back to side-by-side", err)
+		}
+	}
+	rep.ComplexityAfter = it.cost.Complexity(choice)
+	return choice, rep, nil
+}
+
+// merge builds the merged constellation (stages 1–3 + application).
+// mergeOK is false when nothing could be matched (merged == naive).
+func (it *Integrator) merge(unified, partial *xmd.Schema, rep *Report) (*xmd.Schema, bool) {
+	out := unified.Clone()
+	out.Name = "unified"
+	anyMatch := false
+
+	// ---- Stage 2 first at the data level: dimensions, because fact
+	// uses reference them. Matching dimensions by name or base-level
+	// concept.
+	dimRename := map[string]string{} // partial dim name → unified dim name
+	for _, pd := range partial.Dimensions {
+		target := matchDimension(out, pd)
+		if target != nil && it.resolver.ApproveDimensionMerge(target, pd) {
+			rep.MatchedDimensions = append(rep.MatchedDimensions, [2]string{target.Name, pd.Name})
+			rep.say("match-dimension", "%s ≈ %s (base concept %s)", target.Name, pd.Name, baseConcept(pd))
+			if ok := complementDimension(target, pd, rep); !ok {
+				// Roll-up conflict: keep both, rename the incoming.
+				nn := uniqueDimName(out, pd.Name)
+				cp := cloneDim(pd)
+				cp.Name = nn
+				out.Dimensions = append(out.Dimensions, cp)
+				dimRename[pd.Name] = nn
+				rep.say("conflict", "dimension %s: roll-up conflict; kept separately as %s", pd.Name, nn)
+				continue
+			}
+			anyMatch = true
+			dimRename[pd.Name] = target.Name
+			continue
+		}
+		nn := uniqueDimName(out, pd.Name)
+		cp := cloneDim(pd)
+		cp.Name = nn
+		out.Dimensions = append(out.Dimensions, cp)
+		dimRename[pd.Name] = nn
+		rep.say("new-dimension", "%s added%s", pd.Name, renamedSuffix(pd.Name, nn))
+	}
+
+	// ---- Stage 1+4: facts.
+	for _, pf := range partial.Facts {
+		target := matchFact(out, pf)
+		if target != nil && it.resolver.ApproveFactMerge(target, pf) {
+			rep.MatchedFacts = append(rep.MatchedFacts, [2]string{target.Name, pf.Name})
+			rep.say("match-fact", "%s ≈ %s (concept %s)", target.Name, pf.Name, pf.Concept)
+			complementFact(target, pf, dimRename, rep)
+			anyMatch = true
+			continue
+		}
+		nn := uniqueFactName(out, pf.Name)
+		cp := cloneFact(pf)
+		cp.Name = nn
+		for i := range cp.Uses {
+			if to, ok := dimRename[cp.Uses[i].Dimension]; ok {
+				cp.Uses[i].Dimension = to
+			}
+		}
+		out.Facts = append(out.Facts, cp)
+		rep.say("new-fact", "%s added%s", pf.Name, renamedSuffix(pf.Name, nn))
+	}
+	return out, anyMatch
+}
+
+// matchFact finds a unified fact anchored at the same ontology
+// concept (preferred) or carrying the same name.
+func matchFact(s *xmd.Schema, pf *xmd.Fact) *xmd.Fact {
+	for _, f := range s.Facts {
+		if pf.Concept != "" && f.Concept == pf.Concept {
+			return f
+		}
+	}
+	for _, f := range s.Facts {
+		if f.Name == pf.Name {
+			return f
+		}
+	}
+	return nil
+}
+
+// matchDimension finds a unified dimension with the same name or the
+// same base-level concept.
+func matchDimension(s *xmd.Schema, pd *xmd.Dimension) *xmd.Dimension {
+	if d, ok := s.Dimension(pd.Name); ok {
+		return d
+	}
+	pc := baseConcept(pd)
+	if pc == "" {
+		return nil
+	}
+	for _, d := range s.Dimensions {
+		if baseConcept(d) == pc {
+			return d
+		}
+	}
+	return nil
+}
+
+func baseConcept(d *xmd.Dimension) string {
+	bases := d.BaseLevels()
+	if len(bases) == 0 {
+		return ""
+	}
+	return bases[0].Concept
+}
+
+// complementDimension unions the incoming dimension's levels,
+// descriptors and roll-ups into the target (stage 3). It reports
+// false when the union would create a roll-up cycle.
+func complementDimension(target, incoming *xmd.Dimension, rep *Report) bool {
+	// Tentative copy to verify acyclicity before committing.
+	trial := cloneDim(target)
+	for _, il := range incoming.Levels {
+		tl, ok := trial.Level(il.Name)
+		if !ok {
+			trial.Levels = append(trial.Levels, cloneLevel(il))
+			continue
+		}
+		if tl.Concept != il.Concept && tl.Concept != "" && il.Concept != "" {
+			// Same level name anchored at different concepts: keep the
+			// existing anchor, report.
+			rep.say("conflict", "level %s/%s anchored at %s vs %s; keeping %s",
+				target.Name, tl.Name, tl.Concept, il.Concept, tl.Concept)
+			continue
+		}
+		for _, desc := range il.Descriptors {
+			if existing, ok := tl.Descriptor(desc.Name); ok {
+				if existing.Type != desc.Type {
+					rep.say("conflict", "descriptor %s.%s type %s vs %s; keeping %s",
+						tl.Name, desc.Name, existing.Type, desc.Type, existing.Type)
+				}
+				continue
+			}
+			tl.Descriptors = append(tl.Descriptors, desc)
+			rep.say("complement", "descriptor %s added to level %s/%s", desc.Name, target.Name, tl.Name)
+		}
+	}
+	have := map[string]bool{}
+	for _, r := range trial.Rollups {
+		have[r.From+"→"+r.To] = true
+	}
+	for _, r := range incoming.Rollups {
+		if !have[r.From+"→"+r.To] {
+			trial.Rollups = append(trial.Rollups, r)
+			have[r.From+"→"+r.To] = true
+		}
+	}
+	// Acyclicity check through a scratch schema validation.
+	probe := &xmd.Schema{
+		Name:       "probe",
+		Facts:      []*xmd.Fact{{Name: "p", Measures: []xmd.Measure{{Name: "m", Type: "int", Additivity: xmd.AdditivityFlow}}, Uses: []xmd.DimensionUse{{Dimension: trial.Name, Level: probeBase(trial)}}}},
+		Dimensions: []*xmd.Dimension{trial},
+	}
+	if err := probe.Validate(); err != nil {
+		return false
+	}
+	*target = *trial
+	return true
+}
+
+func probeBase(d *xmd.Dimension) string {
+	if bl := d.BaseLevels(); len(bl) > 0 {
+		return bl[0].Name
+	}
+	if len(d.Levels) > 0 {
+		return d.Levels[0].Name
+	}
+	return ""
+}
+
+// complementFact unions the incoming fact's measures and dimension
+// usages into the target.
+func complementFact(target, incoming *xmd.Fact, dimRename map[string]string, rep *Report) {
+	for _, m := range incoming.Measures {
+		if existing, ok := target.Measure(m.Name); ok {
+			if existing.Formula != m.Formula {
+				rep.say("conflict", "measure %s formula %q vs %q; keeping existing",
+					m.Name, existing.Formula, m.Formula)
+			}
+			continue
+		}
+		target.Measures = append(target.Measures, m)
+		rep.say("complement", "measure %s added to fact %s", m.Name, target.Name)
+	}
+	for _, u := range incoming.Uses {
+		dim := u.Dimension
+		if to, ok := dimRename[dim]; ok {
+			dim = to
+		}
+		if !target.UsesDimension(dim) {
+			target.Uses = append(target.Uses, xmd.DimensionUse{Dimension: dim, Level: u.Level})
+			rep.say("complement", "fact %s now uses dimension %s", target.Name, dim)
+		}
+	}
+}
+
+// sideBySide produces the naive union: everything from the partial is
+// added under fresh names, nothing is merged. This is the baseline
+// the cost model compares against (and the ablation benchmark's
+// "no cost model" mode).
+func sideBySide(unified, partial *xmd.Schema) *xmd.Schema {
+	out := unified.Clone()
+	out.Name = "unified"
+	rename := map[string]string{}
+	for _, pd := range partial.Dimensions {
+		nn := uniqueDimName(out, pd.Name)
+		cp := cloneDim(pd)
+		cp.Name = nn
+		rename[pd.Name] = nn
+		out.Dimensions = append(out.Dimensions, cp)
+	}
+	for _, pf := range partial.Facts {
+		nn := uniqueFactName(out, pf.Name)
+		cp := cloneFact(pf)
+		cp.Name = nn
+		for i := range cp.Uses {
+			if to, ok := rename[cp.Uses[i].Dimension]; ok {
+				cp.Uses[i].Dimension = to
+			}
+		}
+		out.Facts = append(out.Facts, cp)
+	}
+	return out
+}
+
+// IntegrateNaive is the ablation entry point: side-by-side union with
+// no matching and no cost-guided choice.
+func (it *Integrator) IntegrateNaive(unified, partial *xmd.Schema) (*xmd.Schema, error) {
+	if partial == nil {
+		return nil, fmt.Errorf("mdintegrator: nil partial schema")
+	}
+	if unified == nil {
+		out := partial.Clone()
+		out.Name = "unified"
+		return out, out.Validate()
+	}
+	out := sideBySide(unified, partial)
+	return out, out.Validate()
+}
+
+func uniqueDimName(s *xmd.Schema, base string) string {
+	if _, exists := s.Dimension(base); !exists {
+		return base
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s__%d", base, i)
+		if _, exists := s.Dimension(cand); !exists {
+			return cand
+		}
+	}
+}
+
+func uniqueFactName(s *xmd.Schema, base string) string {
+	if _, exists := s.Fact(base); !exists {
+		return base
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s__%d", base, i)
+		if _, exists := s.Fact(cand); !exists {
+			return cand
+		}
+	}
+}
+
+func renamedSuffix(from, to string) string {
+	if from == to {
+		return ""
+	}
+	return fmt.Sprintf(" (renamed to %s)", to)
+}
+
+func cloneDim(d *xmd.Dimension) *xmd.Dimension {
+	cp := &xmd.Dimension{Name: d.Name, Temporal: d.Temporal}
+	for _, l := range d.Levels {
+		cp.Levels = append(cp.Levels, cloneLevel(l))
+	}
+	cp.Rollups = append([]xmd.Rollup(nil), d.Rollups...)
+	return cp
+}
+
+func cloneLevel(l *xmd.Level) *xmd.Level {
+	cp := &xmd.Level{Name: l.Name, Concept: l.Concept, Key: l.Key}
+	cp.Descriptors = append([]xmd.Descriptor(nil), l.Descriptors...)
+	return cp
+}
+
+func cloneFact(f *xmd.Fact) *xmd.Fact {
+	cp := &xmd.Fact{Name: f.Name, Concept: f.Concept}
+	cp.Measures = append([]xmd.Measure(nil), f.Measures...)
+	cp.Uses = append([]xmd.DimensionUse(nil), f.Uses...)
+	return cp
+}

@@ -1,0 +1,315 @@
+package mdintegrator
+
+import (
+	"strings"
+	"testing"
+
+	"quarry/internal/interpreter"
+	"quarry/internal/quality"
+	"quarry/internal/tpch"
+	"quarry/internal/xmd"
+)
+
+// partials interprets the canonical TPC-H requirements into partial
+// MD schemata.
+func partials(t *testing.T) []*xmd.Schema {
+	t.Helper()
+	o, err := tpch.Ontology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tpch.Mapping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tpch.Catalog(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := interpreter.New(o, m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*xmd.Schema
+	for _, r := range tpch.CanonicalRequirements() {
+		pd, err := in.Interpret(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, pd.MD)
+	}
+	return out
+}
+
+func TestIntegrateFirstPartial(t *testing.T) {
+	it := New(nil, nil)
+	ps := partials(t)
+	unified, rep, err := it.Integrate(nil, ps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unified.Name != "unified" {
+		t.Errorf("name = %q", unified.Name)
+	}
+	if !rep.MergedChosen {
+		t.Error("initial design should count as merged")
+	}
+	if err := unified.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure3Integration reproduces the paper's Figure 3: revenue and
+// net-profit partial designs integrate into one constellation with
+// conformed Part and Supplier dimensions.
+func TestFigure3Integration(t *testing.T) {
+	it := New(nil, nil)
+	ps := partials(t)
+	unified, _, err := it.Integrate(nil, ps[0]) // revenue
+	if err != nil {
+		t.Fatal(err)
+	}
+	unified, rep, err := it.Integrate(unified, ps[1]) // netprofit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.MergedChosen {
+		t.Fatal("merged constellation should win on structural complexity")
+	}
+	if len(unified.Facts) != 2 {
+		t.Fatalf("facts = %d, want 2 (revenue + netprofit)", len(unified.Facts))
+	}
+	if _, ok := unified.Fact("fact_table_revenue"); !ok {
+		t.Error("fact_table_revenue missing")
+	}
+	if _, ok := unified.Fact("fact_table_netprofit"); !ok {
+		t.Error("fact_table_netprofit missing")
+	}
+	// Conformed dimensions: Part and Supplier shared by both facts.
+	shared := unified.SharedDimensions()
+	if strings.Join(shared, ",") != "Part,Supplier" {
+		t.Errorf("shared dimensions = %v", shared)
+	}
+	// Exactly one Part and one Supplier dimension (no duplicates).
+	if len(unified.Dimensions) != 2 {
+		t.Errorf("dimensions = %d, want 2 conformed", len(unified.Dimensions))
+	}
+	if len(rep.MatchedDimensions) != 2 {
+		t.Errorf("matched dimensions = %v", rep.MatchedDimensions)
+	}
+	// Cost model: merged beats naive.
+	if rep.ComplexityAfter >= rep.ComplexityNaive {
+		t.Errorf("complexity after %v >= naive %v", rep.ComplexityAfter, rep.ComplexityNaive)
+	}
+}
+
+func TestIncrementalIntegrationAllCanonical(t *testing.T) {
+	it := New(nil, nil)
+	var unified *xmd.Schema
+	var err error
+	for _, p := range partials(t) {
+		unified, _, err = it.Integrate(unified, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := unified.Validate(); err != nil {
+			t.Fatalf("unified unsound after %s: %v", p.Name, err)
+		}
+	}
+	// All four requirements must remain satisfied.
+	for _, r := range tpch.CanonicalRequirements() {
+		if err := interpreter.Satisfies(unified, r); err != nil {
+			t.Errorf("requirement %s no longer satisfied: %v", r.ID, err)
+		}
+	}
+}
+
+func TestMatchingFactsMergesMeasures(t *testing.T) {
+	it := New(nil, nil)
+	mk := func(measure string) *xmd.Schema {
+		return &xmd.Schema{
+			Name: "p",
+			Facts: []*xmd.Fact{{
+				Name: "fact_" + measure, Concept: "Lineitem",
+				Measures: []xmd.Measure{{Name: measure, Type: "float", Additivity: xmd.AdditivityFlow}},
+				Uses:     []xmd.DimensionUse{{Dimension: "Part", Level: "Part"}},
+			}},
+			Dimensions: []*xmd.Dimension{{
+				Name:   "Part",
+				Levels: []*xmd.Level{{Name: "Part", Concept: "Part", Key: "p_name", Descriptors: []xmd.Descriptor{{Name: "p_name", Type: "string", Attr: "Part.p_name"}}}},
+			}},
+		}
+	}
+	u, _, err := it.Integrate(nil, mk("revenue"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, rep, err := it.Integrate(u, mk("quantity"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same concept → facts merged, measures unioned.
+	if len(u.Facts) != 1 {
+		t.Fatalf("facts = %d, want 1 merged", len(u.Facts))
+	}
+	if len(u.Facts[0].Measures) != 2 {
+		t.Errorf("measures = %d, want 2", len(u.Facts[0].Measures))
+	}
+	if len(rep.MatchedFacts) != 1 {
+		t.Errorf("matched facts = %v", rep.MatchedFacts)
+	}
+}
+
+func TestMeasureFormulaConflictReported(t *testing.T) {
+	it := New(nil, nil)
+	mk := func(formula string) *xmd.Schema {
+		return &xmd.Schema{
+			Name: "p",
+			Facts: []*xmd.Fact{{
+				Name: "f", Concept: "Lineitem",
+				Measures: []xmd.Measure{{Name: "revenue", Type: "float", Formula: formula, Additivity: xmd.AdditivityFlow}},
+				Uses:     []xmd.DimensionUse{{Dimension: "D", Level: "L"}},
+			}},
+			Dimensions: []*xmd.Dimension{{Name: "D", Levels: []*xmd.Level{{Name: "L"}}}},
+		}
+	}
+	u, _, err := it.Integrate(nil, mk("a * b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := it.Integrate(u, mk("a + b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range rep.Decisions {
+		if d.Kind == "conflict" && strings.Contains(d.Detail, "revenue") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("formula conflict not reported: %+v", rep.Decisions)
+	}
+}
+
+func TestRollupCycleFallsBackToSeparateDimension(t *testing.T) {
+	it := New(nil, nil)
+	mk := func(from, to string) *xmd.Schema {
+		return &xmd.Schema{
+			Name: "p",
+			Facts: []*xmd.Fact{{
+				Name: "f_" + from, Concept: "C" + from,
+				Measures: []xmd.Measure{{Name: "m", Type: "int", Additivity: xmd.AdditivityFlow}},
+				Uses:     []xmd.DimensionUse{{Dimension: "D", Level: from}},
+			}},
+			Dimensions: []*xmd.Dimension{{
+				Name:    "D",
+				Levels:  []*xmd.Level{{Name: "A", Concept: "A"}, {Name: "B", Concept: "B"}},
+				Rollups: []xmd.Rollup{{From: from, To: to}},
+			}},
+		}
+	}
+	u, _, err := it.Integrate(nil, mk("A", "B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reversed roll-up would create A→B→A.
+	u2, rep, err := it.Integrate(u, mk("B", "A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u2.Validate(); err != nil {
+		t.Fatalf("integrated schema unsound: %v", err)
+	}
+	conflict := false
+	for _, d := range rep.Decisions {
+		if d.Kind == "conflict" && strings.Contains(d.Detail, "roll-up") {
+			conflict = true
+		}
+	}
+	if !conflict && len(u2.Dimensions) < 2 {
+		t.Errorf("cycle neither reported nor kept separate: dims=%d decisions=%+v", len(u2.Dimensions), rep.Decisions)
+	}
+}
+
+type vetoResolver struct{}
+
+func (vetoResolver) ApproveFactMerge(_, _ *xmd.Fact) bool           { return false }
+func (vetoResolver) ApproveDimensionMerge(_, _ *xmd.Dimension) bool { return false }
+
+func TestResolverVetoKeepsDesignsSeparate(t *testing.T) {
+	it := New(nil, vetoResolver{})
+	ps := partials(t)
+	u, _, err := it.Integrate(nil, ps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, rep, err := it.Integrate(u, ps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.MatchedDimensions) != 0 || len(rep.MatchedFacts) != 0 {
+		t.Error("vetoed merges still matched")
+	}
+	// Side-by-side: dimensions duplicated under fresh names.
+	if len(u2.Dimensions) != len(u.Dimensions)+len(ps[1].Dimensions) {
+		t.Errorf("dimensions = %d", len(u2.Dimensions))
+	}
+	if err := u2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntegrateNaiveAblation(t *testing.T) {
+	it := New(nil, nil)
+	ps := partials(t)
+	merged, _, err := it.Integrate(nil, ps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, _, err = it.Integrate(merged, ps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := it.IntegrateNaive(nil, ps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err = it.IntegrateNaive(naive, ps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := quality.DefaultMDCost()
+	if cost.Complexity(merged) >= cost.Complexity(naive) {
+		t.Errorf("cost-guided integration (%v) not simpler than naive (%v)",
+			cost.Complexity(merged), cost.Complexity(naive))
+	}
+}
+
+func TestIntegrateRejectsUnsoundPartial(t *testing.T) {
+	it := New(nil, nil)
+	bad := &xmd.Schema{Name: "bad", Facts: []*xmd.Fact{{Name: "f"}}} // no measures
+	if _, _, err := it.Integrate(nil, bad); err == nil {
+		t.Error("unsound partial accepted")
+	}
+	if _, _, err := it.Integrate(nil, nil); err == nil {
+		t.Error("nil partial accepted")
+	}
+}
+
+func TestIdempotentIntegration(t *testing.T) {
+	it := New(nil, nil)
+	ps := partials(t)
+	u1, _, err := it.Integrate(nil, ps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, _, err := it.Integrate(u1, ps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Integrating the same partial twice must not grow the design.
+	if u2.Stats() != u1.Stats() {
+		t.Errorf("re-integration changed the design: %+v vs %+v", u1.Stats(), u2.Stats())
+	}
+}

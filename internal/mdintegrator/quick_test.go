@@ -1,0 +1,207 @@
+package mdintegrator
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"quarry/internal/quality"
+	"quarry/internal/xmd"
+)
+
+// genStar builds a random single-fact star drawing names from small
+// pools, so random pairs share facts/dimensions often enough to
+// exercise matching.
+func genStar(r *rand.Rand) *xmd.Schema {
+	concepts := []string{"Sale", "Stock", "Shipment"}
+	dims := []string{"Product", "Store", "Time", "Customer"}
+	measures := []string{"amount", "units", "cost"}
+
+	fc := concepts[r.Intn(len(concepts))]
+	s := &xmd.Schema{Name: "p"}
+	f := &xmd.Fact{Name: "fact_" + fc, Concept: fc}
+	seenM := map[string]bool{}
+	for i := 0; i <= r.Intn(3); i++ {
+		m := measures[r.Intn(len(measures))]
+		if seenM[m] {
+			continue
+		}
+		seenM[m] = true
+		f.Measures = append(f.Measures, xmd.Measure{
+			Name: m, Type: "float", Additivity: xmd.AdditivityFlow,
+			Formula: fc + "." + m,
+		})
+	}
+	if len(f.Measures) == 0 {
+		f.Measures = append(f.Measures, xmd.Measure{Name: "amount", Type: "float", Additivity: xmd.AdditivityFlow})
+	}
+	seenD := map[string]bool{}
+	for i := 0; i <= r.Intn(3); i++ {
+		dn := dims[r.Intn(len(dims))]
+		if seenD[dn] {
+			continue
+		}
+		seenD[dn] = true
+		d := &xmd.Dimension{Name: dn, Temporal: dn == "Time"}
+		d.Levels = append(d.Levels, &xmd.Level{
+			Name: dn, Concept: dn,
+			Descriptors: []xmd.Descriptor{{Name: "name", Type: "string", Attr: dn + ".name"}},
+		})
+		if r.Intn(2) == 0 {
+			up := dn + "Group"
+			d.Levels = append(d.Levels, &xmd.Level{Name: up, Concept: up,
+				Descriptors: []xmd.Descriptor{{Name: "group_name", Type: "string", Attr: up + ".name"}}})
+			d.Rollups = append(d.Rollups, xmd.Rollup{From: dn, To: up})
+		}
+		s.Dimensions = append(s.Dimensions, d)
+		f.Uses = append(f.Uses, xmd.DimensionUse{Dimension: dn, Level: dn})
+	}
+	if len(f.Uses) == 0 {
+		s.Dimensions = append(s.Dimensions, &xmd.Dimension{Name: "Product",
+			Levels: []*xmd.Level{{Name: "Product", Concept: "Product"}}})
+		f.Uses = append(f.Uses, xmd.DimensionUse{Dimension: "Product", Level: "Product"})
+	}
+	s.Facts = []*xmd.Fact{f}
+	return s
+}
+
+// Property: every integration result is sound (passes MD integrity
+// validation) and inputs are never mutated.
+func TestQuickIntegrationAlwaysSound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		it := New(nil, nil)
+		var u *xmd.Schema
+		for i := 0; i < 1+r.Intn(5); i++ {
+			p := genStar(r)
+			if err := p.Validate(); err != nil {
+				t.Logf("seed %d: generator produced invalid star: %v", seed, err)
+				return false
+			}
+			before, err := snapshot(p)
+			if err != nil {
+				return false
+			}
+			u2, _, err := it.Integrate(u, p)
+			if err != nil {
+				t.Logf("seed %d: integrate: %v", seed, err)
+				return false
+			}
+			if err := u2.Validate(); err != nil {
+				t.Logf("seed %d: result unsound: %v", seed, err)
+				return false
+			}
+			after, err := snapshot(p)
+			if err != nil || before != after {
+				t.Logf("seed %d: partial mutated", seed)
+				return false
+			}
+			u = u2
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func snapshot(s *xmd.Schema) (string, error) {
+	text, err := xmd.Marshal(s)
+	if err != nil {
+		return "", err
+	}
+	return text, nil
+}
+
+// Property: integration is idempotent — integrating the same partial
+// twice does not change the stats.
+func TestQuickIntegrationIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		it := New(nil, nil)
+		p := genStar(r)
+		u1, _, err := it.Integrate(nil, p)
+		if err != nil {
+			return false
+		}
+		u2, _, err := it.Integrate(u1, p)
+		if err != nil {
+			return false
+		}
+		return u1.Stats() == u2.Stats()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the cost-guided result is never more complex than the
+// naive side-by-side union.
+func TestQuickCostGuidedNeverWorseThanNaive(t *testing.T) {
+	cost := quality.DefaultMDCost()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		guided := New(cost, nil)
+		n := 2 + r.Intn(4)
+		partials := make([]*xmd.Schema, n)
+		for i := range partials {
+			partials[i] = genStar(r)
+		}
+		var ug, un *xmd.Schema
+		var err error
+		for _, p := range partials {
+			ug, _, err = guided.Integrate(ug, p)
+			if err != nil {
+				return false
+			}
+			un, err = guided.IntegrateNaive(un, p)
+			if err != nil {
+				return false
+			}
+		}
+		return cost.Complexity(ug) <= cost.Complexity(un)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: all facts and measures of every integrated partial remain
+// present in the unified schema (no information loss).
+func TestQuickNoMeasureLoss(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		it := New(nil, nil)
+		var u *xmd.Schema
+		var wantMeasures []string
+		for i := 0; i < 1+r.Intn(4); i++ {
+			p := genStar(r)
+			for _, fct := range p.Facts {
+				for _, m := range fct.Measures {
+					wantMeasures = append(wantMeasures, m.Name)
+				}
+			}
+			var err error
+			u, _, err = it.Integrate(u, p)
+			if err != nil {
+				return false
+			}
+		}
+		for _, m := range wantMeasures {
+			found := false
+			for _, fct := range u.Facts {
+				if _, ok := fct.Measure(m); ok {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,286 @@
+// Package olap answers analytical (OLAP) queries over the deployed
+// data warehouse: the consumption side of the lifecycle, motivating
+// the paper's §1 argument that "more complex ETL flows may be
+// required to reduce the complexity of an MD schema and improve the
+// performance of OLAP queries by pre-aggregating and joining source
+// data".
+//
+// A CubeQuery names a fact of the unified MD schema, the dimension
+// descriptors to group by (at any roll-up level), slicer predicates
+// and aggregated measures. The query is compiled into an xLM star
+// flow over the *deployed* tables (fact ⋈ dimensions) and executed by
+// the native engine — the same machinery used to populate the DW,
+// now reading from it.
+package olap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"quarry/internal/engine"
+	"quarry/internal/expr"
+	"quarry/internal/sqlgen"
+	"quarry/internal/storage"
+	"quarry/internal/xlm"
+	"quarry/internal/xmd"
+)
+
+// CubeQuery is an analytical query over a deployed fact table.
+type CubeQuery struct {
+	// Fact is the fact table name (e.g. "fact_table_revenue").
+	Fact string
+	// GroupBy lists dimension descriptor columns to group by (must
+	// exist in one of the fact's dimension tables or in the fact
+	// itself).
+	GroupBy []string
+	// Measures maps output names to aggregate specs over fact
+	// columns, e.g. {"total": {"SUM", "revenue"}}.
+	Measures []MeasureSpec
+	// Filter is an optional predicate over fact or dimension columns.
+	Filter string
+}
+
+// MeasureSpec is one aggregated measure.
+type MeasureSpec struct {
+	Out  string
+	Func string // SUM/AVG/MIN/MAX/COUNT
+	Col  string
+}
+
+// Result is a small, ordered result set.
+type Result struct {
+	Columns []string
+	Rows    [][]expr.Value
+}
+
+// Engine compiles and runs cube queries against a database holding a
+// deployed design.
+type Engine struct {
+	md  *xmd.Schema
+	etl *xlm.Design
+	db  *storage.DB
+}
+
+// New builds an OLAP engine over the unified design and the database
+// that Platform.Run populated.
+func New(md *xmd.Schema, etl *xlm.Design, db *storage.DB) (*Engine, error) {
+	if md == nil || etl == nil || db == nil {
+		return nil, fmt.Errorf("olap: md, etl and db are required")
+	}
+	return &Engine{md: md, etl: etl, db: db}, nil
+}
+
+// tableOf returns the deployed definition of a table.
+func (e *Engine) tableOf(name string) (*sqlgen.TableDef, error) {
+	defs, err := sqlgen.Tables(e.etl)
+	if err != nil {
+		return nil, err
+	}
+	for i := range defs {
+		if defs[i].Name == name {
+			return &defs[i], nil
+		}
+	}
+	return nil, fmt.Errorf("olap: table %q is not part of the deployed design", name)
+}
+
+// Query compiles the cube query to a star flow over the deployed
+// tables and executes it.
+func (e *Engine) Query(q CubeQuery) (*Result, error) {
+	if len(q.GroupBy) == 0 {
+		return nil, fmt.Errorf("olap: query needs at least one group-by column")
+	}
+	if len(q.Measures) == 0 {
+		return nil, fmt.Errorf("olap: query needs at least one measure")
+	}
+	fact, err := e.tableOf(q.Fact)
+	if err != nil {
+		return nil, err
+	}
+	d := xlm.NewDesign("olap_" + q.Fact)
+	addTable := func(def *sqlgen.TableDef, nodeName string) error {
+		fields := make([]xlm.Field, len(def.Columns))
+		copy(fields, def.Columns)
+		return d.AddNode(&xlm.Node{
+			Name: nodeName, Type: xlm.OpDatastore, Optype: "TableInput",
+			Fields: fields,
+			Params: map[string]string{"store": "dw", "table": def.Name},
+		})
+	}
+	if err := addTable(fact, "DW_"+q.Fact); err != nil {
+		return nil, err
+	}
+	// Which columns do we need from dimensions?
+	needed := map[string]bool{}
+	for _, g := range q.GroupBy {
+		needed[g] = true
+	}
+	var filterPred expr.Node
+	if q.Filter != "" {
+		filterPred, err = expr.Parse(q.Filter)
+		if err != nil {
+			return nil, fmt.Errorf("olap: filter: %w", err)
+		}
+		for _, id := range expr.Idents(filterPred) {
+			needed[id] = true
+		}
+	}
+	// Join every referenced dimension table.
+	cur := "DW_" + q.Fact
+	available := map[string]bool{}
+	for _, c := range fact.Columns {
+		available[c.Name] = true
+	}
+	joined := map[string]bool{}
+	for _, fk := range fact.ForeignKeys {
+		if joined[fk.RefTable] {
+			continue
+		}
+		dim, err := e.tableOf(fk.RefTable)
+		if err != nil {
+			return nil, err
+		}
+		usesDim := false
+		for _, c := range dim.Columns {
+			if needed[c.Name] && !available[c.Name] {
+				usesDim = true
+			}
+		}
+		if !usesDim {
+			continue
+		}
+		joined[fk.RefTable] = true
+		nodeName := "DW_" + fk.RefTable
+		if err := addTable(dim, nodeName); err != nil {
+			return nil, err
+		}
+		// Project the dimension side down to the join key (renamed to
+		// stay unambiguous) plus the columns the query actually needs.
+		keyAlias := "__key_" + fk.RefTable
+		projCols := []string{keyAlias + "=" + fk.RefColumn}
+		for _, c := range dim.Columns {
+			if needed[c.Name] && !available[c.Name] {
+				projCols = append(projCols, c.Name)
+				available[c.Name] = true
+			}
+		}
+		proj := &xlm.Node{
+			Name: "PREP_" + fk.RefTable, Type: xlm.OpProjection,
+			Params: map[string]string{"columns": strings.Join(projCols, ",")},
+		}
+		if err := d.AddNode(proj); err != nil {
+			return nil, err
+		}
+		if err := d.AddEdge(nodeName, proj.Name); err != nil {
+			return nil, err
+		}
+		join := &xlm.Node{
+			Name: "JOIN_" + fk.RefTable, Type: xlm.OpJoin,
+			Params: map[string]string{"on": fk.Column + "=" + keyAlias},
+		}
+		if err := d.AddNode(join); err != nil {
+			return nil, err
+		}
+		if err := d.AddEdge(cur, join.Name); err != nil {
+			return nil, err
+		}
+		if err := d.AddEdge(proj.Name, join.Name); err != nil {
+			return nil, err
+		}
+		cur = join.Name
+	}
+	// Every needed column must now be available.
+	var missing []string
+	for c := range needed {
+		if !available[c] {
+			missing = append(missing, c)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return nil, fmt.Errorf("olap: columns %v not reachable from fact %q", missing, q.Fact)
+	}
+	if filterPred != nil {
+		sel := &xlm.Node{
+			Name: "FILTER", Type: xlm.OpSelection,
+			Params: map[string]string{"predicate": filterPred.String()},
+		}
+		if err := d.AddNode(sel); err != nil {
+			return nil, err
+		}
+		if err := d.AddEdge(cur, sel.Name); err != nil {
+			return nil, err
+		}
+		cur = sel.Name
+	}
+	var aggs []string
+	for _, m := range q.Measures {
+		fn := strings.ToUpper(m.Func)
+		switch fn {
+		case "SUM", "AVG", "MIN", "MAX", "COUNT":
+		default:
+			return nil, fmt.Errorf("olap: unknown aggregate %q", m.Func)
+		}
+		aggs = append(aggs, fmt.Sprintf("%s:%s:%s", m.Out, fn, m.Col))
+	}
+	agg := &xlm.Node{
+		Name: "CUBE", Type: xlm.OpAggregation,
+		Params: map[string]string{
+			"group":      strings.Join(q.GroupBy, ","),
+			"aggregates": strings.Join(aggs, ";"),
+		},
+	}
+	if err := d.AddNode(agg); err != nil {
+		return nil, err
+	}
+	if err := d.AddEdge(cur, agg.Name); err != nil {
+		return nil, err
+	}
+	sortNode := &xlm.Node{
+		Name: "ORDER", Type: xlm.OpSort,
+		Params: map[string]string{"by": strings.Join(q.GroupBy, ",")},
+	}
+	if err := d.AddNode(sortNode); err != nil {
+		return nil, err
+	}
+	if err := d.AddEdge(agg.Name, sortNode.Name); err != nil {
+		return nil, err
+	}
+	out := &xlm.Node{
+		Name: "ANSWER", Type: xlm.OpLoader, Optype: "TableOutput",
+		Params: map[string]string{"table": "__olap_answer", "mode": "replace"},
+	}
+	if err := d.AddNode(out); err != nil {
+		return nil, err
+	}
+	if err := d.AddEdge(sortNode.Name, out.Name); err != nil {
+		return nil, err
+	}
+	if _, err := engine.Run(d, e.db); err != nil {
+		return nil, err
+	}
+	answer, ok := e.db.Table("__olap_answer")
+	if !ok {
+		return nil, fmt.Errorf("olap: internal: answer table missing")
+	}
+	res := &Result{}
+	for _, c := range answer.Columns {
+		res.Columns = append(res.Columns, c.Name)
+	}
+	for _, r := range answer.Rows() {
+		res.Rows = append(res.Rows, r)
+	}
+	_ = e.db.Drop("__olap_answer")
+	return res, nil
+}
+
+// Facts lists the queryable fact tables of the design.
+func (e *Engine) Facts() []string {
+	var out []string
+	for _, f := range e.md.Facts {
+		out = append(out, f.Name)
+	}
+	sort.Strings(out)
+	return out
+}

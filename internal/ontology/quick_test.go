@@ -1,0 +1,131 @@
+package ontology
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genOntology builds a random ontology with n concepts and ~2n edges.
+func genOntology(r *rand.Rand, n int) *Ontology {
+	o := New("gen")
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("C%02d", i)
+		o.AddConcept(id, "")
+		o.AddProperty(id, "v", "float", "")
+		o.AddProperty(id, "k", "string", "")
+	}
+	mults := []Multiplicity{OneToOne, ManyToOne, OneToMany, ManyToMany}
+	for e := 0; e < 2*n; e++ {
+		d := fmt.Sprintf("C%02d", r.Intn(n))
+		g := fmt.Sprintf("C%02d", r.Intn(n))
+		if d == g {
+			continue
+		}
+		o.AddObjectProperty(fmt.Sprintf("e%03d", e), "", d, g, mults[r.Intn(len(mults))])
+	}
+	return o
+}
+
+// Property: every path in ToOneClosure is a valid functional chain
+// from the source, and its length equals the BFS shortest length.
+func TestQuickClosurePathsAreValidAndShortest(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		o := genOntology(r, 3+r.Intn(10))
+		src := fmt.Sprintf("C%02d", r.Intn(len(o.Concepts())))
+		cl := o.ToOneClosure(src)
+		for target, path := range cl {
+			cur := src
+			for _, s := range path {
+				if s.From != cur || !s.ToOne() {
+					return false
+				}
+				cur = s.To
+			}
+			if cur != target {
+				return false
+			}
+			sp, ok := o.ShortestToOnePath(src, target)
+			if !ok || len(sp) != len(path) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ShortestToOnePath succeeds exactly for targets in the
+// closure, and every enumerated simple path has at least that length.
+func TestQuickShortestConsistentWithAll(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		o := genOntology(r, 3+r.Intn(8))
+		concepts := o.Concepts()
+		src := concepts[r.Intn(len(concepts))].ID
+		dst := concepts[r.Intn(len(concepts))].ID
+		cl := o.ToOneClosure(src)
+		sp, ok := o.ShortestToOnePath(src, dst)
+		if _, inCl := cl[dst]; inCl != ok {
+			return false
+		}
+		if !ok {
+			return len(o.AllToOnePaths(src, dst, 6)) == 0 ||
+				// AllToOnePaths may find longer simple paths even when
+				// BFS closure visits dst... it cannot: closure covers
+				// all reachable. So no paths may exist.
+				false
+		}
+		for _, p := range o.AllToOnePaths(src, dst, 6) {
+			if len(p) < len(sp) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: XML round trip preserves structural statistics and the
+// to-one closure relation for every source concept.
+func TestQuickXMLRoundTripPreservesSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		o := genOntology(r, 3+r.Intn(8))
+		var buf bytes.Buffer
+		if err := o.WriteXML(&buf); err != nil {
+			return false
+		}
+		o2, err := ReadXML(&buf)
+		if err != nil {
+			return false
+		}
+		if o.Stats() != o2.Stats() {
+			return false
+		}
+		for _, c := range o.Concepts() {
+			c1 := o.ToOneClosure(c.ID)
+			c2 := o2.ToOneClosure(c.ID)
+			if len(c1) != len(c2) {
+				return false
+			}
+			for k, p1 := range c1 {
+				p2, ok := c2[k]
+				if !ok || len(p1) != len(p2) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

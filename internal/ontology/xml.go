@@ -1,0 +1,124 @@
+package ontology
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+)
+
+// The OWL-flavoured XML interchange format for ontologies. Quarry's
+// paper stores domain ontologies as OWL documents handled by Jena; we
+// keep the same information content in a compact XML dialect:
+//
+//	<ontology name="tpch">
+//	  <concept id="Lineitem" label="Line Item">
+//	    <property name="l_quantity" type="float" label="quantity"/>
+//	  </concept>
+//	  <objectProperty id="lineitem_orders" domain="Lineitem"
+//	                  range="Orders" multiplicity="many-to-one"/>
+//	  <subclass child="PremiumCustomer" parent="Customer"/>
+//	</ontology>
+
+type xmlOntology struct {
+	XMLName    xml.Name      `xml:"ontology"`
+	Name       string        `xml:"name,attr"`
+	Concepts   []xmlConcept  `xml:"concept"`
+	ObjProps   []xmlObjProp  `xml:"objectProperty"`
+	Subclasses []xmlSubclass `xml:"subclass"`
+}
+
+type xmlConcept struct {
+	ID         string        `xml:"id,attr"`
+	Label      string        `xml:"label,attr,omitempty"`
+	Properties []xmlProperty `xml:"property"`
+}
+
+type xmlProperty struct {
+	Name  string `xml:"name,attr"`
+	Type  string `xml:"type,attr"`
+	Label string `xml:"label,attr,omitempty"`
+}
+
+type xmlObjProp struct {
+	ID    string `xml:"id,attr"`
+	Label string `xml:"label,attr,omitempty"`
+	Dom   string `xml:"domain,attr"`
+	Rng   string `xml:"range,attr"`
+	Mult  string `xml:"multiplicity,attr"`
+}
+
+type xmlSubclass struct {
+	Child  string `xml:"child,attr"`
+	Parent string `xml:"parent,attr"`
+}
+
+// WriteXML serialises the ontology.
+func (o *Ontology) WriteXML(w io.Writer) error {
+	doc := xmlOntology{Name: o.Name}
+	for _, c := range o.Concepts() {
+		xc := xmlConcept{ID: c.ID, Label: c.Label}
+		for _, p := range c.props {
+			xc.Properties = append(xc.Properties, xmlProperty{Name: p.Name, Type: p.Type, Label: p.Label})
+		}
+		doc.Concepts = append(doc.Concepts, xc)
+	}
+	for _, p := range o.ObjectProperties() {
+		doc.ObjProps = append(doc.ObjProps, xmlObjProp{
+			ID: p.ID, Label: p.Label, Dom: p.Domain, Rng: p.Range, Mult: p.Mult.String(),
+		})
+	}
+	// Deterministic subclass order: insertion order of concepts.
+	for _, id := range o.order {
+		if parent, ok := o.parent[id]; ok {
+			doc.Subclasses = append(doc.Subclasses, xmlSubclass{Child: id, Parent: parent})
+		}
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("ontology: encode: %w", err)
+	}
+	return enc.Flush()
+}
+
+// ReadXML parses an ontology document and validates it.
+func ReadXML(r io.Reader) (*Ontology, error) {
+	var doc xmlOntology
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("ontology: decode: %w", err)
+	}
+	o := New(doc.Name)
+	for _, xc := range doc.Concepts {
+		c, err := o.AddConcept(xc.ID, xc.Label)
+		if err != nil {
+			return nil, err
+		}
+		_ = c
+		for _, xp := range xc.Properties {
+			if err := o.AddProperty(xc.ID, xp.Name, xp.Type, xp.Label); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, xp := range doc.ObjProps {
+		m, err := ParseMultiplicity(xp.Mult)
+		if err != nil {
+			return nil, err
+		}
+		if err := o.AddObjectProperty(xp.ID, xp.Label, xp.Dom, xp.Rng, m); err != nil {
+			return nil, err
+		}
+	}
+	for _, sc := range doc.Subclasses {
+		if err := o.SetSubclass(sc.Child, sc.Parent); err != nil {
+			return nil, err
+		}
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}

@@ -1,0 +1,128 @@
+package pdi
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"quarry/internal/interpreter"
+	"quarry/internal/tpch"
+	"quarry/internal/xlm"
+)
+
+func revenueETL(t *testing.T) *xlm.Design {
+	t.Helper()
+	o, err := tpch.Ontology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tpch.Mapping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tpch.Catalog(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := interpreter.New(o, m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := in.Interpret(tpch.RevenueRequirement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pd.ETL
+}
+
+func TestMarshalKTR(t *testing.T) {
+	d := revenueETL(t)
+	ktr, err := Marshal(d, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 3's artifact shape: transformation / connection / order
+	// with hops / steps with types.
+	for _, want := range []string{
+		"<transformation>",
+		"<database>demo</database>",
+		"<hop>",
+		"<from>DATASTORE_Lineitem</from>",
+		"<to>EXTRACTION_Lineitem</to>",
+		"<enabled>Y</enabled>",
+		"<name>DATASTORE_Lineitem</name>",
+		"<type>TableInput</type>",
+		"<type>FilterRows</type>",
+		"<type>MergeJoin</type>",
+		"<type>GroupBy</type>",
+		"<type>Calculator</type>",
+		"<type>TableOutput</type>",
+		"SELECT ",
+	} {
+		if !strings.Contains(ktr, want) {
+			t.Errorf("ktr missing %q", want)
+		}
+	}
+	// Well-formed XML.
+	var probe struct {
+		XMLName xml.Name `xml:"transformation"`
+		Steps   []struct {
+			Name string `xml:"name"`
+			Type string `xml:"type"`
+		} `xml:"step"`
+		Hops []struct {
+			From string `xml:"from"`
+			To   string `xml:"to"`
+		} `xml:"order>hop"`
+	}
+	if err := xml.Unmarshal([]byte(ktr), &probe); err != nil {
+		t.Fatalf("ktr not well-formed: %v", err)
+	}
+	if len(probe.Steps) != len(d.Nodes()) {
+		t.Errorf("steps = %d, nodes = %d", len(probe.Steps), len(d.Nodes()))
+	}
+	if len(probe.Hops) != len(d.Edges()) {
+		t.Errorf("hops = %d, edges = %d", len(probe.Hops), len(d.Edges()))
+	}
+}
+
+func TestStepTypeMapping(t *testing.T) {
+	cases := map[xlm.OpType]string{
+		xlm.OpDatastore:    "TableInput",
+		xlm.OpExtraction:   "Dummy",
+		xlm.OpSelection:    "FilterRows",
+		xlm.OpProjection:   "SelectValues",
+		xlm.OpJoin:         "MergeJoin",
+		xlm.OpAggregation:  "GroupBy",
+		xlm.OpFunction:     "Calculator",
+		xlm.OpUnion:        "Append",
+		xlm.OpSort:         "SortRows",
+		xlm.OpSurrogateKey: "CombinationLookup",
+		xlm.OpLoader:       "TableOutput",
+	}
+	for op, want := range cases {
+		if got := StepType(op); got != want {
+			t.Errorf("StepType(%s) = %s, want %s", op, got, want)
+		}
+	}
+	if StepType("Mystery") != "Dummy" {
+		t.Error("unknown op should map to Dummy")
+	}
+}
+
+func TestWriteRejectsInvalidDesign(t *testing.T) {
+	d := xlm.NewDesign("bad")
+	if _, err := Marshal(d, "demo"); err == nil {
+		t.Error("invalid design exported")
+	}
+}
+
+func TestPdiTypes(t *testing.T) {
+	for in, want := range map[string]string{
+		"int": "Integer", "float": "Number", "string": "String", "bool": "Boolean", "x": "String",
+	} {
+		if got := pdiType(in); got != want {
+			t.Errorf("pdiType(%s) = %s", in, got)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package quality
+
+import (
+	"testing"
+
+	"quarry/internal/tpch"
+	"quarry/internal/xlm"
+)
+
+// pipe builds src → mid → loader without validation (Estimate works
+// on raw graphs).
+func pipe(t *testing.T, mid *xlm.Node) *xlm.Design {
+	t.Helper()
+	d := xlm.NewDesign("p")
+	d.AddNode(&xlm.Node{Name: "DS", Type: xlm.OpDatastore,
+		Fields: []xlm.Field{{Name: "a", Type: "int"}, {Name: "s", Type: "string"}},
+		Params: map[string]string{"store": "tpch", "table": "lineitem"}})
+	if err := d.AddNode(mid); err != nil {
+		t.Fatal(err)
+	}
+	d.AddNode(&xlm.Node{Name: "L", Type: xlm.OpLoader, Params: map[string]string{"table": "o"}})
+	d.AddEdge("DS", mid.Name)
+	d.AddEdge(mid.Name, "L")
+	return d
+}
+
+func TestEstimateUnionAndSort(t *testing.T) {
+	cat, _ := tpch.Catalog(1)
+	m := DefaultETLCost(cat)
+	d := xlm.NewDesign("u")
+	d.AddNode(&xlm.Node{Name: "A", Type: xlm.OpDatastore,
+		Fields: []xlm.Field{{Name: "a", Type: "int"}},
+		Params: map[string]string{"store": "tpch", "table": "nation"}})
+	d.AddNode(&xlm.Node{Name: "B", Type: xlm.OpDatastore,
+		Fields: []xlm.Field{{Name: "a", Type: "int"}},
+		Params: map[string]string{"store": "tpch", "table": "region"}})
+	d.AddNode(&xlm.Node{Name: "U", Type: xlm.OpUnion})
+	d.AddNode(&xlm.Node{Name: "S", Type: xlm.OpSort, Params: map[string]string{"by": "a"}})
+	d.AddNode(&xlm.Node{Name: "L", Type: xlm.OpLoader, Params: map[string]string{"table": "o"}})
+	d.AddEdge("A", "U")
+	d.AddEdge("B", "U")
+	d.AddEdge("U", "S")
+	d.AddEdge("S", "L")
+	_, card, err := m.Estimate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card["U"] != 30 { // 25 nations + 5 regions
+		t.Errorf("union card = %v", card["U"])
+	}
+	if card["S"] != card["U"] || card["L"] != card["S"] {
+		t.Errorf("sort/loader cards = %v / %v", card["S"], card["L"])
+	}
+}
+
+func TestEstimateSelectivityShapes(t *testing.T) {
+	cat, _ := tpch.Catalog(1)
+	m := DefaultETLCost(cat)
+	// Range predicate on a known column → default selectivity.
+	d := pipe(t, &xlm.Node{Name: "SEL", Type: xlm.OpSelection,
+		Params: map[string]string{"predicate": "a > 10"}})
+	_, card, err := m.Estimate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := card["SEL"] / card["DS"]; got < 0.3 || got > 0.4 {
+		t.Errorf("range selectivity = %v", got)
+	}
+	// Conjunction multiplies selectivities.
+	d2 := pipe(t, &xlm.Node{Name: "SEL", Type: xlm.OpSelection,
+		Params: map[string]string{"predicate": "a > 10 AND s = 'x'"}})
+	_, card2, err := m.Estimate(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card2["SEL"] >= card["SEL"] {
+		t.Errorf("conjunct did not reduce: %v vs %v", card2["SEL"], card["SEL"])
+	}
+	// Broken predicate errors.
+	d3 := pipe(t, &xlm.Node{Name: "SEL", Type: xlm.OpSelection,
+		Params: map[string]string{"predicate": "1 +"}})
+	if _, _, err := m.Estimate(d3); err == nil {
+		t.Error("broken predicate estimated")
+	}
+}
+
+func TestEstimateErrorPaths(t *testing.T) {
+	cat, _ := tpch.Catalog(1)
+	m := DefaultETLCost(cat)
+	// Join with malformed on.
+	d := xlm.NewDesign("j")
+	d.AddNode(&xlm.Node{Name: "A", Type: xlm.OpDatastore,
+		Fields: []xlm.Field{{Name: "a", Type: "int"}},
+		Params: map[string]string{"store": "tpch", "table": "nation"}})
+	d.AddNode(&xlm.Node{Name: "B", Type: xlm.OpDatastore,
+		Fields: []xlm.Field{{Name: "b", Type: "int"}},
+		Params: map[string]string{"store": "tpch", "table": "region"}})
+	d.AddNode(&xlm.Node{Name: "J", Type: xlm.OpJoin, Params: map[string]string{"on": "nonsense"}})
+	d.AddEdge("A", "J")
+	d.AddEdge("B", "J")
+	if _, _, err := m.Estimate(d); err == nil {
+		t.Error("malformed join estimated")
+	}
+	// Aggregation estimation only needs the group columns, so a
+	// malformed aggregates parameter does not block cost estimation
+	// (structural validation catches it separately).
+	d2 := pipe(t, &xlm.Node{Name: "AGG", Type: xlm.OpAggregation,
+		Params: map[string]string{"group": "a", "aggregates": "broken"}})
+	if _, card, err := m.Estimate(d2); err != nil || card["AGG"] <= 0 {
+		t.Errorf("aggregation estimate = %v, %v", card["AGG"], err)
+	}
+	if err := d2.Validate(); err == nil {
+		t.Error("malformed aggregates passed structural validation")
+	}
+}
+
+func TestEstimateJoinWithoutStats(t *testing.T) {
+	m := DefaultETLCost(nil) // no catalog at all
+	d := xlm.NewDesign("j")
+	d.AddNode(&xlm.Node{Name: "A", Type: xlm.OpDatastore,
+		Fields: []xlm.Field{{Name: "a", Type: "int"}},
+		Params: map[string]string{"table": "x"}})
+	d.AddNode(&xlm.Node{Name: "B", Type: xlm.OpDatastore,
+		Fields: []xlm.Field{{Name: "b", Type: "int"}},
+		Params: map[string]string{"table": "y"}})
+	d.AddNode(&xlm.Node{Name: "J", Type: xlm.OpJoin, Params: map[string]string{"on": "a=b"}})
+	d.AddEdge("A", "J")
+	d.AddEdge("B", "J")
+	_, card, err := m.Estimate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FK-join heuristic: |A|·|B| / max(|A|,|B|) = min side size.
+	if card["J"] != 1000 {
+		t.Errorf("join card = %v", card["J"])
+	}
+}
+
+func TestEstimateAggregationGroupCap(t *testing.T) {
+	cat, _ := tpch.Catalog(1)
+	m := DefaultETLCost(cat)
+	// Grouping by an unknown column uses the default factor but never
+	// exceeds input cardinality.
+	d := pipe(t, &xlm.Node{Name: "AGG", Type: xlm.OpAggregation,
+		Params: map[string]string{"group": "mystery1,mystery2,mystery3,mystery4", "aggregates": "x:COUNT:"}})
+	_, card, err := m.Estimate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card["AGG"] > card["DS"] {
+		t.Errorf("aggregation exceeded input: %v > %v", card["AGG"], card["DS"])
+	}
+}
+
+func TestEstimateWeightsDefault(t *testing.T) {
+	cat, _ := tpch.Catalog(1)
+	m := &ExecutionTimeModel{Catalog: cat, DefaultSelectivity: 0.5} // no weights
+	d := pipe(t, &xlm.Node{Name: "SEL", Type: xlm.OpSelection,
+		Params: map[string]string{"predicate": "a > 1"}})
+	cost, _, err := m.Estimate(d)
+	if err != nil || cost <= 0 {
+		t.Errorf("cost = %v, %v", cost, err)
+	}
+}

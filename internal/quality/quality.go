@@ -1,0 +1,284 @@
+// Package quality implements the user-specified quality factors that
+// drive Quarry's Design Integrator: the structural design complexity
+// of MD schemata and the estimated overall execution time of ETL
+// processes — the two example factors the paper demonstrates — behind
+// pluggable interfaces ("configurable cost models that may consider
+// different quality factors").
+package quality
+
+import (
+	"fmt"
+
+	"quarry/internal/expr"
+	"quarry/internal/sources"
+	"quarry/internal/xlm"
+	"quarry/internal/xmd"
+)
+
+// MDCostModel scores an MD schema; lower is better.
+type MDCostModel interface {
+	Complexity(s *xmd.Schema) float64
+}
+
+// StructuralComplexity is the weighted element count the paper names
+// as its example MD quality factor, with a bonus for conformed
+// (shared) dimensions: a constellation reusing dimensions across
+// facts is structurally simpler than disjoint stars of the same
+// content.
+type StructuralComplexity struct {
+	FactWeight       float64
+	DimensionWeight  float64
+	LevelWeight      float64
+	DescriptorWeight float64
+	RollupWeight     float64
+	UseWeight        float64
+	// SharedDimBonus is subtracted once per conformed dimension.
+	SharedDimBonus float64
+}
+
+// DefaultMDCost returns the default structural-complexity weights.
+func DefaultMDCost() *StructuralComplexity {
+	return &StructuralComplexity{
+		FactWeight:       10,
+		DimensionWeight:  5,
+		LevelWeight:      2,
+		DescriptorWeight: 0.5,
+		RollupWeight:     1,
+		UseWeight:        1,
+		SharedDimBonus:   4,
+	}
+}
+
+// Complexity implements MDCostModel.
+func (m *StructuralComplexity) Complexity(s *xmd.Schema) float64 {
+	st := s.Stats()
+	c := m.FactWeight*float64(st.Facts) +
+		m.DimensionWeight*float64(st.Dimensions) +
+		m.LevelWeight*float64(st.Levels) +
+		m.DescriptorWeight*float64(st.Descriptors) +
+		m.RollupWeight*float64(st.Rollups) +
+		m.UseWeight*float64(st.Uses) -
+		m.SharedDimBonus*float64(st.SharedDims)
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// ETLCostModel estimates a design's overall execution cost; lower is
+// better. Estimate returns the total cost and the per-node output
+// cardinality estimates it derived.
+type ETLCostModel interface {
+	Estimate(d *xlm.Design) (float64, map[string]float64, error)
+}
+
+// ExecutionTimeModel estimates execution time as weighted rows
+// processed, propagating cardinalities from catalog statistics
+// through the flow: the ETL quality factor of the paper's demo
+// ("overall execution time for ETL processes").
+type ExecutionTimeModel struct {
+	// Catalog supplies source cardinalities and distinct-value
+	// counts. Column statistics are looked up by column name across
+	// relations (Quarry's generated flows keep physical column names).
+	Catalog *sources.Catalog
+	// DefaultSelectivity is applied per selection conjunct whose
+	// selectivity cannot be derived from statistics.
+	DefaultSelectivity float64
+	// Weights per operation type (cost per row processed); missing
+	// types default to 1.
+	Weights map[xlm.OpType]float64
+}
+
+// DefaultETLCost returns an execution-time model over the catalog
+// with PDI-flavoured operation weights (joins and aggregations cost
+// more per row than projections).
+func DefaultETLCost(cat *sources.Catalog) *ExecutionTimeModel {
+	return &ExecutionTimeModel{
+		Catalog:            cat,
+		DefaultSelectivity: 0.33,
+		Weights: map[xlm.OpType]float64{
+			xlm.OpDatastore:    0.5,
+			xlm.OpExtraction:   0.5,
+			xlm.OpSelection:    1,
+			xlm.OpProjection:   0.8,
+			xlm.OpFunction:     1.2,
+			xlm.OpJoin:         2.5,
+			xlm.OpAggregation:  2,
+			xlm.OpUnion:        0.5,
+			xlm.OpSort:         2,
+			xlm.OpSurrogateKey: 1.5,
+			xlm.OpLoader:       1.5,
+		},
+	}
+}
+
+// columnDistinct finds distinct-value statistics for a physical
+// column name anywhere in the catalog.
+func (m *ExecutionTimeModel) columnDistinct(col string) (int64, bool) {
+	if m.Catalog == nil {
+		return 0, false
+	}
+	for _, st := range m.Catalog.Stores() {
+		for _, rel := range st.Relations() {
+			if rel.HasAttribute(col) {
+				return rel.DistinctValues(col), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Estimate implements ETLCostModel.
+func (m *ExecutionTimeModel) Estimate(d *xlm.Design) (float64, map[string]float64, error) {
+	order, err := d.TopoSort()
+	if err != nil {
+		return 0, nil, err
+	}
+	card := map[string]float64{}
+	var total float64
+	for _, n := range order {
+		inputs := d.Inputs(n.Name)
+		var inRows float64
+		for _, in := range inputs {
+			inRows += card[in.Name]
+		}
+		out, err := m.outputCard(d, n, inputs, card)
+		if err != nil {
+			return 0, nil, err
+		}
+		card[n.Name] = out
+		w, ok := m.Weights[n.Type]
+		if !ok {
+			w = 1
+		}
+		total += w * (inRows + out)
+	}
+	return total, card, nil
+}
+
+func (m *ExecutionTimeModel) outputCard(d *xlm.Design, n *xlm.Node, inputs []*xlm.Node, card map[string]float64) (float64, error) {
+	in := func(i int) float64 { return card[inputs[i].Name] }
+	switch n.Type {
+	case xlm.OpDatastore:
+		if m.Catalog != nil {
+			if st, ok := m.Catalog.Store(n.Param("store")); ok {
+				if rel, ok := st.Relation(n.Param("table")); ok {
+					return float64(rel.Stats.Rows), nil
+				}
+			}
+		}
+		return 1000, nil // unknown source: nominal size
+	case xlm.OpExtraction, xlm.OpSort, xlm.OpFunction, xlm.OpSurrogateKey, xlm.OpProjection, xlm.OpLoader:
+		if len(inputs) == 0 {
+			return 0, fmt.Errorf("quality: %s %q has no input", n.Type, n.Name)
+		}
+		return in(0), nil
+	case xlm.OpSelection:
+		if len(inputs) == 0 {
+			return 0, fmt.Errorf("quality: selection %q has no input", n.Name)
+		}
+		pred, err := n.Predicate()
+		if err != nil {
+			return 0, err
+		}
+		sel := 1.0
+		for _, conj := range expr.Conjuncts(pred) {
+			sel *= m.conjunctSelectivity(conj)
+		}
+		return in(0) * sel, nil
+	case xlm.OpJoin:
+		if len(inputs) != 2 {
+			return 0, fmt.Errorf("quality: join %q needs 2 inputs", n.Name)
+		}
+		pairs, err := n.JoinPairs()
+		if err != nil {
+			return 0, err
+		}
+		// |L⋈R| ≈ |L|·|R| / max(V(L,a), V(R,b)) per pair.
+		size := in(0) * in(1)
+		for _, p := range pairs {
+			dl, okL := m.columnDistinct(p[0])
+			dr, okR := m.columnDistinct(p[1])
+			div := 1.0
+			if okL && float64(dl) > div {
+				div = float64(dl)
+			}
+			if okR && float64(dr) > div {
+				div = float64(dr)
+			}
+			if !okL && !okR {
+				div = maxf(in(0), in(1)) // FK-join heuristic
+			}
+			if div > 0 {
+				size /= div
+			}
+		}
+		return size, nil
+	case xlm.OpAggregation:
+		if len(inputs) == 0 {
+			return 0, fmt.Errorf("quality: aggregation %q has no input", n.Name)
+		}
+		groups := 1.0
+		for _, g := range n.GroupBy() {
+			if dv, ok := m.columnDistinct(g); ok {
+				groups *= float64(dv)
+			} else {
+				groups *= 10
+			}
+		}
+		return minf(groups, in(0)), nil
+	case xlm.OpUnion:
+		var sum float64
+		for i := range inputs {
+			sum += in(i)
+		}
+		return sum, nil
+	}
+	return 0, fmt.Errorf("quality: unknown operation type %q", n.Type)
+}
+
+// conjunctSelectivity estimates one predicate conjunct: equality on a
+// column with known distinct count selects 1/V rows; other shapes get
+// the default.
+func (m *ExecutionTimeModel) conjunctSelectivity(conj expr.Node) float64 {
+	ids := expr.Idents(conj)
+	if len(ids) == 1 {
+		if s := conj.String(); len(s) > 0 {
+			if isEquality(s) {
+				if dv, ok := m.columnDistinct(ids[0]); ok && dv > 0 {
+					return 1 / float64(dv)
+				}
+			}
+		}
+	}
+	return m.DefaultSelectivity
+}
+
+// isEquality detects a top-level '=' (and not '<=', '>=', '<>', '!=')
+// in the printed conjunct.
+func isEquality(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '=' {
+			continue
+		}
+		if i > 0 && (s[i-1] == '<' || s[i-1] == '>' || s[i-1] == '!') {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

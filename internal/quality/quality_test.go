@@ -1,0 +1,193 @@
+package quality
+
+import (
+	"testing"
+
+	"quarry/internal/tpch"
+	"quarry/internal/xlm"
+	"quarry/internal/xmd"
+)
+
+func star(shared bool) *xmd.Schema {
+	s := &xmd.Schema{
+		Name: "s",
+		Facts: []*xmd.Fact{
+			{
+				Name: "f1", Measures: []xmd.Measure{{Name: "m1", Type: "float", Additivity: xmd.AdditivityFlow}},
+				Uses: []xmd.DimensionUse{{Dimension: "D1", Level: "L1"}},
+			},
+			{
+				Name: "f2", Measures: []xmd.Measure{{Name: "m2", Type: "float", Additivity: xmd.AdditivityFlow}},
+			},
+		},
+		Dimensions: []*xmd.Dimension{
+			{Name: "D1", Levels: []*xmd.Level{{Name: "L1"}}},
+			{Name: "D2", Levels: []*xmd.Level{{Name: "L2"}}},
+		},
+	}
+	if shared {
+		s.Facts[1].Uses = []xmd.DimensionUse{{Dimension: "D1", Level: "L1"}}
+	} else {
+		s.Facts[1].Uses = []xmd.DimensionUse{{Dimension: "D2", Level: "L2"}}
+	}
+	return s
+}
+
+func TestStructuralComplexityPrefersConformedDims(t *testing.T) {
+	m := DefaultMDCost()
+	sharedCost := m.Complexity(star(true))
+	splitCost := m.Complexity(star(false))
+	if sharedCost >= splitCost {
+		t.Errorf("shared = %v, split = %v; conformed dimensions must score lower", sharedCost, splitCost)
+	}
+	if m.Complexity(&xmd.Schema{Name: "empty"}) != 0 {
+		t.Error("empty schema should cost 0")
+	}
+}
+
+func TestComplexityMonotonicInElements(t *testing.T) {
+	m := DefaultMDCost()
+	s := star(false)
+	base := m.Complexity(s)
+	s.Dimensions[0].Levels = append(s.Dimensions[0].Levels, &xmd.Level{Name: "extra"})
+	if m.Complexity(s) <= base {
+		t.Error("adding a level must increase complexity")
+	}
+}
+
+// buildFlow constructs a small flow over the TPC-H catalog:
+// lineitem → selection → join supplier → aggregation → load.
+func buildFlow(t *testing.T, withSelection bool) *xlm.Design {
+	t.Helper()
+	d := xlm.NewDesign("cost_test")
+	add := func(n *xlm.Node) {
+		if err := d.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(&xlm.Node{Name: "DS_li", Type: xlm.OpDatastore,
+		Fields: []xlm.Field{{Name: "l_suppkey", Type: "int"}, {Name: "l_extendedprice", Type: "float"}, {Name: "l_returnflag", Type: "string"}},
+		Params: map[string]string{"store": "tpch", "table": "lineitem"}})
+	add(&xlm.Node{Name: "DS_sup", Type: xlm.OpDatastore,
+		Fields: []xlm.Field{{Name: "s_suppkey", Type: "int"}, {Name: "s_name", Type: "string"}},
+		Params: map[string]string{"store": "tpch", "table": "supplier"}})
+	prev := "DS_li"
+	if withSelection {
+		add(&xlm.Node{Name: "SEL", Type: xlm.OpSelection, Params: map[string]string{"predicate": "l_returnflag = 'R'"}})
+		d.AddEdge(prev, "SEL")
+		prev = "SEL"
+	}
+	add(&xlm.Node{Name: "J", Type: xlm.OpJoin, Params: map[string]string{"on": "l_suppkey=s_suppkey"}})
+	d.AddEdge(prev, "J")
+	d.AddEdge("DS_sup", "J")
+	add(&xlm.Node{Name: "AGG", Type: xlm.OpAggregation, Params: map[string]string{"group": "s_name", "aggregates": "x:SUM:l_extendedprice"}})
+	d.AddEdge("J", "AGG")
+	add(&xlm.Node{Name: "LOAD", Type: xlm.OpLoader, Params: map[string]string{"table": "out"}})
+	d.AddEdge("AGG", "LOAD")
+	return d
+}
+
+func TestETLCostEstimates(t *testing.T) {
+	cat, err := tpch.Catalog(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultETLCost(cat)
+	d := buildFlow(t, false)
+	cost, card, err := m.Estimate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Fatal("non-positive cost")
+	}
+	// Source cardinalities come from the catalog.
+	if card["DS_li"] != 6000 {
+		t.Errorf("lineitem card = %v", card["DS_li"])
+	}
+	if card["DS_sup"] != 10 {
+		t.Errorf("supplier card = %v", card["DS_sup"])
+	}
+	// FK join lineitem⋈supplier keeps ~|lineitem| rows.
+	if card["J"] < 5000 || card["J"] > 7000 {
+		t.Errorf("join card = %v", card["J"])
+	}
+	// Aggregation output bounded by group distinct values.
+	if card["AGG"] > card["J"] {
+		t.Errorf("aggregation grew: %v > %v", card["AGG"], card["J"])
+	}
+}
+
+func TestETLCostSelectionReducesCost(t *testing.T) {
+	cat, err := tpch.Catalog(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultETLCost(cat)
+	withSel := buildFlow(t, true)
+	withoutSel := buildFlow(t, false)
+	cWith, cardWith, err := m.Estimate(withSel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cWithout, _, err := m.Estimate(withoutSel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equality on l_returnflag (3 distinct) → join sees ~1/3 rows;
+	// downstream cost drops despite the extra operation.
+	if cardWith["SEL"] < 1500 || cardWith["SEL"] > 2500 {
+		t.Errorf("selection card = %v, want ~2000", cardWith["SEL"])
+	}
+	if cWith >= cWithout {
+		t.Errorf("selective flow cost %v >= unselective %v", cWith, cWithout)
+	}
+}
+
+func TestCostOnCyclicDesignFails(t *testing.T) {
+	cat, _ := tpch.Catalog(1)
+	m := DefaultETLCost(cat)
+	d := buildFlow(t, false)
+	// No cycle possible through public API; simulate unknown op cost
+	// path instead: estimate a valid design twice for determinism.
+	c1, _, err := m.Estimate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := m.Estimate(d)
+	if err != nil || c1 != c2 {
+		t.Errorf("estimate not deterministic: %v vs %v (%v)", c1, c2, err)
+	}
+}
+
+func TestUnknownSourceGetsNominalCardinality(t *testing.T) {
+	m := DefaultETLCost(nil)
+	d := xlm.NewDesign("nocat")
+	d.AddNode(&xlm.Node{Name: "DS", Type: xlm.OpDatastore,
+		Fields: []xlm.Field{{Name: "a", Type: "int"}},
+		Params: map[string]string{"table": "mystery"}})
+	d.AddNode(&xlm.Node{Name: "LOAD", Type: xlm.OpLoader, Params: map[string]string{"table": "out"}})
+	d.AddEdge("DS", "LOAD")
+	_, card, err := m.Estimate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card["DS"] != 1000 {
+		t.Errorf("nominal card = %v", card["DS"])
+	}
+}
+
+func TestIsEquality(t *testing.T) {
+	for s, want := range map[string]bool{
+		"a = 1":  true,
+		"a <= 1": false,
+		"a >= 1": false,
+		"a <> 1": false,
+		"a != 1": false,
+		"a < 1":  false,
+	} {
+		if got := isEquality(s); got != want {
+			t.Errorf("isEquality(%q) = %v", s, got)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package repo
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"quarry/internal/tpch"
+	"quarry/internal/xlm"
+	"quarry/internal/xmd"
+)
+
+func TestInsertGetDelete(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Collection("things")
+	id, err := c.Insert(Doc{"name": "a", "n": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == "" {
+		t.Fatal("no id assigned")
+	}
+	d, ok := c.Get(id)
+	if !ok || d["name"] != "a" {
+		t.Fatalf("Get = %v, %v", d, ok)
+	}
+	// Returned docs are copies.
+	d["name"] = "mutated"
+	d2, _ := c.Get(id)
+	if d2["name"] != "a" {
+		t.Error("Get returned shared state")
+	}
+	if !c.Delete(id) {
+		t.Error("Delete failed")
+	}
+	if c.Delete(id) {
+		t.Error("double delete succeeded")
+	}
+	if c.Count() != 0 {
+		t.Errorf("count = %d", c.Count())
+	}
+}
+
+func TestExplicitIDsAndDuplicates(t *testing.T) {
+	s, _ := Open("")
+	c := s.Collection("x")
+	if _, err := c.Insert(Doc{"_id": "custom"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(Doc{"_id": "custom"}); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	c.Put("custom", Doc{"v": 2}) // replace
+	d, _ := c.Get("custom")
+	if v, _ := toFloat(d["v"]); v != 2 {
+		t.Errorf("Put did not replace: %v", d)
+	}
+	if c.Count() != 1 {
+		t.Errorf("count = %d", c.Count())
+	}
+}
+
+func TestFindDottedPaths(t *testing.T) {
+	s, _ := Open("")
+	c := s.Collection("designs")
+	c.Insert(Doc{"design": map[string]any{"metadata": map[string]any{"requirement": "IR1"}}, "kind": "etl"})
+	c.Insert(Doc{"design": map[string]any{"metadata": map[string]any{"requirement": "IR2"}}, "kind": "etl"})
+	c.Insert(Doc{"kind": "md"})
+	got := c.Find(map[string]any{"design.metadata.requirement": "IR1"})
+	if len(got) != 1 {
+		t.Fatalf("Find = %d docs", len(got))
+	}
+	if len(c.Find(map[string]any{"kind": "etl"})) != 2 {
+		t.Error("Find by kind failed")
+	}
+	if len(c.Find(map[string]any{"kind": "etl", "design.metadata.requirement": "IR2"})) != 1 {
+		t.Error("conjunctive Find failed")
+	}
+	if len(c.Find(map[string]any{"ghost.path": 1})) != 0 {
+		t.Error("Find on missing path matched")
+	}
+}
+
+func TestNumericLaxity(t *testing.T) {
+	s, _ := Open("")
+	c := s.Collection("n")
+	c.Insert(Doc{"v": 42})
+	if len(c.Find(map[string]any{"v": float64(42)})) != 1 {
+		t.Error("int/float equality failed")
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s1.Collection("artifacts")
+	c.Insert(Doc{"name": "a", "nested": map[string]any{"k": "v"}})
+	c.Insert(Doc{"name": "b"})
+	if err := s1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "artifacts.json")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := s2.Collection("artifacts")
+	if c2.Count() != 2 {
+		t.Fatalf("reloaded count = %d", c2.Count())
+	}
+	got := c2.Find(map[string]any{"nested.k": "v"})
+	if len(got) != 1 || got[0]["name"] != "a" {
+		t.Errorf("reloaded find = %v", got)
+	}
+	// New inserts after reload do not collide with loaded ids.
+	if _, err := c2.Insert(Doc{"name": "c"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenCorruptCollection(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "bad.json"), []byte("not json"), 0o644)
+	if _, err := Open(dir); err == nil {
+		t.Error("corrupt collection accepted")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, _ := Open("")
+	c := s.Collection("conc")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c.Insert(Doc{"w": i})
+				c.Find(map[string]any{"w": i})
+				c.All()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Count() != 400 {
+		t.Errorf("count = %d", c.Count())
+	}
+}
+
+func TestDesignsRepository(t *testing.T) {
+	s, _ := Open("")
+	d := NewDesigns(s)
+	// Requirement round trip.
+	r := tpch.RevenueRequirement()
+	if err := d.SaveRequirement(r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := d.Requirement(r.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != r.ID || len(back.Dimensions) != len(r.Dimensions) || back.Measures[0].Function != r.Measures[0].Function {
+		t.Errorf("requirement changed: %+v", back)
+	}
+	if ids := d.Requirements(); len(ids) != 1 || ids[0] != r.ID {
+		t.Errorf("Requirements = %v", ids)
+	}
+	// MD round trip.
+	md := &xmd.Schema{
+		Name: "m",
+		Facts: []*xmd.Fact{{Name: "f", Measures: []xmd.Measure{{Name: "x", Type: "float", Additivity: xmd.AdditivityFlow}},
+			Uses: []xmd.DimensionUse{{Dimension: "D", Level: "L"}}}},
+		Dimensions: []*xmd.Dimension{{Name: "D", Levels: []*xmd.Level{{Name: "L"}}}},
+	}
+	if err := d.SaveMD("unified", md); err != nil {
+		t.Fatal(err)
+	}
+	md2, err := d.MD("unified")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md2.Stats() != md.Stats() {
+		t.Error("MD schema changed through repository")
+	}
+	// ETL round trip.
+	etl := xlm.NewDesign("e")
+	etl.AddNode(&xlm.Node{Name: "DS", Type: xlm.OpDatastore,
+		Fields: []xlm.Field{{Name: "a", Type: "int"}}, Params: map[string]string{"table": "t"}})
+	etl.AddNode(&xlm.Node{Name: "L", Type: xlm.OpLoader, Params: map[string]string{"table": "out"}})
+	etl.AddEdge("DS", "L")
+	if err := d.SaveETL("unified", etl); err != nil {
+		t.Fatal(err)
+	}
+	etl2, err := d.ETL("unified")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(etl2.Nodes()) != 2 || len(etl2.Edges()) != 1 {
+		t.Error("ETL design changed through repository")
+	}
+	// Deletion (requirement evolution).
+	if !d.DeleteRequirement(r.ID) {
+		t.Error("DeleteRequirement failed")
+	}
+	if _, err := d.Requirement(r.ID); err == nil {
+		t.Error("deleted requirement still loads")
+	}
+	// Missing keys error.
+	if _, err := d.MD("ghost"); err == nil {
+		t.Error("missing MD loaded")
+	}
+}
+
+// TestDesignsJSONFallback verifies the XML-JSON-XML path: when the
+// raw XML payload is dropped, the design is regenerated from its JSON
+// projection.
+func TestDesignsJSONFallback(t *testing.T) {
+	s, _ := Open("")
+	d := NewDesigns(s)
+	r := tpch.RevenueRequirement()
+	if err := d.SaveRequirement(r); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the xml field, leaving only the JSON projection.
+	col := s.Collection("requirements")
+	doc, _ := col.Get(r.ID)
+	delete(doc, "xml")
+	col.Put(r.ID, doc)
+	back, err := d.Requirement(r.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != r.ID || len(back.Measures) != 1 {
+		t.Errorf("JSON-regenerated requirement = %+v", back)
+	}
+	if back.Slicers[0].Value != "SPAIN" {
+		t.Errorf("slicer = %+v", back.Slicers[0])
+	}
+}

@@ -1,0 +1,412 @@
+// Package server exposes Quarry's components over HTTP-based RESTful
+// APIs, mirroring the paper's service-oriented architecture (§2.6):
+// the Requirements Elicitor's exploration endpoints, the requirement
+// lifecycle (add/change/remove with automatic interpretation,
+// integration and validation), access to the unified and partial
+// design solutions in their logical XML formats, and the Design
+// Deployer. Payloads are xRQ/xMD/xLM XML for designs and JSON for
+// everything else.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"quarry/internal/core"
+	"quarry/internal/olap"
+	"quarry/internal/xlm"
+	"quarry/internal/xmd"
+	"quarry/internal/xrq"
+)
+
+// Server serves a Platform.
+type Server struct {
+	p   *core.Platform
+	mux *http.ServeMux
+}
+
+// New wires the routes.
+func New(p *core.Platform) *Server {
+	s := &Server{p: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/health", s.handleHealth)
+	s.mux.HandleFunc("GET /api/ontology/graph", s.handleGraph)
+	s.mux.HandleFunc("GET /api/ontology/search", s.handleSearch)
+	s.mux.HandleFunc("GET /api/elicitor/foci", s.handleFoci)
+	s.mux.HandleFunc("GET /api/elicitor/suggest", s.handleSuggest)
+	s.mux.HandleFunc("GET /api/requirements", s.handleListRequirements)
+	s.mux.HandleFunc("POST /api/requirements", s.handleAddRequirement)
+	s.mux.HandleFunc("GET /api/requirements/{id}", s.handleGetRequirement)
+	s.mux.HandleFunc("PUT /api/requirements/{id}", s.handleChangeRequirement)
+	s.mux.HandleFunc("DELETE /api/requirements/{id}", s.handleRemoveRequirement)
+	s.mux.HandleFunc("GET /api/design/md", s.handleUnifiedMD)
+	s.mux.HandleFunc("GET /api/design/etl", s.handleUnifiedETL)
+	s.mux.HandleFunc("GET /api/design/md/partial/{id}", s.handlePartialMD)
+	s.mux.HandleFunc("GET /api/design/etl/partial/{id}", s.handlePartialETL)
+	s.mux.HandleFunc("GET /api/quality", s.handleQuality)
+	s.mux.HandleFunc("POST /api/deploy", s.handleDeploy)
+	s.mux.HandleFunc("POST /api/run", s.handleRun)
+	s.mux.HandleFunc("GET /api/export/{notation}", s.handleExport)
+	s.mux.HandleFunc("POST /api/olap", s.handleOLAP)
+	return s
+}
+
+// olapRequest is the JSON body of POST /api/olap.
+type olapRequest struct {
+	Fact     string   `json:"fact"`
+	GroupBy  []string `json:"group_by"`
+	Measures []struct {
+		Out  string `json:"out"`
+		Func string `json:"func"`
+		Col  string `json:"col"`
+	} `json:"measures"`
+	Filter string `json:"filter,omitempty"`
+}
+
+type olapResponse struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
+	var body olapRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	oe, err := s.p.OLAP()
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	q := olap.CubeQuery{Fact: body.Fact, GroupBy: body.GroupBy, Filter: body.Filter}
+	for _, m := range body.Measures {
+		q.Measures = append(q.Measures, olap.MeasureSpec{Out: m.Out, Func: m.Func, Col: m.Col})
+	}
+	res, err := oe.Query(q)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	out := olapResponse{Columns: res.Columns, Rows: [][]string{}}
+	for _, row := range res.Rows {
+		vals := make([]string, len(row))
+		for i, v := range row {
+			vals[i] = strings.Trim(v.String(), "'")
+		}
+		out.Rows = append(out.Rows, vals)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	text, err := s.p.ExportFlow(r.PathValue("notation"))
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if strings.Contains(err.Error(), "no exporter") {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, text)
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeXML(w http.ResponseWriter, status int, text string) {
+	w.Header().Set("Content-Type", "application/xml")
+	w.WriteHeader(status)
+	_, _ = io.WriteString(w, text)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.p.Elicitor().Graph())
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing query parameter q"))
+		return
+	}
+	hits := s.p.Elicitor().Search(q)
+	if hits == nil {
+		hits = []string{}
+	}
+	writeJSON(w, http.StatusOK, hits)
+}
+
+func (s *Server) handleFoci(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.p.Elicitor().SuggestFoci())
+}
+
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	focus := r.URL.Query().Get("focus")
+	if focus == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing query parameter focus"))
+		return
+	}
+	sg, err := s.p.Elicitor().Suggest(focus)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sg)
+}
+
+type requirementSummary struct {
+	ID         string `json:"id"`
+	Name       string `json:"name"`
+	Dimensions int    `json:"dimensions"`
+	Measures   int    `json:"measures"`
+	Slicers    int    `json:"slicers"`
+}
+
+func (s *Server) handleListRequirements(w http.ResponseWriter, _ *http.Request) {
+	out := []requirementSummary{}
+	for _, r := range s.p.Requirements() {
+		out = append(out, requirementSummary{
+			ID: r.ID, Name: r.Name,
+			Dimensions: len(r.Dimensions), Measures: len(r.Measures), Slicers: len(r.Slicers),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// changeResponse is the JSON body returned by lifecycle mutations.
+type changeResponse struct {
+	RequirementID string  `json:"requirement_id"`
+	Rederived     bool    `json:"rederived"`
+	MDReused      int     `json:"md_matched_elements,omitempty"`
+	ETLReused     int     `json:"etl_reused,omitempty"`
+	ETLAdded      int     `json:"etl_added,omitempty"`
+	ETLCostAfter  float64 `json:"etl_cost_after,omitempty"`
+}
+
+func changeBody(rep *core.ChangeReport) changeResponse {
+	out := changeResponse{RequirementID: rep.RequirementID, Rederived: rep.Rederived}
+	if rep.MD != nil {
+		out.MDReused = len(rep.MD.MatchedFacts) + len(rep.MD.MatchedDimensions)
+	}
+	if rep.ETL != nil {
+		out.ETLReused = rep.ETL.Reused
+		out.ETLAdded = rep.ETL.Added
+		out.ETLCostAfter = rep.ETL.CostAfter
+	}
+	return out
+}
+
+func (s *Server) readRequirement(w http.ResponseWriter, r *http.Request) (*xrq.Requirement, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	req, err := xrq.Unmarshal(string(body))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	return req, true
+}
+
+func (s *Server) handleAddRequirement(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.readRequirement(w, r)
+	if !ok {
+		return
+	}
+	rep, err := s.p.AddRequirement(req)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if strings.Contains(err.Error(), "already registered") {
+			status = http.StatusConflict
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, changeBody(rep))
+}
+
+func (s *Server) handleGetRequirement(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	for _, req := range s.p.Requirements() {
+		if req.ID == id {
+			text, err := xrq.Marshal(req)
+			if err != nil {
+				writeErr(w, http.StatusInternalServerError, err)
+				return
+			}
+			writeXML(w, http.StatusOK, text)
+			return
+		}
+	}
+	writeErr(w, http.StatusNotFound, fmt.Errorf("requirement %q not registered", id))
+}
+
+func (s *Server) handleChangeRequirement(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.readRequirement(w, r)
+	if !ok {
+		return
+	}
+	if req.ID != r.PathValue("id") {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("body id %q does not match path id %q", req.ID, r.PathValue("id")))
+		return
+	}
+	rep, err := s.p.ChangeRequirement(req)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if strings.Contains(err.Error(), "not registered") {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, changeBody(rep))
+}
+
+func (s *Server) handleRemoveRequirement(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.p.RemoveRequirement(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, changeBody(rep))
+}
+
+func (s *Server) unified(w http.ResponseWriter) (*xmd.Schema, *xlm.Design, bool) {
+	md, etl := s.p.Unified()
+	if md == nil || etl == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no unified design; add requirements first"))
+		return nil, nil, false
+	}
+	return md, etl, true
+}
+
+func (s *Server) handleUnifiedMD(w http.ResponseWriter, _ *http.Request) {
+	md, _, ok := s.unified(w)
+	if !ok {
+		return
+	}
+	text, err := xmd.Marshal(md)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeXML(w, http.StatusOK, text)
+}
+
+func (s *Server) handleUnifiedETL(w http.ResponseWriter, _ *http.Request) {
+	_, etl, ok := s.unified(w)
+	if !ok {
+		return
+	}
+	text, err := xlm.Marshal(etl)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeXML(w, http.StatusOK, text)
+}
+
+func (s *Server) handlePartialMD(w http.ResponseWriter, r *http.Request) {
+	pd, ok := s.p.Partial(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("requirement %q not registered", r.PathValue("id")))
+		return
+	}
+	text, err := xmd.Marshal(pd.MD)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeXML(w, http.StatusOK, text)
+}
+
+func (s *Server) handlePartialETL(w http.ResponseWriter, r *http.Request) {
+	pd, ok := s.p.Partial(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("requirement %q not registered", r.PathValue("id")))
+		return
+	}
+	text, err := xlm.Marshal(pd.ETL)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeXML(w, http.StatusOK, text)
+}
+
+func (s *Server) handleQuality(w http.ResponseWriter, _ *http.Request) {
+	cost, err := s.p.EstimatedETLCost()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	sat := s.p.CheckSatisfiability()
+	body := map[string]any{
+		"etl_estimated_cost": cost,
+		"satisfiable":        sat == nil,
+	}
+	if sat != nil {
+		body["satisfiability_error"] = sat.Error()
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	database := r.URL.Query().Get("database")
+	if database == "" {
+		database = "quarry_dw"
+	}
+	dep, err := s.p.Deploy(database)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, dep)
+}
+
+type runResponse struct {
+	Loaded        map[string]int64 `json:"loaded"`
+	RowsProcessed int64            `json:"rows_processed"`
+	ElapsedMicros int64            `json:"elapsed_us"`
+	Operations    int              `json:"operations"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, _ *http.Request) {
+	res, err := s.p.Run()
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponse{
+		Loaded:        res.Loaded,
+		RowsProcessed: res.RowsProcessed(),
+		ElapsedMicros: res.Elapsed.Microseconds(),
+		Operations:    len(res.Stats),
+	})
+}

@@ -1,0 +1,331 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"quarry/internal/core"
+	"quarry/internal/storage"
+	"quarry/internal/tpch"
+	"quarry/internal/xrq"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	o, err := tpch.Ontology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tpch.Mapping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tpch.Catalog(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDB()
+	if _, err := tpch.Generate(db, 1, 42); err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.New(core.Config{Ontology: o, Mapping: m, Catalog: c, DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(p).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, ts *httptest.Server, path string, wantStatus int) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	if _, err := readAll(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d: %s", path, resp.StatusCode, wantStatus, buf.String())
+	}
+	return []byte(buf.String())
+}
+
+func readAll(buf *strings.Builder, resp *http.Response) (int64, error) {
+	b := make([]byte, 64<<10)
+	var total int64
+	for {
+		n, err := resp.Body.Read(b)
+		buf.Write(b[:n])
+		total += int64(n)
+		if err != nil {
+			if err.Error() == "EOF" {
+				return total, nil
+			}
+			return total, nil
+		}
+	}
+}
+
+func postXML(t *testing.T, ts *httptest.Server, path, body string, wantStatus int) []byte {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/xml", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	readAll(&buf, resp)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s = %d, want %d: %s", path, resp.StatusCode, wantStatus, buf.String())
+	}
+	return []byte(buf.String())
+}
+
+func TestHealthAndExploration(t *testing.T) {
+	ts := newTestServer(t)
+	get(t, ts, "/api/health", http.StatusOK)
+
+	var graph struct {
+		Nodes []struct{ ID string }     `json:"nodes"`
+		Links []struct{ Source string } `json:"links"`
+	}
+	if err := json.Unmarshal(get(t, ts, "/api/ontology/graph", http.StatusOK), &graph); err != nil {
+		t.Fatal(err)
+	}
+	if len(graph.Nodes) != 8 || len(graph.Links) != 8 {
+		t.Errorf("graph = %d nodes %d links", len(graph.Nodes), len(graph.Links))
+	}
+
+	var hits []string
+	if err := json.Unmarshal(get(t, ts, "/api/ontology/search?q=name", http.StatusOK), &hits); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Error("no search hits")
+	}
+	get(t, ts, "/api/ontology/search", http.StatusBadRequest)
+
+	var foci []struct{ Concept string }
+	if err := json.Unmarshal(get(t, ts, "/api/elicitor/foci", http.StatusOK), &foci); err != nil {
+		t.Fatal(err)
+	}
+	if foci[0].Concept != "Lineitem" {
+		t.Errorf("top focus = %v", foci[0])
+	}
+
+	var sg struct {
+		Dimensions []struct{ Concept string }
+	}
+	if err := json.Unmarshal(get(t, ts, "/api/elicitor/suggest?focus=Lineitem", http.StatusOK), &sg); err != nil {
+		t.Fatal(err)
+	}
+	if len(sg.Dimensions) == 0 {
+		t.Error("no dimension suggestions")
+	}
+	get(t, ts, "/api/elicitor/suggest?focus=Ghost", http.StatusNotFound)
+	get(t, ts, "/api/elicitor/suggest", http.StatusBadRequest)
+}
+
+func TestRequirementLifecycleOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	revenueXML, err := xrq.Marshal(tpch.RevenueRequirement())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No designs yet.
+	get(t, ts, "/api/design/md", http.StatusNotFound)
+
+	// Add.
+	body := postXML(t, ts, "/api/requirements", revenueXML, http.StatusCreated)
+	var change struct {
+		RequirementID string `json:"requirement_id"`
+		ETLAdded      int    `json:"etl_added"`
+	}
+	if err := json.Unmarshal(body, &change); err != nil {
+		t.Fatal(err)
+	}
+	if change.RequirementID != "IR_revenue" || change.ETLAdded == 0 {
+		t.Errorf("change = %+v", change)
+	}
+
+	// Duplicate → 409.
+	postXML(t, ts, "/api/requirements", revenueXML, http.StatusConflict)
+
+	// Malformed body → 400.
+	postXML(t, ts, "/api/requirements", "not xml", http.StatusBadRequest)
+
+	// Invalid requirement → 422.
+	bad := &xrq.Requirement{
+		ID:         "IR_bad",
+		Dimensions: []xrq.Dimension{{Concept: "Lineitem.l_returnflag"}},
+		Measures:   []xrq.Measure{{ID: "m", Function: "Orders.o_totalprice"}},
+	}
+	badXML, _ := xrq.Marshal(bad)
+	postXML(t, ts, "/api/requirements", badXML, http.StatusUnprocessableEntity)
+
+	// List.
+	var list []struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(get(t, ts, "/api/requirements", http.StatusOK), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != "IR_revenue" {
+		t.Errorf("list = %v", list)
+	}
+
+	// Fetch back as xRQ.
+	xml := string(get(t, ts, "/api/requirements/IR_revenue", http.StatusOK))
+	if !strings.Contains(xml, `<cube id="IR_revenue"`) {
+		t.Errorf("xRQ = %s", xml)
+	}
+	get(t, ts, "/api/requirements/ghost", http.StatusNotFound)
+
+	// Unified designs as XML.
+	md := string(get(t, ts, "/api/design/md", http.StatusOK))
+	if !strings.Contains(md, "<MDschema") || !strings.Contains(md, "fact_table_revenue") {
+		t.Errorf("md = %s", md)
+	}
+	etl := string(get(t, ts, "/api/design/etl", http.StatusOK))
+	if !strings.Contains(etl, "<design") {
+		t.Errorf("etl = %s", etl)
+	}
+	get(t, ts, "/api/design/md/partial/IR_revenue", http.StatusOK)
+	get(t, ts, "/api/design/etl/partial/IR_revenue", http.StatusOK)
+	get(t, ts, "/api/design/md/partial/ghost", http.StatusNotFound)
+
+	// Quality factors.
+	var q struct {
+		Cost        float64 `json:"etl_estimated_cost"`
+		Satisfiable bool    `json:"satisfiable"`
+	}
+	if err := json.Unmarshal(get(t, ts, "/api/quality", http.StatusOK), &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Cost <= 0 || !q.Satisfiable {
+		t.Errorf("quality = %+v", q)
+	}
+
+	// Deploy.
+	dep := postXML(t, ts, "/api/deploy?database=demo", "", http.StatusOK)
+	var depBody struct {
+		DDL string `json:"DDL"`
+		PDI string `json:"PDI"`
+	}
+	if err := json.Unmarshal(dep, &depBody); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(depBody.DDL, "CREATE TABLE") || !strings.Contains(depBody.PDI, "<transformation>") {
+		t.Error("deployment artifacts missing")
+	}
+
+	// Run.
+	run := postXML(t, ts, "/api/run", "", http.StatusOK)
+	var runBody struct {
+		Loaded map[string]int64 `json:"loaded"`
+	}
+	if err := json.Unmarshal(run, &runBody); err != nil {
+		t.Fatal(err)
+	}
+	if runBody.Loaded["fact_table_revenue"] == 0 {
+		t.Errorf("run = %+v", runBody)
+	}
+
+	// Run first, then ask an OLAP question over the deployed DW.
+	postXML(t, ts, "/api/run", "", http.StatusOK)
+	olapBody := `{"fact":"fact_table_revenue","group_by":["n_name"],` +
+		`"measures":[{"out":"total","func":"SUM","col":"revenue"}]}`
+	resp2, err := http.Post(ts.URL+"/api/olap", "application/json", strings.NewReader(olapBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var olapOut struct {
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("POST /api/olap = %d", resp2.StatusCode)
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&olapOut); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if len(olapOut.Rows) != 1 || olapOut.Rows[0][0] != "SPAIN" {
+		t.Errorf("olap rows = %v", olapOut.Rows)
+	}
+	// Malformed OLAP bodies.
+	resp3, _ := http.Post(ts.URL+"/api/olap", "application/json", strings.NewReader("not json"))
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad olap body = %d", resp3.StatusCode)
+	}
+	resp3.Body.Close()
+
+	// Export notations.
+	sql := string(get(t, ts, "/api/export/sql", http.StatusOK))
+	if !strings.Contains(sql, "INSERT INTO") {
+		t.Error("SQL export malformed")
+	}
+	pig := string(get(t, ts, "/api/export/pig", http.StatusOK))
+	if !strings.Contains(pig, "STORE") {
+		t.Error("Pig export malformed")
+	}
+	get(t, ts, "/api/export/cobol", http.StatusNotFound)
+
+	// Change (PUT) with mismatched id → 400.
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/api/requirements/other", strings.NewReader(revenueXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("PUT mismatch = %d", resp.StatusCode)
+	}
+
+	// Change slicer to France.
+	changed := tpch.RevenueRequirement()
+	changed.Slicers[0].Value = "FRANCE"
+	changedXML, _ := xrq.Marshal(changed)
+	req, _ = http.NewRequest(http.MethodPut, ts.URL+"/api/requirements/IR_revenue", strings.NewReader(changedXML))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("PUT = %d", resp.StatusCode)
+	}
+	etl2 := string(get(t, ts, "/api/design/etl", http.StatusOK))
+	if !strings.Contains(etl2, "FRANCE") {
+		t.Error("change not reflected in unified ETL")
+	}
+
+	// Delete.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/api/requirements/IR_revenue", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("DELETE = %d", resp.StatusCode)
+	}
+	var empty []any
+	if err := json.Unmarshal(get(t, ts, "/api/requirements", http.StatusOK), &empty); err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Errorf("requirements after delete = %v", empty)
+	}
+}

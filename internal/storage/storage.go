@@ -1,0 +1,260 @@
+// Package storage implements the embedded relational store Quarry
+// uses on both ends of an ETL run: it hosts the source relations the
+// flows extract from and the deployed data-warehouse tables the flows
+// load into. It stands in for the PostgreSQL instance of the paper's
+// demonstration (the Design Deployer additionally emits real
+// PostgreSQL DDL text via internal/sqlgen).
+//
+// The store is a typed, in-memory, mutex-guarded table heap: exactly
+// what the engine and the benchmarks need, with none of the server
+// machinery that would be irrelevant to the reproduction.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"quarry/internal/expr"
+)
+
+// Column is a typed column of a table.
+type Column struct {
+	Name string
+	Type string // "int", "float", "string", "bool"
+}
+
+// Row is one tuple; positions match the table's columns.
+type Row []expr.Value
+
+// Table is a typed row heap.
+type Table struct {
+	Name    string
+	Columns []Column
+
+	mu   sync.RWMutex
+	rows []Row
+	by   map[string]int
+}
+
+func newTable(name string, cols []Column) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("storage: empty table name")
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("storage: table %q has no columns", name)
+	}
+	t := &Table{Name: name, Columns: append([]Column(nil), cols...), by: map[string]int{}}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("storage: table %q has an unnamed column", name)
+		}
+		if _, dup := t.by[c.Name]; dup {
+			return nil, fmt.Errorf("storage: table %q repeats column %q", name, c.Name)
+		}
+		switch c.Type {
+		case "int", "float", "string", "bool":
+		default:
+			return nil, fmt.Errorf("storage: table %q column %q has unknown type %q", name, c.Name, c.Type)
+		}
+		t.by[c.Name] = i
+	}
+	return t, nil
+}
+
+// ColumnIndex returns the position of a column.
+func (t *Table) ColumnIndex(name string) (int, bool) {
+	i, ok := t.by[name]
+	return i, ok
+}
+
+// checkRow verifies arity and value kinds against column types.
+// Integers are accepted into float columns (widened on the way in).
+func (t *Table) checkRow(r Row) (Row, error) {
+	if len(r) != len(t.Columns) {
+		return nil, fmt.Errorf("storage: table %q expects %d values, got %d", t.Name, len(t.Columns), len(r))
+	}
+	out := make(Row, len(r))
+	for i, v := range r {
+		c := t.Columns[i]
+		if v.IsNull() {
+			out[i] = v
+			continue
+		}
+		switch c.Type {
+		case "int":
+			if v.Kind() != expr.KindInt {
+				return nil, typeErr(t.Name, c, v)
+			}
+		case "float":
+			switch v.Kind() {
+			case expr.KindFloat:
+			case expr.KindInt:
+				f, _ := v.AsFloat()
+				v = expr.Float(f)
+			default:
+				return nil, typeErr(t.Name, c, v)
+			}
+		case "string":
+			if v.Kind() != expr.KindString {
+				return nil, typeErr(t.Name, c, v)
+			}
+		case "bool":
+			if v.Kind() != expr.KindBool {
+				return nil, typeErr(t.Name, c, v)
+			}
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func typeErr(table string, c Column, v expr.Value) error {
+	return fmt.Errorf("storage: table %q column %q (%s) rejects %s value %s", table, c.Name, c.Type, v.Kind(), v)
+}
+
+// Insert appends one row.
+func (t *Table) Insert(r Row) error {
+	checked, err := t.checkRow(r)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.rows = append(t.rows, checked)
+	t.mu.Unlock()
+	return nil
+}
+
+// InsertAll appends many rows, failing atomically on the first bad
+// row (nothing is inserted).
+func (t *Table) InsertAll(rows []Row) error {
+	checked := make([]Row, len(rows))
+	for i, r := range rows {
+		c, err := t.checkRow(r)
+		if err != nil {
+			return err
+		}
+		checked[i] = c
+	}
+	t.mu.Lock()
+	t.rows = append(t.rows, checked...)
+	t.mu.Unlock()
+	return nil
+}
+
+// NumRows reports the row count.
+func (t *Table) NumRows() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return int64(len(t.rows))
+}
+
+// Scan calls fn for every row. The row slice must not be retained or
+// mutated. Scanning holds a read lock; fn must not write to the same
+// table.
+func (t *Table) Scan(fn func(Row) error) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.rows {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rows returns a copy of all rows; for tests and small results.
+func (t *Table) Rows() []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Row, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append(Row(nil), r...)
+	}
+	return out
+}
+
+// Truncate deletes all rows.
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	t.rows = nil
+	t.mu.Unlock()
+}
+
+// DB is a named collection of tables.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	order  []string
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB {
+	return &DB{tables: map[string]*Table{}}
+}
+
+// CreateTable creates a table; it fails if the name exists.
+func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
+	t, err := newTable(name, cols)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("storage: table %q already exists", name)
+	}
+	db.tables[name] = t
+	db.order = append(db.order, name)
+	return t, nil
+}
+
+// CreateOrReplaceTable creates the table, dropping any previous
+// version — the loaders' "replace" mode.
+func (db *DB) CreateOrReplaceTable(name string, cols []Column) (*Table, error) {
+	t, err := newTable(name, cols)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[name]; !exists {
+		db.order = append(db.order, name)
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Drop removes a table.
+func (db *DB) Drop(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("storage: table %q does not exist", name)
+	}
+	delete(db.tables, name)
+	for i, n := range db.order {
+		if n == name {
+			db.order = append(db.order[:i], db.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Table looks a table up by name.
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// TableNames returns all table names, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := append([]string(nil), db.order...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,151 @@
+package tpch
+
+import (
+	"fmt"
+
+	"quarry/internal/xrq"
+)
+
+// RevenueRequirement is the information requirement of the paper's
+// Figure 4: analyse the (average) revenue per part and supplier, for
+// parts ordered from Spain.
+func RevenueRequirement() *xrq.Requirement {
+	return &xrq.Requirement{
+		ID:   "IR_revenue",
+		Name: "revenue per part and supplier, from Spain",
+		Dimensions: []xrq.Dimension{
+			{Concept: "Part.p_name"},
+			{Concept: "Supplier.s_name"},
+		},
+		Measures: []xrq.Measure{{
+			ID:       "revenue",
+			Function: "Lineitem.l_extendedprice * (1 - Lineitem.l_discount)",
+		}},
+		Slicers: []xrq.Slicer{{Concept: "Nation.n_name", Operator: "=", Value: "SPAIN"}},
+		Aggs: []xrq.Aggregation{
+			{Order: 1, Dimension: "Part.p_name", Measure: "revenue", Function: xrq.AggAvg},
+			{Order: 1, Dimension: "Supplier.s_name", Measure: "revenue", Function: xrq.AggAvg},
+		},
+	}
+}
+
+// NetProfitRequirement is the second requirement shown in Figure 3
+// (fact_table_netprofit): potential net profit of the stocked parts
+// per part and supplier, again for Spain — its ETL flow shares the
+// partsupp/supplier/nation pipeline with the revenue flow, which is
+// what the Design Integrator exploits.
+func NetProfitRequirement() *xrq.Requirement {
+	return &xrq.Requirement{
+		ID:   "IR_netprofit",
+		Name: "net profit per part and supplier, from Spain",
+		Dimensions: []xrq.Dimension{
+			{Concept: "Part.p_name"},
+			{Concept: "Supplier.s_name"},
+		},
+		Measures: []xrq.Measure{{
+			ID:       "netprofit",
+			Function: "(Part.p_retailprice - Partsupp.ps_supplycost) * Partsupp.ps_availqty",
+		}},
+		Slicers: []xrq.Slicer{{Concept: "Nation.n_name", Operator: "=", Value: "SPAIN"}},
+		Aggs: []xrq.Aggregation{
+			{Order: 1, Dimension: "Part.p_name", Measure: "netprofit", Function: xrq.AggSum},
+			{Order: 1, Dimension: "Supplier.s_name", Measure: "netprofit", Function: xrq.AggSum},
+		},
+	}
+}
+
+// QuantityByMarketRequirement analyses shipped quantity per customer
+// market segment and order priority; it exercises the
+// Lineitem→Orders→Customer path.
+func QuantityByMarketRequirement() *xrq.Requirement {
+	return &xrq.Requirement{
+		ID:   "IR_quantity_market",
+		Name: "shipped quantity per market segment and priority",
+		Dimensions: []xrq.Dimension{
+			{Concept: "Customer.c_mktsegment"},
+			{Concept: "Orders.o_orderpriority"},
+		},
+		Measures: []xrq.Measure{{ID: "quantity", Function: "Lineitem.l_quantity"}},
+		Aggs: []xrq.Aggregation{
+			{Order: 1, Dimension: "Customer.c_mktsegment", Measure: "quantity", Function: xrq.AggSum},
+		},
+	}
+}
+
+// SupplyCostRequirement analyses stocked supply cost per supplier
+// nation; a Partsupp-rooted requirement with a Region dimension.
+func SupplyCostRequirement() *xrq.Requirement {
+	return &xrq.Requirement{
+		ID:   "IR_supplycost",
+		Name: "supply cost per nation and region",
+		Dimensions: []xrq.Dimension{
+			{Concept: "Nation.n_name"},
+			{Concept: "Region.r_name"},
+		},
+		Measures: []xrq.Measure{{ID: "supplycost", Function: "Partsupp.ps_supplycost * Partsupp.ps_availqty"}},
+		Aggs: []xrq.Aggregation{
+			{Order: 1, Dimension: "Nation.n_name", Measure: "supplycost", Function: xrq.AggSum},
+		},
+	}
+}
+
+// CanonicalRequirements returns the requirement set used by the demo
+// scenarios, in presentation order.
+func CanonicalRequirements() []*xrq.Requirement {
+	return []*xrq.Requirement{
+		RevenueRequirement(),
+		NetProfitRequirement(),
+		QuantityByMarketRequirement(),
+		SupplyCostRequirement(),
+	}
+}
+
+// GenerateRequirements synthesises n distinct, valid requirements by
+// sweeping measure/dimension/slicer templates; used by the scalability
+// benchmarks (incremental integration over many requirements).
+func GenerateRequirements(n int) []*xrq.Requirement {
+	type tmpl struct {
+		measure string
+		formula string
+		agg     xrq.AggFunc
+	}
+	measures := []tmpl{
+		{"revenue", "Lineitem.l_extendedprice * (1 - Lineitem.l_discount)", xrq.AggSum},
+		{"quantity", "Lineitem.l_quantity", xrq.AggSum},
+		{"charged", "Lineitem.l_extendedprice * (1 + Lineitem.l_tax)", xrq.AggSum},
+		{"avg_discount", "Lineitem.l_discount", xrq.AggAvg},
+	}
+	dims := [][]string{
+		{"Part.p_name"},
+		{"Supplier.s_name"},
+		{"Part.p_brand", "Supplier.s_name"},
+		{"Nation.n_name"},
+		{"Customer.c_mktsegment"},
+		{"Orders.o_orderpriority", "Nation.n_name"},
+		{"Region.r_name"},
+		{"Part.p_type", "Region.r_name"},
+	}
+	slicers := [][]xrq.Slicer{
+		nil,
+		{{Concept: "Nation.n_name", Operator: "=", Value: "SPAIN"}},
+		{{Concept: "Lineitem.l_discount", Operator: ">", Value: "0.02"}},
+		{{Concept: "Nation.n_name", Operator: "=", Value: "FRANCE"}},
+	}
+	out := make([]*xrq.Requirement, 0, n)
+	for i := 0; i < n; i++ {
+		m := measures[i%len(measures)]
+		ds := dims[i%len(dims)]
+		r := &xrq.Requirement{
+			ID:   fmt.Sprintf("IR_gen_%03d", i),
+			Name: fmt.Sprintf("generated requirement %d: %s by %v", i, m.measure, ds),
+		}
+		for _, d := range ds {
+			r.Dimensions = append(r.Dimensions, xrq.Dimension{Concept: d})
+		}
+		r.Measures = []xrq.Measure{{ID: m.measure, Function: m.formula}}
+		r.Slicers = append(r.Slicers, slicers[i%len(slicers)]...)
+		r.Aggs = []xrq.Aggregation{{Order: 1, Dimension: ds[0], Measure: m.measure, Function: m.agg}}
+		out = append(out, r)
+	}
+	return out
+}

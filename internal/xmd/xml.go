@@ -1,0 +1,181 @@
+package xmd
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The xMD XML dialect follows the paper's Figure 3/4 snippets:
+//
+//	<MDschema name="demo">
+//	  <facts>
+//	    <fact>
+//	      <name>fact_table_revenue</name>
+//	      <concept>Lineitem</concept>
+//	      <measures>
+//	        <measure name="revenue" type="float" additivity="flow">
+//	          <formula>Lineitem.l_extendedprice * (1 - Lineitem.l_discount)</formula>
+//	        </measure>
+//	      </measures>
+//	      <uses>
+//	        <use dimension="Part" level="Part"/>
+//	      </uses>
+//	    </fact>
+//	  </facts>
+//	  <dimensions>
+//	    <dimension name="Part">
+//	      <level name="Part" concept="Part" key="p_name">
+//	        <descriptor name="p_name" type="string" attr="Part.p_name"/>
+//	      </level>
+//	      <rollup from="Part" to="Brand"/>
+//	    </dimension>
+//	  </dimensions>
+//	</MDschema>
+
+type xmlSchema struct {
+	XMLName    xml.Name       `xml:"MDschema"`
+	Name       string         `xml:"name,attr"`
+	Facts      []xmlFact      `xml:"facts>fact"`
+	Dimensions []xmlDimension `xml:"dimensions>dimension"`
+}
+
+type xmlFact struct {
+	Name     string       `xml:"name"`
+	Concept  string       `xml:"concept,omitempty"`
+	Measures []xmlMeasure `xml:"measures>measure"`
+	Uses     []xmlUse     `xml:"uses>use"`
+}
+
+type xmlMeasure struct {
+	Name       string `xml:"name,attr"`
+	Type       string `xml:"type,attr"`
+	Additivity string `xml:"additivity,attr,omitempty"`
+	Formula    string `xml:"formula,omitempty"`
+}
+
+type xmlUse struct {
+	Dimension string `xml:"dimension,attr"`
+	Level     string `xml:"level,attr"`
+}
+
+type xmlDimension struct {
+	Name     string      `xml:"name,attr"`
+	Temporal bool        `xml:"temporal,attr,omitempty"`
+	Levels   []xmlLevel  `xml:"level"`
+	Rollups  []xmlRollup `xml:"rollup"`
+}
+
+type xmlLevel struct {
+	Name        string          `xml:"name,attr"`
+	Concept     string          `xml:"concept,attr,omitempty"`
+	Key         string          `xml:"key,attr,omitempty"`
+	Descriptors []xmlDescriptor `xml:"descriptor"`
+}
+
+type xmlDescriptor struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr"`
+	Attr string `xml:"attr,attr,omitempty"`
+}
+
+type xmlRollup struct {
+	From string `xml:"from,attr"`
+	To   string `xml:"to,attr"`
+}
+
+// Write serialises the schema as xMD XML.
+func Write(w io.Writer, s *Schema) error {
+	doc := xmlSchema{Name: s.Name}
+	for _, f := range s.Facts {
+		xf := xmlFact{Name: f.Name, Concept: f.Concept}
+		for _, m := range f.Measures {
+			xf.Measures = append(xf.Measures, xmlMeasure{
+				Name: m.Name, Type: m.Type, Additivity: string(m.Additivity), Formula: m.Formula,
+			})
+		}
+		for _, u := range f.Uses {
+			xf.Uses = append(xf.Uses, xmlUse{Dimension: u.Dimension, Level: u.Level})
+		}
+		doc.Facts = append(doc.Facts, xf)
+	}
+	for _, d := range s.Dimensions {
+		xd := xmlDimension{Name: d.Name, Temporal: d.Temporal}
+		for _, l := range d.Levels {
+			xl := xmlLevel{Name: l.Name, Concept: l.Concept, Key: l.Key}
+			for _, desc := range l.Descriptors {
+				xl.Descriptors = append(xl.Descriptors, xmlDescriptor{Name: desc.Name, Type: desc.Type, Attr: desc.Attr})
+			}
+			xd.Levels = append(xd.Levels, xl)
+		}
+		for _, r := range d.Rollups {
+			xd.Rollups = append(xd.Rollups, xmlRollup{From: r.From, To: r.To})
+		}
+		doc.Dimensions = append(doc.Dimensions, xd)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("xmd: encode: %w", err)
+	}
+	return enc.Flush()
+}
+
+// Marshal returns the xMD XML text of a schema.
+func Marshal(s *Schema) (string, error) {
+	var b strings.Builder
+	if err := Write(&b, s); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Read parses an xMD document. Call Schema.Validate afterwards to
+// enforce the MD integrity constraints.
+func Read(rd io.Reader) (*Schema, error) {
+	var doc xmlSchema
+	if err := xml.NewDecoder(rd).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("xmd: decode: %w", err)
+	}
+	s := &Schema{Name: doc.Name}
+	for _, xf := range doc.Facts {
+		f := &Fact{Name: strings.TrimSpace(xf.Name), Concept: strings.TrimSpace(xf.Concept)}
+		for _, xm := range xf.Measures {
+			add, err := ParseAdditivity(xm.Additivity)
+			if err != nil {
+				return nil, err
+			}
+			f.Measures = append(f.Measures, Measure{
+				Name: xm.Name, Type: xm.Type, Additivity: add, Formula: strings.TrimSpace(xm.Formula),
+			})
+		}
+		for _, xu := range xf.Uses {
+			f.Uses = append(f.Uses, DimensionUse{Dimension: xu.Dimension, Level: xu.Level})
+		}
+		s.Facts = append(s.Facts, f)
+	}
+	for _, xd := range doc.Dimensions {
+		d := &Dimension{Name: xd.Name, Temporal: xd.Temporal}
+		for _, xl := range xd.Levels {
+			l := &Level{Name: xl.Name, Concept: xl.Concept, Key: xl.Key}
+			for _, xdesc := range xl.Descriptors {
+				l.Descriptors = append(l.Descriptors, Descriptor{Name: xdesc.Name, Type: xdesc.Type, Attr: xdesc.Attr})
+			}
+			d.Levels = append(d.Levels, l)
+		}
+		for _, xr := range xd.Rollups {
+			d.Rollups = append(d.Rollups, Rollup{From: xr.From, To: xr.To})
+		}
+		s.Dimensions = append(s.Dimensions, d)
+	}
+	return s, nil
+}
+
+// Unmarshal parses xMD XML text.
+func Unmarshal(src string) (*Schema, error) {
+	return Read(strings.NewReader(src))
+}

@@ -1,0 +1,212 @@
+// Package xmljson implements the generic XML-JSON-XML parser of
+// Quarry's Communication & Metadata layer (§2.6): the paper stores
+// the XML-based logical formats (xRQ, xMD, xLM) in a JSON document
+// repository, converting on the way in and out.
+//
+// XML maps to JSON as follows: an element becomes an object; its
+// attributes become "@name" keys; its character data becomes "#text";
+// child elements become keys named after their tag — a single child
+// maps to an object, repeated children to an array. The reverse
+// conversion emits attributes, text, then children (child tags in
+// sorted order, so output is deterministic; sibling order among
+// same-tag children is preserved through the array).
+package xmljson
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Doc is a decoded document: map of root tag → element object.
+type Doc = map[string]any
+
+// Decode parses XML into its JSON-shaped representation.
+func Decode(r io.Reader) (Doc, error) {
+	dec := xml.NewDecoder(r)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil, fmt.Errorf("xmljson: no root element")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmljson: %w", err)
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		elem, err := decodeElement(dec, start)
+		if err != nil {
+			return nil, err
+		}
+		return Doc{start.Name.Local: elem}, nil
+	}
+}
+
+// DecodeString parses an XML string.
+func DecodeString(src string) (Doc, error) {
+	return Decode(strings.NewReader(src))
+}
+
+func decodeElement(dec *xml.Decoder, start xml.StartElement) (map[string]any, error) {
+	obj := map[string]any{}
+	for _, a := range start.Attr {
+		obj["@"+a.Name.Local] = a.Value
+	}
+	var text strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("xmljson: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			child, err := decodeElement(dec, t)
+			if err != nil {
+				return nil, err
+			}
+			name := t.Name.Local
+			switch existing := obj[name].(type) {
+			case nil:
+				obj[name] = child
+			case []any:
+				obj[name] = append(existing, child)
+			case map[string]any:
+				obj[name] = []any{existing, child}
+			}
+		case xml.CharData:
+			text.Write(t)
+		case xml.EndElement:
+			if s := strings.TrimSpace(text.String()); s != "" {
+				obj["#text"] = s
+			}
+			return obj, nil
+		}
+	}
+}
+
+// Encode renders the JSON-shaped document back to XML.
+func Encode(w io.Writer, doc Doc) error {
+	if len(doc) != 1 {
+		return fmt.Errorf("xmljson: document must have exactly one root, has %d", len(doc))
+	}
+	var root string
+	for k := range doc {
+		root = k
+	}
+	obj, ok := doc[root].(map[string]any)
+	if !ok {
+		return fmt.Errorf("xmljson: root %q is not an object", root)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := encodeElement(enc, root, obj); err != nil {
+		return err
+	}
+	return enc.Flush()
+}
+
+// EncodeString renders the document to an XML string.
+func EncodeString(doc Doc) (string, error) {
+	var b strings.Builder
+	if err := Encode(&b, doc); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func encodeElement(enc *xml.Encoder, name string, obj map[string]any) error {
+	start := xml.StartElement{Name: xml.Name{Local: name}}
+	var attrKeys []string
+	for k := range obj {
+		if strings.HasPrefix(k, "@") {
+			attrKeys = append(attrKeys, k)
+		}
+	}
+	sort.Strings(attrKeys)
+	for _, k := range attrKeys {
+		v, ok := obj[k].(string)
+		if !ok {
+			return fmt.Errorf("xmljson: attribute %s of <%s> is not a string", k, name)
+		}
+		start.Attr = append(start.Attr, xml.Attr{Name: xml.Name{Local: k[1:]}, Value: v})
+	}
+	if err := enc.EncodeToken(start); err != nil {
+		return err
+	}
+	if txt, ok := obj["#text"].(string); ok {
+		if err := enc.EncodeToken(xml.CharData(txt)); err != nil {
+			return err
+		}
+	}
+	var childKeys []string
+	for k := range obj {
+		if !strings.HasPrefix(k, "@") && k != "#text" {
+			childKeys = append(childKeys, k)
+		}
+	}
+	sort.Strings(childKeys)
+	for _, k := range childKeys {
+		switch v := obj[k].(type) {
+		case map[string]any:
+			if err := encodeElement(enc, k, v); err != nil {
+				return err
+			}
+		case []any:
+			for _, item := range v {
+				child, ok := item.(map[string]any)
+				if !ok {
+					return fmt.Errorf("xmljson: array child %s of <%s> is not an object", k, name)
+				}
+				if err := encodeElement(enc, k, child); err != nil {
+					return err
+				}
+			}
+		case string:
+			// Convenience: plain string children encode as
+			// <k>text</k>.
+			if err := encodeElement(enc, k, map[string]any{"#text": v}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("xmljson: child %s of <%s> has unsupported type %T", k, name, v)
+		}
+	}
+	return enc.EncodeToken(xml.EndElement{Name: xml.Name{Local: name}})
+}
+
+// Equal compares two decoded documents structurally.
+func Equal(a, b any) bool {
+	switch x := a.(type) {
+	case map[string]any:
+		y, ok := b.(map[string]any)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for k, v := range x {
+			if !Equal(v, y[k]) {
+				return false
+			}
+		}
+		return true
+	case []any:
+		y, ok := b.([]any)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !Equal(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return a == b
+	}
+}

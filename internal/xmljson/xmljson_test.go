@@ -1,0 +1,187 @@
+package xmljson
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeBasic(t *testing.T) {
+	doc, err := DecodeString(`<design name="etl">
+	  <metadata><entry key="a" value="1"/></metadata>
+	  <edges>
+	    <edge><from>A</from><to>B</to></edge>
+	    <edge><from>B</from><to>C</to></edge>
+	  </edges>
+	</design>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, ok := doc["design"].(map[string]any)
+	if !ok {
+		t.Fatalf("doc = %v", doc)
+	}
+	if design["@name"] != "etl" {
+		t.Errorf("@name = %v", design["@name"])
+	}
+	edges := design["edges"].(map[string]any)
+	list, ok := edges["edge"].([]any)
+	if !ok || len(list) != 2 {
+		t.Fatalf("edge list = %v", edges["edge"])
+	}
+	first := list[0].(map[string]any)
+	if first["from"].(map[string]any)["#text"] != "A" {
+		t.Errorf("first edge = %v", first)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	for _, src := range []string{"", "not xml", "<unclosed>"} {
+		if _, err := DecodeString(src); err == nil {
+			t.Errorf("DecodeString(%q) succeeded", src)
+		}
+	}
+}
+
+func TestEncodeBasic(t *testing.T) {
+	doc := Doc{
+		"cube": map[string]any{
+			"@id": "IR1",
+			"measures": map[string]any{
+				"concept": []any{
+					map[string]any{"@id": "revenue", "function": map[string]any{"#text": "a * b"}},
+					map[string]any{"@id": "qty"},
+				},
+			},
+		},
+	}
+	out, err := EncodeString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`<cube id="IR1">`, `<concept id="revenue">`, `<function>a * b</function>`, `<concept id="qty">`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	bad := []Doc{
+		{},
+		{"a": map[string]any{}, "b": map[string]any{}},
+		{"a": "not an object"},
+		{"a": map[string]any{"@attr": 42}},
+		{"a": map[string]any{"child": 42}},
+		{"a": map[string]any{"child": []any{42}}},
+	}
+	for i, d := range bad {
+		if _, err := EncodeString(d); err == nil {
+			t.Errorf("bad doc %d encoded", i)
+		}
+	}
+}
+
+func TestPlainStringChildConvenience(t *testing.T) {
+	out, err := EncodeString(Doc{"root": map[string]any{"name": "hello"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "<name>hello</name>") {
+		t.Errorf("output = %s", out)
+	}
+}
+
+// TestRoundTripSemantics: decode→encode→decode yields a structurally
+// equal document (modulo the string-child convenience, not used by
+// decoded docs).
+func TestRoundTripSemantics(t *testing.T) {
+	srcs := []string{
+		`<a x="1" y="2"><b>t</b><b>u</b><c><d k="v">deep</d></c></a>`,
+		`<design name="n"><nodes><node><name>A</name></node></nodes></design>`,
+		`<MDschema name="m"><facts><fact><name>f</name></fact></facts></MDschema>`,
+	}
+	for _, src := range srcs {
+		d1, err := DecodeString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xmlText, err := EncodeString(d1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := DecodeString(xmlText)
+		if err != nil {
+			t.Fatalf("re-decode of %q failed: %v\n%s", src, err, xmlText)
+		}
+		if !Equal(map[string]any(d1), map[string]any(d2)) {
+			t.Errorf("round trip changed %q:\n%#v\nvs\n%#v", src, d1, d2)
+		}
+	}
+}
+
+// genXML builds a random XML document string.
+func genXML(r *rand.Rand, depth int) string {
+	tag := fmt.Sprintf("t%d", r.Intn(4))
+	var b strings.Builder
+	b.WriteString("<" + tag)
+	for i := 0; i < r.Intn(3); i++ {
+		fmt.Fprintf(&b, ` a%d="v%d"`, i, r.Intn(10))
+	}
+	b.WriteString(">")
+	if depth > 0 {
+		for i := 0; i < r.Intn(4); i++ {
+			b.WriteString(genXML(r, depth-1))
+		}
+	}
+	if r.Intn(2) == 0 {
+		fmt.Fprintf(&b, "text%d", r.Intn(100))
+	}
+	b.WriteString("</" + tag + ">")
+	return b.String()
+}
+
+// Property: XML→JSON→XML→JSON is a fixpoint after the first
+// conversion.
+func TestQuickRoundTripFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := "<root>" + genXML(r, 2) + "</root>"
+		d1, err := DecodeString(src)
+		if err != nil {
+			return false
+		}
+		x1, err := EncodeString(d1)
+		if err != nil {
+			return false
+		}
+		d2, err := DecodeString(x1)
+		if err != nil {
+			return false
+		}
+		return Equal(map[string]any(d1), map[string]any(d2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := map[string]any{"x": []any{map[string]any{"k": "v"}}}
+	b := map[string]any{"x": []any{map[string]any{"k": "v"}}}
+	if !Equal(a, b) {
+		t.Error("equal docs not equal")
+	}
+	c := map[string]any{"x": []any{map[string]any{"k": "w"}}}
+	if Equal(a, c) {
+		t.Error("different docs equal")
+	}
+	if Equal(a, map[string]any{"x": "v"}) {
+		t.Error("shape mismatch equal")
+	}
+	if Equal([]any{1}, []any{1, 2}) {
+		t.Error("length mismatch equal")
+	}
+}

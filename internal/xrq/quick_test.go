@@ -1,0 +1,122 @@
+package xrq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genRequirement builds a random structurally-complete requirement
+// (not necessarily ontology-valid — round-tripping is a format
+// property, not a semantic one).
+func genRequirement(r *rand.Rand) *Requirement {
+	req := &Requirement{
+		ID:   fmt.Sprintf("IR_%04d", r.Intn(10000)),
+		Name: fmt.Sprintf("random requirement %d", r.Intn(100)),
+	}
+	dims := []string{"Part.p_name", "Supplier.s_name", "Nation.n_name", "Customer.c_mktsegment"}
+	r.Shuffle(len(dims), func(i, j int) { dims[i], dims[j] = dims[j], dims[i] })
+	for i := 0; i <= r.Intn(3); i++ {
+		req.Dimensions = append(req.Dimensions, Dimension{Concept: dims[i]})
+	}
+	formulas := []string{
+		"Lineitem.l_quantity",
+		"Lineitem.l_extendedprice * (1 - Lineitem.l_discount)",
+		"ABS(Lineitem.l_tax - 0.5) * 2.0",
+	}
+	for i := 0; i <= r.Intn(2); i++ {
+		req.Measures = append(req.Measures, Measure{
+			ID:       fmt.Sprintf("m%d", i),
+			Function: formulas[r.Intn(len(formulas))],
+		})
+	}
+	ops := []string{"=", "!=", "<", "<=", ">", ">="}
+	for i := 0; i < r.Intn(3); i++ {
+		req.Slicers = append(req.Slicers, Slicer{
+			Concept:  dims[r.Intn(len(dims))],
+			Operator: ops[r.Intn(len(ops))],
+			Value:    fmt.Sprintf("value %d", r.Intn(50)),
+		})
+	}
+	fns := []AggFunc{AggSum, AggAvg, AggMin, AggMax, AggCount}
+	for i := 0; i < r.Intn(3); i++ {
+		req.Aggs = append(req.Aggs, Aggregation{
+			Order:     1 + r.Intn(3),
+			Dimension: req.Dimensions[r.Intn(len(req.Dimensions))].Concept,
+			Measure:   req.Measures[r.Intn(len(req.Measures))].ID,
+			Function:  fns[r.Intn(len(fns))],
+		})
+	}
+	return req
+}
+
+// Property: the xRQ XML round trip is lossless for every field.
+func TestQuickXRQRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		r1 := genRequirement(r)
+		text, err := Marshal(r1)
+		if err != nil {
+			return false
+		}
+		r2, err := Unmarshal(text)
+		if err != nil {
+			t.Logf("seed %d: %v\n%s", seed, err, text)
+			return false
+		}
+		if r1.ID != r2.ID || r1.Name != r2.Name {
+			return false
+		}
+		if len(r1.Dimensions) != len(r2.Dimensions) ||
+			len(r1.Measures) != len(r2.Measures) ||
+			len(r1.Slicers) != len(r2.Slicers) ||
+			len(r1.Aggs) != len(r2.Aggs) {
+			return false
+		}
+		for i := range r1.Dimensions {
+			if r1.Dimensions[i] != r2.Dimensions[i] {
+				return false
+			}
+		}
+		for i := range r1.Measures {
+			if r1.Measures[i] != r2.Measures[i] {
+				return false
+			}
+		}
+		for i := range r1.Slicers {
+			if r1.Slicers[i] != r2.Slicers[i] {
+				return false
+			}
+		}
+		for i := range r1.Aggs {
+			if r1.Aggs[i] != r2.Aggs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Marshal is deterministic.
+func TestQuickXRQMarshalDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		req := genRequirement(r)
+		a, err := Marshal(req)
+		if err != nil {
+			return false
+		}
+		b, err := Marshal(req)
+		if err != nil {
+			return false
+		}
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

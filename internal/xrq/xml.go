@@ -1,0 +1,153 @@
+package xrq
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The xRQ XML dialect mirrors the paper's Figure 4 snippet:
+//
+//	<cube id="IR1" name="revenue per part and supplier">
+//	  <dimensions>
+//	    <concept id="Part.p_name"/>
+//	    <concept id="Supplier.s_name"/>
+//	  </dimensions>
+//	  <measures>
+//	    <concept id="revenue">
+//	      <function>Lineitem.l_extendedprice * (1 - Lineitem.l_discount)</function>
+//	    </concept>
+//	  </measures>
+//	  <slicers>
+//	    <comparison>
+//	      <concept id="Nation.n_name"/>
+//	      <operator>=</operator>
+//	      <value>Spain</value>
+//	    </comparison>
+//	  </slicers>
+//	  <aggregations>
+//	    <aggregation order="1">
+//	      <dimension refID="Part.p_name"/>
+//	      <measure refID="revenue"/>
+//	      <function>AVERAGE</function>
+//	    </aggregation>
+//	  </aggregations>
+//	</cube>
+
+type xmlCube struct {
+	XMLName xml.Name  `xml:"cube"`
+	ID      string    `xml:"id,attr"`
+	Name    string    `xml:"name,attr,omitempty"`
+	Dims    []xmlRef  `xml:"dimensions>concept"`
+	Meas    []xmlMeas `xml:"measures>concept"`
+	Slicers []xmlCmp  `xml:"slicers>comparison"`
+	Aggs    []xmlAgg  `xml:"aggregations>aggregation"`
+}
+
+type xmlRef struct {
+	ID string `xml:"id,attr"`
+}
+
+type xmlMeas struct {
+	ID       string `xml:"id,attr"`
+	Function string `xml:"function"`
+}
+
+type xmlCmp struct {
+	Concept  xmlRef `xml:"concept"`
+	Operator string `xml:"operator"`
+	Value    string `xml:"value"`
+}
+
+type xmlAgg struct {
+	Order     int      `xml:"order,attr"`
+	Dimension xmlIDRef `xml:"dimension"`
+	Measure   xmlIDRef `xml:"measure"`
+	Function  string   `xml:"function"`
+}
+
+type xmlIDRef struct {
+	RefID string `xml:"refID,attr"`
+}
+
+// Write serialises the requirement as xRQ XML.
+func Write(w io.Writer, r *Requirement) error {
+	doc := xmlCube{ID: r.ID, Name: r.Name}
+	for _, d := range r.Dimensions {
+		doc.Dims = append(doc.Dims, xmlRef{ID: d.Concept})
+	}
+	for _, m := range r.Measures {
+		doc.Meas = append(doc.Meas, xmlMeas{ID: m.ID, Function: m.Function})
+	}
+	for _, s := range r.Slicers {
+		doc.Slicers = append(doc.Slicers, xmlCmp{Concept: xmlRef{ID: s.Concept}, Operator: s.Operator, Value: s.Value})
+	}
+	for _, a := range r.Aggs {
+		doc.Aggs = append(doc.Aggs, xmlAgg{
+			Order:     a.Order,
+			Dimension: xmlIDRef{RefID: a.Dimension},
+			Measure:   xmlIDRef{RefID: a.Measure},
+			Function:  string(a.Function),
+		})
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("xrq: encode: %w", err)
+	}
+	return enc.Flush()
+}
+
+// Marshal returns the xRQ XML text of a requirement.
+func Marshal(r *Requirement) (string, error) {
+	var b strings.Builder
+	if err := Write(&b, r); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Read parses an xRQ document. The result is structurally complete but
+// not yet validated against an ontology; call Requirement.Validate.
+func Read(rd io.Reader) (*Requirement, error) {
+	var doc xmlCube
+	if err := xml.NewDecoder(rd).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("xrq: decode: %w", err)
+	}
+	r := &Requirement{ID: doc.ID, Name: doc.Name}
+	for _, d := range doc.Dims {
+		r.Dimensions = append(r.Dimensions, Dimension{Concept: d.ID})
+	}
+	for _, m := range doc.Meas {
+		r.Measures = append(r.Measures, Measure{ID: m.ID, Function: strings.TrimSpace(m.Function)})
+	}
+	for _, s := range doc.Slicers {
+		r.Slicers = append(r.Slicers, Slicer{
+			Concept:  s.Concept.ID,
+			Operator: strings.TrimSpace(s.Operator),
+			Value:    s.Value,
+		})
+	}
+	for _, a := range doc.Aggs {
+		fn, err := ParseAggFunc(a.Function)
+		if err != nil {
+			return nil, err
+		}
+		r.Aggs = append(r.Aggs, Aggregation{
+			Order:     a.Order,
+			Dimension: a.Dimension.RefID,
+			Measure:   a.Measure.RefID,
+			Function:  fn,
+		})
+	}
+	return r, nil
+}
+
+// Unmarshal parses xRQ XML text.
+func Unmarshal(src string) (*Requirement, error) {
+	return Read(strings.NewReader(src))
+}
