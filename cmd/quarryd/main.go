@@ -5,6 +5,7 @@
 // Usage:
 //
 //	quarryd [-addr :8080] [-sf 10] [-seed 42] [-store DIR]
+//	        [-parallelism 0] [-batch-size 0]
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"net/http"
 
 	"quarry/internal/core"
+	"quarry/internal/engine"
 	"quarry/internal/server"
 	"quarry/internal/storage"
 	"quarry/internal/tpch"
@@ -23,6 +25,8 @@ func main() {
 	sf := flag.Float64("sf", 10, "micro-TPC-H scale factor")
 	seed := flag.Int64("seed", 42, "data generator seed")
 	store := flag.String("store", "", "metadata repository directory (empty: in-memory)")
+	parallelism := flag.Int("parallelism", 0, "ETL engine worker pool size (0: GOMAXPROCS)")
+	batchSize := flag.Int("batch-size", 0, "ETL engine rows per batch (0: engine default)")
 	flag.Parse()
 
 	onto, err := tpch.Ontology()
@@ -44,6 +48,7 @@ func main() {
 	}
 	p, err := core.New(core.Config{
 		Ontology: onto, Mapping: mapg, Catalog: cat, DB: db, StoreDir: *store,
+		Engine: engine.Options{Parallelism: *parallelism, BatchSize: *batchSize},
 	})
 	if err != nil {
 		log.Fatalf("quarryd: %v", err)

@@ -1,0 +1,3 @@
+module quarry
+
+go 1.24

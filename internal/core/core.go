@@ -60,6 +60,10 @@ type Config struct {
 	// DisableReordering turns off the ETL integrator's
 	// equivalence-rule alignment (ablation).
 	DisableReordering bool
+	// Engine tunes native ETL execution (DAG parallelism, batch
+	// size); the zero value uses the engine defaults (GOMAXPROCS
+	// workers, 1024-row batches).
+	Engine engine.Options
 }
 
 // Platform is the running Quarry instance.
@@ -69,12 +73,13 @@ type Platform struct {
 	cat  *sources.Catalog
 	db   *storage.DB
 
-	elic    *elicitor.Elicitor
-	interp  *interpreter.Interpreter
-	mdInt   *mdintegrator.Integrator
-	etlInt  *etlintegrator.Integrator
-	repo    *repo.Designs
-	etlCost quality.ETLCostModel
+	elic       *elicitor.Elicitor
+	interp     *interpreter.Interpreter
+	mdInt      *mdintegrator.Integrator
+	etlInt     *etlintegrator.Integrator
+	repo       *repo.Designs
+	etlCost    quality.ETLCostModel
+	engineOpts engine.Options
 
 	mu         sync.Mutex
 	order      []string // requirement ids in registration order
@@ -102,18 +107,19 @@ func New(cfg Config) (*Platform, error) {
 		etlCost = quality.DefaultETLCost(cfg.Catalog)
 	}
 	p := &Platform{
-		onto:     cfg.Ontology,
-		mapg:     cfg.Mapping,
-		cat:      cfg.Catalog,
-		db:       cfg.DB,
-		elic:     elicitor.New(cfg.Ontology, cfg.Mapping),
-		interp:   interp,
-		mdInt:    mdintegrator.New(cfg.MDCost, cfg.Resolver),
-		etlInt:   etlintegrator.New(etlCost, !cfg.DisableReordering),
-		repo:     repo.NewDesigns(store),
-		etlCost:  etlCost,
-		reqs:     map[string]*xrq.Requirement{},
-		partials: map[string]*interpreter.PartialDesign{},
+		onto:       cfg.Ontology,
+		mapg:       cfg.Mapping,
+		cat:        cfg.Catalog,
+		db:         cfg.DB,
+		elic:       elicitor.New(cfg.Ontology, cfg.Mapping),
+		interp:     interp,
+		mdInt:      mdintegrator.New(cfg.MDCost, cfg.Resolver),
+		etlInt:     etlintegrator.New(etlCost, !cfg.DisableReordering),
+		repo:       repo.NewDesigns(store),
+		etlCost:    etlCost,
+		engineOpts: cfg.Engine,
+		reqs:       map[string]*xrq.Requirement{},
+		partials:   map[string]*interpreter.PartialDesign{},
 	}
 	// A persistent repository may already hold a lifecycle; restore
 	// it so the platform resumes where the previous session stopped.
@@ -478,8 +484,15 @@ func (p *Platform) Deploy(database string) (*Deployment, error) {
 }
 
 // Run executes the unified ETL natively against the platform's
-// database, creating and populating the deployed DW tables.
+// database with the configured engine options, creating and
+// populating the deployed DW tables.
 func (p *Platform) Run() (*engine.Result, error) {
+	return p.RunWith(p.EngineOptions())
+}
+
+// RunWith executes the unified ETL natively with explicit engine
+// options (overriding the configured defaults for this run only).
+func (p *Platform) RunWith(opts engine.Options) (*engine.Result, error) {
 	p.mu.Lock()
 	etl := p.unifiedETL
 	db := p.db
@@ -490,7 +503,14 @@ func (p *Platform) Run() (*engine.Result, error) {
 	if db == nil {
 		return nil, fmt.Errorf("core: platform has no execution database")
 	}
-	return engine.Run(etl, db)
+	return engine.RunWithOptions(etl, db, opts)
+}
+
+// EngineOptions returns the configured native execution options.
+func (p *Platform) EngineOptions() engine.Options {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.engineOpts
 }
 
 // OLAP returns a query engine over the deployed DW (after Run).
@@ -521,7 +541,7 @@ func (p *Platform) RunSeparately() (*engine.Result, error) {
 	}
 	total := &engine.Result{Loaded: map[string]int64{}}
 	for _, pd := range partials {
-		res, err := engine.Run(pd.ETL, db)
+		res, err := engine.RunWithOptions(pd.ETL, db, p.EngineOptions())
 		if err != nil {
 			return nil, err
 		}

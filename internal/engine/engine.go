@@ -6,14 +6,30 @@
 // measure the demo's headline claim (integrated flows do less total
 // work than separate flows).
 //
-// Execution is materialising: operations run in topological order,
-// each consuming its inputs' buffered rows and producing its own. Row
-// counts and wall-clock duration are recorded per operation.
+// Two execution strategies share one set of operator kernels
+// (kernels.go):
+//
+//   - Run / RunWithOptions — the default batch-vectorised, pipelined,
+//     DAG-parallel executor (pipeline.go). Operators stream fixed-size
+//     row batches along the design's edges; streaming operators
+//     (Extraction, Selection, Projection, Function, Union, Loader and
+//     the probe side of Join) pipeline without buffering, blocking
+//     operators (Join build, Aggregation, Sort) consume their input
+//     incrementally, and independent DAG branches run concurrently on
+//     a worker pool bounded by Options.Parallelism.
+//   - RunMaterializing — the original single-threaded strategy:
+//     operations run in topological order, each consuming its inputs'
+//     fully buffered rows. It is the semantic reference the pipelined
+//     path is tested against, and the baseline its speedup is measured
+//     from.
+//
+// Both strategies produce byte-identical loaded tables, per-operation
+// row counts and Loaded totals. Row counts and per-operation durations
+// are recorded in either mode.
 package engine
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"quarry/internal/expr"
@@ -23,10 +39,14 @@ import (
 
 // OpStat is the execution record of one operation.
 type OpStat struct {
-	Node     string
-	Type     xlm.OpType
-	RowsIn   int64
-	RowsOut  int64
+	Node    string
+	Type    xlm.OpType
+	RowsIn  int64
+	RowsOut int64
+	// Duration is the operator's processing time: in the pipelined
+	// executor the time spent computing batches (excluding waits on
+	// upstream operators), in the materialising executor the
+	// wall-clock time of the operation's turn.
 	Duration time.Duration
 }
 
@@ -34,7 +54,8 @@ type OpStat struct {
 type Result struct {
 	// Loaded maps loader target tables to the number of rows written.
 	Loaded map[string]int64
-	// Stats holds one entry per operation, in execution order.
+	// Stats holds one entry per operation, in topological execution
+	// order.
 	Stats []OpStat
 	// Elapsed is the total wall-clock execution time.
 	Elapsed time.Duration
@@ -59,36 +80,26 @@ func (r *Result) TotalLoaded() int64 {
 	return total
 }
 
+// Run validates and executes the design against the database with the
+// default pipelined executor (see RunWithOptions). Source Datastore
+// nodes read the tables named by their "table" parameter; Loader nodes
+// create-or-replace (default) or append to their target tables.
+func Run(d *xlm.Design, db *storage.DB) (*Result, error) {
+	return RunWithOptions(d, db, Options{})
+}
+
 // materialised rows of one operation.
 type mat struct {
 	fields []xlm.Field
 	rows   [][]expr.Value
-	index  map[string]int
 }
 
-func newMat(fields []xlm.Field) *mat {
-	m := &mat{fields: fields, index: map[string]int{}}
-	for i, f := range fields {
-		m.index[f.Name] = i
-	}
-	return m
-}
-
-func (m *mat) env(row []expr.Value) expr.Env {
-	return func(name string) (expr.Value, bool) {
-		i, ok := m.index[name]
-		if !ok {
-			return expr.Null(), false
-		}
-		return row[i], true
-	}
-}
-
-// Run validates and executes the design against the database. Source
-// Datastore nodes read the tables named by their "table" parameter;
-// Loader nodes create-or-replace (default) or append to their target
-// tables.
-func Run(d *xlm.Design, db *storage.DB) (*Result, error) {
+// RunMaterializing executes the design with the single-threaded,
+// fully-materialising strategy: operations run in topological order,
+// each consuming its inputs' buffered rows and producing its own. It
+// is the reference implementation the pipelined executor is verified
+// against and benchmarked from; production callers should prefer Run.
+func RunMaterializing(d *xlm.Design, db *storage.DB) (*Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -122,7 +133,7 @@ func Run(d *xlm.Design, db *storage.DB) (*Result, error) {
 		})
 		// Free inputs consumed by all their consumers to bound memory.
 		for _, in := range inputs {
-			if allConsumed(d, in.Name, mats, order) {
+			if allConsumed(d, in.Name, mats) {
 				mats[in.Name].rows = nil
 			}
 		}
@@ -133,7 +144,7 @@ func Run(d *xlm.Design, db *storage.DB) (*Result, error) {
 
 // allConsumed reports whether every consumer of the node has already
 // executed (present in mats).
-func allConsumed(d *xlm.Design, name string, mats map[string]*mat, order []*xlm.Node) bool {
+func allConsumed(d *xlm.Design, name string, mats map[string]*mat) bool {
 	for _, out := range d.Outputs(name) {
 		if _, done := mats[out.Name]; !done {
 			return false
@@ -143,530 +154,87 @@ func allConsumed(d *xlm.Design, name string, mats map[string]*mat, order []*xlm.
 }
 
 func execNode(n *xlm.Node, inputs []*mat, db *storage.DB, res *Result) (*mat, error) {
+	out := &mat{fields: n.Fields}
 	switch n.Type {
 	case xlm.OpDatastore:
-		return execDatastore(n, db)
+		op, err := newDatastoreOp(n, db)
+		if err != nil {
+			return nil, err
+		}
+		out.rows = op.read(0, op.limit)
+		return out, nil
 	case xlm.OpExtraction:
-		out := newMat(n.Fields)
 		out.rows = inputs[0].rows
 		return out, nil
 	case xlm.OpSelection:
-		return execSelection(n, inputs[0])
+		op, err := newSelectionOp(n, inputs[0].fields)
+		if err != nil {
+			return nil, err
+		}
+		out.rows, err = op.filter(nil, inputs[0].rows)
+		return out, err
 	case xlm.OpProjection:
-		return execProjection(n, inputs[0])
+		op, err := newProjectionOp(n, inputs[0].fields)
+		if err != nil {
+			return nil, err
+		}
+		out.rows = op.apply(nil, inputs[0].rows)
+		return out, nil
 	case xlm.OpFunction:
-		return execFunction(n, inputs[0])
+		op, err := newFunctionOp(n, inputs[0].fields)
+		if err != nil {
+			return nil, err
+		}
+		out.rows, err = op.apply(nil, inputs[0].rows)
+		return out, err
 	case xlm.OpJoin:
-		return execJoin(n, inputs[0], inputs[1])
+		op, err := newJoinOp(n, inputs[0].fields, inputs[1].fields)
+		if err != nil {
+			return nil, err
+		}
+		op.addBuild(inputs[1].rows)
+		out.rows = op.probe(nil, inputs[0].rows)
+		return out, nil
 	case xlm.OpAggregation:
-		return execAggregation(n, inputs[0])
+		op, err := newAggregationOp(n, inputs[0].fields)
+		if err != nil {
+			return nil, err
+		}
+		if err := op.add(inputs[0].rows); err != nil {
+			return nil, err
+		}
+		out.rows = op.result()
+		return out, nil
 	case xlm.OpUnion:
-		return execUnion(n, inputs)
+		for _, in := range inputs {
+			out.rows = append(out.rows, in.rows...)
+		}
+		return out, nil
 	case xlm.OpSort:
-		return execSort(n, inputs[0])
+		op, err := newSortOp(n, inputs[0].fields)
+		if err != nil {
+			return nil, err
+		}
+		op.add(inputs[0].rows)
+		out.rows = op.result()
+		return out, nil
 	case xlm.OpSurrogateKey:
-		return execSurrogateKey(n, inputs[0])
+		op, err := newSurrogateKeyOp(n, inputs[0].fields)
+		if err != nil {
+			return nil, err
+		}
+		out.rows = op.apply(nil, inputs[0].rows)
+		return out, nil
 	case xlm.OpLoader:
-		return execLoader(n, inputs[0], db, res)
+		op, err := newLoaderOp(n, inputs[0].fields, db)
+		if err != nil {
+			return nil, err
+		}
+		if err := op.write(inputs[0].rows); err != nil {
+			return nil, err
+		}
+		res.Loaded[op.table] += op.written
+		return out, nil
 	}
 	return nil, fmt.Errorf("unsupported operation type %q", n.Type)
-}
-
-func execDatastore(n *xlm.Node, db *storage.DB) (*mat, error) {
-	table := n.Param("table")
-	t, ok := db.Table(table)
-	if !ok {
-		return nil, fmt.Errorf("source table %q not found", table)
-	}
-	// Map the declared xLM schema onto the physical table (order may
-	// differ; extra physical columns are ignored).
-	idx := make([]int, len(n.Fields))
-	for i, f := range n.Fields {
-		j, ok := t.ColumnIndex(f.Name)
-		if !ok {
-			return nil, fmt.Errorf("source table %q lacks column %q", table, f.Name)
-		}
-		idx[i] = j
-	}
-	out := newMat(n.Fields)
-	err := t.Scan(func(r storage.Row) error {
-		row := make([]expr.Value, len(idx))
-		for i, j := range idx {
-			row[i] = r[j]
-		}
-		out.rows = append(out.rows, row)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-func execSelection(n *xlm.Node, in *mat) (*mat, error) {
-	pred, err := n.Predicate()
-	if err != nil {
-		return nil, err
-	}
-	out := newMat(n.Fields)
-	for _, row := range in.rows {
-		ok, err := expr.EvalBool(pred, in.env(row))
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out.rows = append(out.rows, row)
-		}
-	}
-	return out, nil
-}
-
-func execProjection(n *xlm.Node, in *mat) (*mat, error) {
-	specs, err := n.Projections()
-	if err != nil {
-		return nil, err
-	}
-	idx := make([]int, len(specs))
-	for i, sp := range specs {
-		j, ok := in.index[sp.In]
-		if !ok {
-			return nil, fmt.Errorf("projection input lacks column %q", sp.In)
-		}
-		idx[i] = j
-	}
-	out := newMat(n.Fields)
-	for _, row := range in.rows {
-		nr := make([]expr.Value, len(idx))
-		for i, j := range idx {
-			nr[i] = row[j]
-		}
-		out.rows = append(out.rows, nr)
-	}
-	return out, nil
-}
-
-func execFunction(n *xlm.Node, in *mat) (*mat, error) {
-	e, err := expr.Parse(n.Param("expr"))
-	if err != nil {
-		return nil, err
-	}
-	out := newMat(n.Fields)
-	for _, row := range in.rows {
-		v, err := expr.Eval(e, in.env(row))
-		if err != nil {
-			return nil, err
-		}
-		nr := make([]expr.Value, 0, len(row)+1)
-		nr = append(nr, row...)
-		nr = append(nr, v)
-		out.rows = append(out.rows, nr)
-	}
-	return out, nil
-}
-
-// execJoin is a hash join: build on the right input, probe with the
-// left. NULL keys never match (SQL semantics).
-func execJoin(n *xlm.Node, left, right *mat) (*mat, error) {
-	pairs, err := n.JoinPairs()
-	if err != nil {
-		return nil, err
-	}
-	lIdx := make([]int, len(pairs))
-	rIdx := make([]int, len(pairs))
-	for i, p := range pairs {
-		li, ok := left.index[p[0]]
-		if !ok {
-			return nil, fmt.Errorf("join left input lacks column %q", p[0])
-		}
-		ri, ok := right.index[p[1]]
-		if !ok {
-			return nil, fmt.Errorf("join right input lacks column %q", p[1])
-		}
-		lIdx[i], rIdx[i] = li, ri
-	}
-	build := make(map[uint64][][]expr.Value, len(right.rows))
-	for _, rr := range right.rows {
-		h, null := hashKey(rr, rIdx)
-		if null {
-			continue
-		}
-		build[h] = append(build[h], rr)
-	}
-	out := newMat(n.Fields)
-	for _, lr := range left.rows {
-		h, null := hashKey(lr, lIdx)
-		if null {
-			continue
-		}
-		for _, rr := range build[h] {
-			if !keysEqual(lr, rr, lIdx, rIdx) {
-				continue
-			}
-			nr := make([]expr.Value, 0, len(lr)+len(rr))
-			nr = append(nr, lr...)
-			nr = append(nr, rr...)
-			out.rows = append(out.rows, nr)
-		}
-	}
-	return out, nil
-}
-
-func hashKey(row []expr.Value, idx []int) (h uint64, anyNull bool) {
-	h = 1469598103934665603
-	for _, i := range idx {
-		v := row[i]
-		if v.IsNull() {
-			return 0, true
-		}
-		h = h*1099511628211 ^ v.Hash()
-	}
-	return h, false
-}
-
-func keysEqual(l, r []expr.Value, lIdx, rIdx []int) bool {
-	for i := range lIdx {
-		if !l[lIdx[i]].Equal(r[rIdx[i]]) {
-			return false
-		}
-	}
-	return true
-}
-
-type aggState struct {
-	groupVals []expr.Value
-	sums      []float64
-	sumIsInt  []bool
-	intSums   []int64
-	mins      []expr.Value
-	maxs      []expr.Value
-	counts    []int64 // non-null count per aggregate
-	rows      int64
-}
-
-func execAggregation(n *xlm.Node, in *mat) (*mat, error) {
-	group := n.GroupBy()
-	aggs, err := n.Aggregates()
-	if err != nil {
-		return nil, err
-	}
-	gIdx := make([]int, len(group))
-	for i, g := range group {
-		j, ok := in.index[g]
-		if !ok {
-			return nil, fmt.Errorf("aggregation input lacks group column %q", g)
-		}
-		gIdx[i] = j
-	}
-	aIdx := make([]int, len(aggs))
-	for i, a := range aggs {
-		if a.Func == "COUNT" && a.Col == "" {
-			aIdx[i] = -1
-			continue
-		}
-		j, ok := in.index[a.Col]
-		if !ok {
-			return nil, fmt.Errorf("aggregation input lacks column %q", a.Col)
-		}
-		aIdx[i] = j
-	}
-	states := map[uint64][]*aggState{}
-	var orderKeys []uint64
-	for _, row := range in.rows {
-		h := uint64(1469598103934665603)
-		for _, i := range gIdx {
-			h = h*1099511628211 ^ row[i].Hash()
-		}
-		var st *aggState
-		for _, cand := range states[h] {
-			match := true
-			for k, i := range gIdx {
-				if !valuesIdentical(cand.groupVals[k], row[i]) {
-					match = false
-					break
-				}
-			}
-			if match {
-				st = cand
-				break
-			}
-		}
-		if st == nil {
-			st = &aggState{
-				sums:     make([]float64, len(aggs)),
-				sumIsInt: make([]bool, len(aggs)),
-				intSums:  make([]int64, len(aggs)),
-				mins:     make([]expr.Value, len(aggs)),
-				maxs:     make([]expr.Value, len(aggs)),
-				counts:   make([]int64, len(aggs)),
-			}
-			for i := range st.sumIsInt {
-				st.sumIsInt[i] = true
-			}
-			st.groupVals = make([]expr.Value, len(gIdx))
-			for k, i := range gIdx {
-				st.groupVals[k] = row[i]
-			}
-			if len(states[h]) == 0 {
-				orderKeys = append(orderKeys, h)
-			}
-			states[h] = append(states[h], st)
-		}
-		st.rows++
-		for i, a := range aggs {
-			if aIdx[i] == -1 { // COUNT(*)
-				st.counts[i]++
-				continue
-			}
-			v := row[aIdx[i]]
-			if v.IsNull() {
-				continue
-			}
-			st.counts[i]++
-			switch a.Func {
-			case "COUNT":
-			case "MIN":
-				if st.mins[i].IsNull() {
-					st.mins[i] = v
-				} else if c, err := v.Compare(st.mins[i]); err == nil && c < 0 {
-					st.mins[i] = v
-				}
-			case "MAX":
-				if st.maxs[i].IsNull() {
-					st.maxs[i] = v
-				} else if c, err := v.Compare(st.maxs[i]); err == nil && c > 0 {
-					st.maxs[i] = v
-				}
-			default: // SUM, AVG
-				f, ok := v.AsFloat()
-				if !ok {
-					return nil, fmt.Errorf("aggregation %s over non-numeric value %s", a.Func, v)
-				}
-				st.sums[i] += f
-				if v.Kind() == expr.KindInt {
-					st.intSums[i] += v.AsInt()
-				} else {
-					st.sumIsInt[i] = false
-				}
-			}
-		}
-	}
-	out := newMat(n.Fields)
-	// Global aggregate over zero rows still emits one row of zero
-	// counts / NULLs, like SQL.
-	if len(group) == 0 && len(states) == 0 {
-		st := &aggState{
-			sums:     make([]float64, len(aggs)),
-			sumIsInt: make([]bool, len(aggs)),
-			intSums:  make([]int64, len(aggs)),
-			mins:     make([]expr.Value, len(aggs)),
-			maxs:     make([]expr.Value, len(aggs)),
-			counts:   make([]int64, len(aggs)),
-		}
-		states[0] = []*aggState{st}
-		orderKeys = append(orderKeys, 0)
-	}
-	for _, h := range orderKeys {
-		for _, st := range states[h] {
-			row := make([]expr.Value, 0, len(gIdx)+len(aggs))
-			row = append(row, st.groupVals...)
-			for i, a := range aggs {
-				switch a.Func {
-				case "COUNT":
-					row = append(row, expr.Int(st.counts[i]))
-				case "MIN":
-					row = append(row, st.mins[i])
-				case "MAX":
-					row = append(row, st.maxs[i])
-				case "SUM":
-					if st.counts[i] == 0 {
-						row = append(row, expr.Null())
-					} else if st.sumIsInt[i] {
-						row = append(row, expr.Int(st.intSums[i]))
-					} else {
-						row = append(row, expr.Float(st.sums[i]))
-					}
-				case "AVG":
-					if st.counts[i] == 0 {
-						row = append(row, expr.Null())
-					} else {
-						row = append(row, expr.Float(st.sums[i]/float64(st.counts[i])))
-					}
-				}
-			}
-			out.rows = append(out.rows, row)
-		}
-	}
-	return out, nil
-}
-
-// valuesIdentical groups NULLs together (unlike Value.Equal, which is
-// SQL-style and never matches NULL).
-func valuesIdentical(a, b expr.Value) bool {
-	if a.IsNull() || b.IsNull() {
-		return a.IsNull() && b.IsNull()
-	}
-	return a.Equal(b)
-}
-
-func execUnion(n *xlm.Node, inputs []*mat) (*mat, error) {
-	out := newMat(n.Fields)
-	for _, in := range inputs {
-		out.rows = append(out.rows, in.rows...)
-	}
-	return out, nil
-}
-
-func execSort(n *xlm.Node, in *mat) (*mat, error) {
-	by := n.SortBy()
-	idx := make([]int, len(by))
-	for i, c := range by {
-		j, ok := in.index[c]
-		if !ok {
-			return nil, fmt.Errorf("sort input lacks column %q", c)
-		}
-		idx[i] = j
-	}
-	out := newMat(n.Fields)
-	out.rows = append(out.rows, in.rows...)
-	sort.SliceStable(out.rows, func(a, b int) bool {
-		ra, rb := out.rows[a], out.rows[b]
-		for _, j := range idx {
-			va, vb := ra[j], rb[j]
-			// NULLs first.
-			if va.IsNull() || vb.IsNull() {
-				if va.IsNull() && vb.IsNull() {
-					continue
-				}
-				return va.IsNull()
-			}
-			c, err := va.Compare(vb)
-			if err != nil || c == 0 {
-				continue
-			}
-			return c < 0
-		}
-		return false
-	})
-	return out, nil
-}
-
-func execSurrogateKey(n *xlm.Node, in *mat) (*mat, error) {
-	on := n.Param("on")
-	var idx []int
-	for _, c := range splitCSV(on) {
-		j, ok := in.index[c]
-		if !ok {
-			return nil, fmt.Errorf("surrogate key input lacks column %q", c)
-		}
-		idx = append(idx, j)
-	}
-	type bucket struct {
-		keys []([]expr.Value)
-		ids  []int64
-	}
-	assigned := map[uint64]*bucket{}
-	var next int64 = 1
-	out := newMat(n.Fields)
-	for _, row := range in.rows {
-		h := uint64(1469598103934665603)
-		for _, j := range idx {
-			h = h*1099511628211 ^ row[j].Hash()
-		}
-		b := assigned[h]
-		if b == nil {
-			b = &bucket{}
-			assigned[h] = b
-		}
-		var id int64
-		found := false
-		for i, k := range b.keys {
-			same := true
-			for p, j := range idx {
-				if !valuesIdentical(k[p], row[j]) {
-					same = false
-					break
-				}
-			}
-			if same {
-				id = b.ids[i]
-				found = true
-				break
-			}
-		}
-		if !found {
-			id = next
-			next++
-			key := make([]expr.Value, len(idx))
-			for p, j := range idx {
-				key[p] = row[j]
-			}
-			b.keys = append(b.keys, key)
-			b.ids = append(b.ids, id)
-		}
-		nr := make([]expr.Value, 0, len(row)+1)
-		nr = append(nr, row...)
-		nr = append(nr, expr.Int(id))
-		out.rows = append(out.rows, nr)
-	}
-	return out, nil
-}
-
-func execLoader(n *xlm.Node, in *mat, db *storage.DB, res *Result) (*mat, error) {
-	table := n.Param("table")
-	cols := make([]storage.Column, len(in.fields))
-	for i, f := range in.fields {
-		cols[i] = storage.Column{Name: f.Name, Type: f.Type}
-	}
-	var t *storage.Table
-	var err error
-	switch n.Param("mode") {
-	case "", "replace":
-		t, err = db.CreateOrReplaceTable(table, cols)
-	case "append":
-		var ok bool
-		t, ok = db.Table(table)
-		if !ok {
-			t, err = db.CreateTable(table, cols)
-		}
-	default:
-		return nil, fmt.Errorf("loader mode %q unknown", n.Param("mode"))
-	}
-	if err != nil {
-		return nil, err
-	}
-	rows := make([]storage.Row, len(in.rows))
-	for i, r := range in.rows {
-		rows[i] = storage.Row(r)
-	}
-	if err := t.InsertAll(rows); err != nil {
-		return nil, err
-	}
-	res.Loaded[table] += int64(len(rows))
-	out := newMat(n.Fields)
-	return out, nil
-}
-
-func splitCSV(s string) []string {
-	var out []string
-	start := 0
-	for i := 0; i <= len(s); i++ {
-		if i == len(s) || s[i] == ',' {
-			part := trimSpace(s[start:i])
-			if part != "" {
-				out = append(out, part)
-			}
-			start = i + 1
-		}
-	}
-	return out
-}
-
-func trimSpace(s string) string {
-	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
-		s = s[1:]
-	}
-	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
-		s = s[:len(s)-1]
-	}
-	return s
 }

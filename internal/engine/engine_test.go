@@ -300,6 +300,147 @@ func TestLoaderAppendMode(t *testing.T) {
 	}
 }
 
+// TestLoaderAppendRemapsByName is the regression test for the append
+// loader bug: appending to an existing table whose columns match the
+// flow's by name but in a different order must remap by name, not
+// insert positionally (which silently loaded corrupted data when the
+// swapped columns shared a type).
+func TestLoaderAppendRemapsByName(t *testing.T) {
+	for _, mode := range []string{"materializing", "pipelined"} {
+		t.Run(mode, func(t *testing.T) {
+			db := storage.NewDB()
+			sink, _ := db.CreateTable("sink", []storage.Column{
+				{Name: "x", Type: "int"}, {Name: "y", Type: "int"},
+			})
+			sink.Insert(storage.Row{expr.Int(1), expr.Int(100)})
+			// Source schema lists the same columns in the opposite order.
+			src, _ := db.CreateTable("t", []storage.Column{
+				{Name: "y", Type: "int"}, {Name: "x", Type: "int"},
+			})
+			src.Insert(storage.Row{expr.Int(200), expr.Int(2)})
+			d := xlm.NewDesign("append_reorder")
+			d.AddNode(&xlm.Node{Name: "DS", Type: xlm.OpDatastore,
+				Fields: []xlm.Field{{Name: "y", Type: "int"}, {Name: "x", Type: "int"}},
+				Params: map[string]string{"table": "t"}})
+			d.AddNode(&xlm.Node{Name: "LOAD", Type: xlm.OpLoader,
+				Params: map[string]string{"table": "sink", "mode": "append"}})
+			d.AddEdge("DS", "LOAD")
+			var err error
+			if mode == "materializing" {
+				_, err = RunMaterializing(d, db)
+			} else {
+				_, err = Run(d, db)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows := sink.Rows()
+			if len(rows) != 2 {
+				t.Fatalf("sink rows = %d", len(rows))
+			}
+			if rows[1][0].AsInt() != 2 || rows[1][1].AsInt() != 200 {
+				t.Errorf("appended row = %v, want x=2 y=200 (columns remapped by name)", rows[1])
+			}
+		})
+	}
+}
+
+func TestLoaderAppendSchemaMismatch(t *testing.T) {
+	mk := func(srcCols []storage.Column, sinkCols []storage.Column, fields []xlm.Field) (*xlm.Design, *storage.DB) {
+		db := storage.NewDB()
+		db.CreateTable("t", srcCols)
+		db.CreateTable("sink", sinkCols)
+		d := xlm.NewDesign("append_mismatch")
+		d.AddNode(&xlm.Node{Name: "DS", Type: xlm.OpDatastore,
+			Fields: fields, Params: map[string]string{"table": "t"}})
+		d.AddNode(&xlm.Node{Name: "LOAD", Type: xlm.OpLoader,
+			Params: map[string]string{"table": "sink", "mode": "append"}})
+		d.AddEdge("DS", "LOAD")
+		return d, db
+	}
+	intCol := func(n string) storage.Column { return storage.Column{Name: n, Type: "int"} }
+	cases := []struct {
+		name string
+		src  []storage.Column
+		sink []storage.Column
+		flds []xlm.Field
+	}{
+		{"missing column", []storage.Column{intCol("a"), intCol("c")},
+			[]storage.Column{intCol("a"), intCol("b")},
+			[]xlm.Field{{Name: "a", Type: "int"}, {Name: "c", Type: "int"}}},
+		{"arity", []storage.Column{intCol("a"), intCol("b")},
+			[]storage.Column{intCol("a")},
+			[]xlm.Field{{Name: "a", Type: "int"}, {Name: "b", Type: "int"}}},
+		{"type conflict", []storage.Column{{Name: "a", Type: "string"}},
+			[]storage.Column{intCol("a")},
+			[]xlm.Field{{Name: "a", Type: "string"}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, db := mk(tc.src, tc.sink, tc.flds)
+			if _, err := Run(d, db); err == nil {
+				t.Error("pipelined run accepted schema mismatch")
+			}
+			d, db = mk(tc.src, tc.sink, tc.flds)
+			if _, err := RunMaterializing(d, db); err == nil {
+				t.Error("materializing run accepted schema mismatch")
+			}
+		})
+	}
+	// Widening int → float stays legal, as for direct inserts.
+	d, db := mk([]storage.Column{intCol("a")},
+		[]storage.Column{{Name: "a", Type: "float"}},
+		[]xlm.Field{{Name: "a", Type: "int"}})
+	if _, err := Run(d, db); err != nil {
+		t.Errorf("int→float append rejected: %v", err)
+	}
+	_ = db
+}
+
+// TestFailedRunLeavesTargetsUntouched: a run that errors before any
+// data reaches a replace-mode loader must not have replaced the
+// pre-existing target table with an empty one.
+func TestFailedRunLeavesTargetsUntouched(t *testing.T) {
+	mkDB := func() *storage.DB {
+		db := storage.NewDB()
+		src, _ := db.CreateTable("t", []storage.Column{{Name: "k", Type: "int"}})
+		src.Insert(storage.Row{expr.Int(1)})
+		out, _ := db.CreateTable("out", []storage.Column{{Name: "old", Type: "int"}})
+		out.Insert(storage.Row{expr.Int(42)})
+		return db
+	}
+	d := xlm.NewDesign("boom")
+	d.AddNode(&xlm.Node{Name: "DS", Type: xlm.OpDatastore,
+		Fields: []xlm.Field{{Name: "k", Type: "int"}},
+		Params: map[string]string{"table": "t"}})
+	// Every row divides by zero: the flow fails before the loader
+	// sees any batch.
+	d.AddNode(&xlm.Node{Name: "FN", Type: xlm.OpFunction,
+		Params: map[string]string{"name": "f", "expr": "k / 0"}})
+	d.AddNode(&xlm.Node{Name: "LOAD", Type: xlm.OpLoader, Params: map[string]string{"table": "out"}})
+	d.AddEdge("DS", "FN")
+	d.AddEdge("FN", "LOAD")
+	for _, mode := range []string{"materializing", "pipelined"} {
+		t.Run(mode, func(t *testing.T) {
+			db := mkDB()
+			var err error
+			if mode == "materializing" {
+				_, err = RunMaterializing(d, db)
+			} else {
+				_, err = Run(d, db)
+			}
+			if err == nil {
+				t.Fatal("division by zero accepted")
+			}
+			out, _ := db.Table("out")
+			rows := out.Rows()
+			if len(rows) != 1 || rows[0][0].AsInt() != 42 {
+				t.Errorf("failed run touched target table: %v", rows)
+			}
+		})
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	db := miniDB(t)
 	// Missing source table.

@@ -1,0 +1,671 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"quarry/internal/expr"
+	"quarry/internal/storage"
+	"quarry/internal/xlm"
+)
+
+// This file holds the per-operation kernels shared by both execution
+// strategies: the materialising reference path (RunMaterializing)
+// calls each kernel once over a node's full input, the pipelined
+// executor calls the same kernel incrementally, batch by batch. Any
+// semantic rule (NULL handling, grouping order, surrogate-key
+// assignment order, loader column mapping) therefore lives in exactly
+// one place, which is what makes the two paths byte-identical.
+
+// fieldIndex maps column names to positions of a schema.
+func fieldIndex(fields []xlm.Field) map[string]int {
+	idx := make(map[string]int, len(fields))
+	for i, f := range fields {
+		idx[f.Name] = i
+	}
+	return idx
+}
+
+// datastoreOp scans a source table in batches, remapping the physical
+// column order onto the declared xLM schema (extra physical columns
+// are ignored). The row-count limit is snapshotted at construction so
+// loaders appending to the same table mid-run cannot extend the scan.
+type datastoreOp struct {
+	t     *storage.Table
+	idx   []int // nil: schema matches physical layout, rows pass through
+	limit int
+}
+
+func newDatastoreOp(n *xlm.Node, db *storage.DB) (*datastoreOp, error) {
+	table := n.Param("table")
+	t, ok := db.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("source table %q not found", table)
+	}
+	idx := make([]int, len(n.Fields))
+	identity := len(n.Fields) == len(t.Columns)
+	for i, f := range n.Fields {
+		j, ok := t.ColumnIndex(f.Name)
+		if !ok {
+			return nil, fmt.Errorf("source table %q lacks column %q", table, f.Name)
+		}
+		idx[i] = j
+		if j != i {
+			identity = false
+		}
+	}
+	op := &datastoreOp{t: t, idx: idx, limit: int(t.NumRows())}
+	if identity {
+		op.idx = nil
+	}
+	return op, nil
+}
+
+// read returns up to max rows starting at start, nil at the end.
+func (o *datastoreOp) read(start, max int) [][]expr.Value {
+	if start >= o.limit {
+		return nil
+	}
+	if start+max > o.limit {
+		max = o.limit - start
+	}
+	rows := o.t.ReadBatch(start, max)
+	out := make([][]expr.Value, len(rows))
+	for i, r := range rows {
+		if o.idx == nil {
+			out[i] = r
+			continue
+		}
+		row := make([]expr.Value, len(o.idx))
+		for k, j := range o.idx {
+			row[k] = r[j]
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// selectionOp filters rows through a predicate (SQL WHERE semantics:
+// NULL counts as false).
+type selectionOp struct {
+	pred expr.Node
+	env  *expr.SliceEnv
+}
+
+func newSelectionOp(n *xlm.Node, in []xlm.Field) (*selectionOp, error) {
+	pred, err := n.Predicate()
+	if err != nil {
+		return nil, err
+	}
+	return &selectionOp{pred: pred, env: expr.NewSliceEnv(fieldIndex(in))}, nil
+}
+
+// filter appends the passing rows (shared, not copied) to dst.
+func (o *selectionOp) filter(dst, rows [][]expr.Value) ([][]expr.Value, error) {
+	env := o.env.Env()
+	for _, row := range rows {
+		o.env.Bind(row)
+		ok, err := expr.EvalBool(o.pred, env)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			dst = append(dst, row)
+		}
+	}
+	return dst, nil
+}
+
+// projectionOp projects/renames columns.
+type projectionOp struct {
+	idx []int
+}
+
+func newProjectionOp(n *xlm.Node, in []xlm.Field) (*projectionOp, error) {
+	specs, err := n.Projections()
+	if err != nil {
+		return nil, err
+	}
+	index := fieldIndex(in)
+	idx := make([]int, len(specs))
+	for i, sp := range specs {
+		j, ok := index[sp.In]
+		if !ok {
+			return nil, fmt.Errorf("projection input lacks column %q", sp.In)
+		}
+		idx[i] = j
+	}
+	return &projectionOp{idx: idx}, nil
+}
+
+func (o *projectionOp) apply(dst, rows [][]expr.Value) [][]expr.Value {
+	for _, row := range rows {
+		nr := make([]expr.Value, len(o.idx))
+		for i, j := range o.idx {
+			nr[i] = row[j]
+		}
+		dst = append(dst, nr)
+	}
+	return dst
+}
+
+// functionOp derives one new attribute per row.
+type functionOp struct {
+	e   expr.Node
+	env *expr.SliceEnv
+}
+
+func newFunctionOp(n *xlm.Node, in []xlm.Field) (*functionOp, error) {
+	e, err := expr.Parse(n.Param("expr"))
+	if err != nil {
+		return nil, err
+	}
+	return &functionOp{e: e, env: expr.NewSliceEnv(fieldIndex(in))}, nil
+}
+
+func (o *functionOp) apply(dst, rows [][]expr.Value) ([][]expr.Value, error) {
+	env := o.env.Env()
+	for _, row := range rows {
+		o.env.Bind(row)
+		v, err := expr.Eval(o.e, env)
+		if err != nil {
+			return nil, err
+		}
+		nr := make([]expr.Value, 0, len(row)+1)
+		nr = append(nr, row...)
+		nr = append(nr, v)
+		dst = append(dst, nr)
+	}
+	return dst, nil
+}
+
+// joinOp is a hash join: the build side (right input) is consumed
+// incrementally into the hash table, then probe streams the left
+// input through it. NULL keys never match (SQL semantics).
+type joinOp struct {
+	lIdx, rIdx []int
+	build      map[uint64][][]expr.Value
+}
+
+func newJoinOp(n *xlm.Node, left, right []xlm.Field) (*joinOp, error) {
+	pairs, err := n.JoinPairs()
+	if err != nil {
+		return nil, err
+	}
+	lIndex, rIndex := fieldIndex(left), fieldIndex(right)
+	lIdx := make([]int, len(pairs))
+	rIdx := make([]int, len(pairs))
+	for i, p := range pairs {
+		li, ok := lIndex[p[0]]
+		if !ok {
+			return nil, fmt.Errorf("join left input lacks column %q", p[0])
+		}
+		ri, ok := rIndex[p[1]]
+		if !ok {
+			return nil, fmt.Errorf("join right input lacks column %q", p[1])
+		}
+		lIdx[i], rIdx[i] = li, ri
+	}
+	return &joinOp{lIdx: lIdx, rIdx: rIdx, build: map[uint64][][]expr.Value{}}, nil
+}
+
+// addBuild folds build-side rows into the hash table.
+func (o *joinOp) addBuild(rows [][]expr.Value) {
+	for _, rr := range rows {
+		h, null := hashKey(rr, o.rIdx)
+		if null {
+			continue
+		}
+		o.build[h] = append(o.build[h], rr)
+	}
+}
+
+// probe appends the join of the probe rows against the build table to
+// dst, preserving probe order (and build insertion order per key).
+func (o *joinOp) probe(dst, rows [][]expr.Value) [][]expr.Value {
+	for _, lr := range rows {
+		h, null := hashKey(lr, o.lIdx)
+		if null {
+			continue
+		}
+		for _, rr := range o.build[h] {
+			if !keysEqual(lr, rr, o.lIdx, o.rIdx) {
+				continue
+			}
+			nr := make([]expr.Value, 0, len(lr)+len(rr))
+			nr = append(nr, lr...)
+			nr = append(nr, rr...)
+			dst = append(dst, nr)
+		}
+	}
+	return dst
+}
+
+func hashKey(row []expr.Value, idx []int) (h uint64, anyNull bool) {
+	h = 1469598103934665603
+	for _, i := range idx {
+		v := row[i]
+		if v.IsNull() {
+			return 0, true
+		}
+		h = h*1099511628211 ^ v.Hash()
+	}
+	return h, false
+}
+
+func keysEqual(l, r []expr.Value, lIdx, rIdx []int) bool {
+	for i := range lIdx {
+		if !l[lIdx[i]].Equal(r[rIdx[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+type aggState struct {
+	groupVals []expr.Value
+	sums      []float64
+	sumIsInt  []bool
+	intSums   []int64
+	mins      []expr.Value
+	maxs      []expr.Value
+	counts    []int64 // non-null count per aggregate
+}
+
+// aggregationOp groups and aggregates incrementally; result emits
+// groups in first-seen order (NULLs group together).
+type aggregationOp struct {
+	group     []string
+	aggs      []xlm.AggSpec
+	gIdx      []int
+	aIdx      []int
+	states    map[uint64][]*aggState
+	orderKeys []uint64
+}
+
+func newAggregationOp(n *xlm.Node, in []xlm.Field) (*aggregationOp, error) {
+	group := n.GroupBy()
+	aggs, err := n.Aggregates()
+	if err != nil {
+		return nil, err
+	}
+	index := fieldIndex(in)
+	gIdx := make([]int, len(group))
+	for i, g := range group {
+		j, ok := index[g]
+		if !ok {
+			return nil, fmt.Errorf("aggregation input lacks group column %q", g)
+		}
+		gIdx[i] = j
+	}
+	aIdx := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Func == "COUNT" && a.Col == "" {
+			aIdx[i] = -1
+			continue
+		}
+		j, ok := index[a.Col]
+		if !ok {
+			return nil, fmt.Errorf("aggregation input lacks column %q", a.Col)
+		}
+		aIdx[i] = j
+	}
+	return &aggregationOp{
+		group: group, aggs: aggs, gIdx: gIdx, aIdx: aIdx,
+		states: map[uint64][]*aggState{},
+	}, nil
+}
+
+func (o *aggregationOp) newState() *aggState {
+	st := &aggState{
+		sums:     make([]float64, len(o.aggs)),
+		sumIsInt: make([]bool, len(o.aggs)),
+		intSums:  make([]int64, len(o.aggs)),
+		mins:     make([]expr.Value, len(o.aggs)),
+		maxs:     make([]expr.Value, len(o.aggs)),
+		counts:   make([]int64, len(o.aggs)),
+	}
+	for i := range st.sumIsInt {
+		st.sumIsInt[i] = true
+	}
+	return st
+}
+
+// add folds rows into the running group states.
+func (o *aggregationOp) add(rows [][]expr.Value) error {
+	for _, row := range rows {
+		h := uint64(1469598103934665603)
+		for _, i := range o.gIdx {
+			h = h*1099511628211 ^ row[i].Hash()
+		}
+		var st *aggState
+		for _, cand := range o.states[h] {
+			match := true
+			for k, i := range o.gIdx {
+				if !valuesIdentical(cand.groupVals[k], row[i]) {
+					match = false
+					break
+				}
+			}
+			if match {
+				st = cand
+				break
+			}
+		}
+		if st == nil {
+			st = o.newState()
+			st.groupVals = make([]expr.Value, len(o.gIdx))
+			for k, i := range o.gIdx {
+				st.groupVals[k] = row[i]
+			}
+			if len(o.states[h]) == 0 {
+				o.orderKeys = append(o.orderKeys, h)
+			}
+			o.states[h] = append(o.states[h], st)
+		}
+		for i, a := range o.aggs {
+			if o.aIdx[i] == -1 { // COUNT(*)
+				st.counts[i]++
+				continue
+			}
+			v := row[o.aIdx[i]]
+			if v.IsNull() {
+				continue
+			}
+			st.counts[i]++
+			switch a.Func {
+			case "COUNT":
+			case "MIN":
+				if st.mins[i].IsNull() {
+					st.mins[i] = v
+				} else if c, err := v.Compare(st.mins[i]); err == nil && c < 0 {
+					st.mins[i] = v
+				}
+			case "MAX":
+				if st.maxs[i].IsNull() {
+					st.maxs[i] = v
+				} else if c, err := v.Compare(st.maxs[i]); err == nil && c > 0 {
+					st.maxs[i] = v
+				}
+			default: // SUM, AVG
+				f, ok := v.AsFloat()
+				if !ok {
+					return fmt.Errorf("aggregation %s over non-numeric value %s", a.Func, v)
+				}
+				st.sums[i] += f
+				if v.Kind() == expr.KindInt {
+					st.intSums[i] += v.AsInt()
+				} else {
+					st.sumIsInt[i] = false
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// result finalises the aggregation. A global aggregate over zero rows
+// still emits one row of zero counts / NULLs, like SQL.
+func (o *aggregationOp) result() [][]expr.Value {
+	if len(o.group) == 0 && len(o.states) == 0 {
+		o.states[0] = []*aggState{o.newState()}
+		o.orderKeys = append(o.orderKeys, 0)
+	}
+	var out [][]expr.Value
+	for _, h := range o.orderKeys {
+		for _, st := range o.states[h] {
+			row := make([]expr.Value, 0, len(o.gIdx)+len(o.aggs))
+			row = append(row, st.groupVals...)
+			for i, a := range o.aggs {
+				switch a.Func {
+				case "COUNT":
+					row = append(row, expr.Int(st.counts[i]))
+				case "MIN":
+					row = append(row, st.mins[i])
+				case "MAX":
+					row = append(row, st.maxs[i])
+				case "SUM":
+					if st.counts[i] == 0 {
+						row = append(row, expr.Null())
+					} else if st.sumIsInt[i] {
+						row = append(row, expr.Int(st.intSums[i]))
+					} else {
+						row = append(row, expr.Float(st.sums[i]))
+					}
+				case "AVG":
+					if st.counts[i] == 0 {
+						row = append(row, expr.Null())
+					} else {
+						row = append(row, expr.Float(st.sums[i]/float64(st.counts[i])))
+					}
+				}
+			}
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// valuesIdentical groups NULLs together (unlike Value.Equal, which is
+// SQL-style and never matches NULL).
+func valuesIdentical(a, b expr.Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() && b.IsNull()
+	}
+	return a.Equal(b)
+}
+
+// sortOp buffers its input and emits it stably ordered (NULLs first).
+type sortOp struct {
+	idx  []int
+	rows [][]expr.Value
+}
+
+func newSortOp(n *xlm.Node, in []xlm.Field) (*sortOp, error) {
+	by := n.SortBy()
+	index := fieldIndex(in)
+	idx := make([]int, len(by))
+	for i, c := range by {
+		j, ok := index[c]
+		if !ok {
+			return nil, fmt.Errorf("sort input lacks column %q", c)
+		}
+		idx[i] = j
+	}
+	return &sortOp{idx: idx}, nil
+}
+
+func (o *sortOp) add(rows [][]expr.Value) {
+	o.rows = append(o.rows, rows...)
+}
+
+func (o *sortOp) result() [][]expr.Value {
+	sort.SliceStable(o.rows, func(a, b int) bool {
+		ra, rb := o.rows[a], o.rows[b]
+		for _, j := range o.idx {
+			va, vb := ra[j], rb[j]
+			// NULLs first.
+			if va.IsNull() || vb.IsNull() {
+				if va.IsNull() && vb.IsNull() {
+					continue
+				}
+				return va.IsNull()
+			}
+			c, err := va.Compare(vb)
+			if err != nil || c == 0 {
+				continue
+			}
+			return c < 0
+		}
+		return false
+	})
+	return o.rows
+}
+
+// surrogateKeyOp assigns a dense 1-based integer key per distinct
+// natural key, in first-seen order. Assignment only depends on the
+// prefix already consumed, so it streams.
+type surrogateKeyOp struct {
+	idx      []int
+	assigned map[uint64]*skBucket
+	next     int64
+}
+
+type skBucket struct {
+	keys [][]expr.Value
+	ids  []int64
+}
+
+func newSurrogateKeyOp(n *xlm.Node, in []xlm.Field) (*surrogateKeyOp, error) {
+	index := fieldIndex(in)
+	var idx []int
+	for _, c := range strings.Split(n.Param("on"), ",") {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			continue
+		}
+		j, ok := index[c]
+		if !ok {
+			return nil, fmt.Errorf("surrogate key input lacks column %q", c)
+		}
+		idx = append(idx, j)
+	}
+	return &surrogateKeyOp{idx: idx, assigned: map[uint64]*skBucket{}, next: 1}, nil
+}
+
+func (o *surrogateKeyOp) apply(dst, rows [][]expr.Value) [][]expr.Value {
+	for _, row := range rows {
+		h := uint64(1469598103934665603)
+		for _, j := range o.idx {
+			h = h*1099511628211 ^ row[j].Hash()
+		}
+		b := o.assigned[h]
+		if b == nil {
+			b = &skBucket{}
+			o.assigned[h] = b
+		}
+		var id int64
+		found := false
+		for i, k := range b.keys {
+			same := true
+			for p, j := range o.idx {
+				if !valuesIdentical(k[p], row[j]) {
+					same = false
+					break
+				}
+			}
+			if same {
+				id = b.ids[i]
+				found = true
+				break
+			}
+		}
+		if !found {
+			id = o.next
+			o.next++
+			key := make([]expr.Value, len(o.idx))
+			for p, j := range o.idx {
+				key[p] = row[j]
+			}
+			b.keys = append(b.keys, key)
+			b.ids = append(b.ids, id)
+		}
+		nr := make([]expr.Value, 0, len(row)+1)
+		nr = append(nr, row...)
+		nr = append(nr, expr.Int(id))
+		dst = append(dst, nr)
+	}
+	return dst
+}
+
+// loaderOp creates-or-replaces (default) or appends to the target
+// table and streams batches into it. In append mode onto an existing
+// table the incoming schema is remapped onto the table's column order
+// by name — matching names in a different order load correctly, and a
+// true schema mismatch (missing column, arity or type conflict) is an
+// error instead of silently corrupting data positionally.
+type loaderOp struct {
+	table   string
+	t       *storage.Table
+	remap   []int // remap[i] = input position of table column i; nil = positional
+	written int64
+}
+
+func newLoaderOp(n *xlm.Node, in []xlm.Field, db *storage.DB) (*loaderOp, error) {
+	table := n.Param("table")
+	cols := make([]storage.Column, len(in))
+	for i, f := range in {
+		cols[i] = storage.Column{Name: f.Name, Type: f.Type}
+	}
+	op := &loaderOp{table: table}
+	var err error
+	switch n.Param("mode") {
+	case "", "replace":
+		op.t, err = db.CreateOrReplaceTable(table, cols)
+	case "append":
+		t, ok := db.Table(table)
+		if !ok {
+			op.t, err = db.CreateTable(table, cols)
+			break
+		}
+		op.t = t
+		op.remap, err = appendRemap(table, in, t.Columns)
+	default:
+		return nil, fmt.Errorf("loader mode %q unknown", n.Param("mode"))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+// appendRemap maps the incoming fields onto an existing table's column
+// order by name; nil means the orders already coincide.
+func appendRemap(table string, in []xlm.Field, cols []storage.Column) ([]int, error) {
+	if len(in) != len(cols) {
+		return nil, fmt.Errorf("append to table %q: flow has %d columns, table has %d", table, len(in), len(cols))
+	}
+	index := fieldIndex(in)
+	remap := make([]int, len(cols))
+	identity := true
+	for i, c := range cols {
+		j, ok := index[c.Name]
+		if !ok {
+			return nil, fmt.Errorf("append to table %q: flow lacks column %q", table, c.Name)
+		}
+		f := in[j]
+		if f.Type != c.Type && !(f.Type == "int" && c.Type == "float") {
+			return nil, fmt.Errorf("append to table %q: column %q is %s in the flow but %s in the table", table, c.Name, f.Type, c.Type)
+		}
+		remap[i] = j
+		if j != i {
+			identity = false
+		}
+	}
+	if identity {
+		return nil, nil
+	}
+	return remap, nil
+}
+
+// write appends one batch to the target table.
+func (o *loaderOp) write(rows [][]expr.Value) error {
+	batch := make([]storage.Row, len(rows))
+	for i, r := range rows {
+		if o.remap == nil {
+			batch[i] = r
+			continue
+		}
+		nr := make(storage.Row, len(o.remap))
+		for k, j := range o.remap {
+			nr[k] = r[j]
+		}
+		batch[i] = nr
+	}
+	if err := o.t.AppendBatch(batch); err != nil {
+		return err
+	}
+	o.written += int64(len(rows))
+	return nil
+}

@@ -1,0 +1,699 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quarry/internal/expr"
+	"quarry/internal/storage"
+	"quarry/internal/xlm"
+)
+
+// DefaultBatchSize is the number of rows per pipeline batch.
+const DefaultBatchSize = 1024
+
+// pipeDepth is the per-edge buffer of in-flight batches on bounded
+// (single-consumer) edges.
+const pipeDepth = 4
+
+// Options tunes the pipelined executor.
+type Options struct {
+	// Parallelism bounds how many operators may process batches
+	// concurrently (the worker pool size). Zero or negative uses
+	// GOMAXPROCS. Parallelism 1 executes one operator at a time and is
+	// byte-identical to RunMaterializing's output — as is any other
+	// setting: per-edge batch order is deterministic, so parallelism
+	// never changes results, only wall-clock time.
+	Parallelism int
+	// BatchSize is the number of rows per batch streamed between
+	// operators. Zero or negative uses DefaultBatchSize.
+	BatchSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	return o
+}
+
+// Batch is a run of rows streamed along one design edge. Batches are
+// immutable once emitted: a batch may be shared by every consumer of a
+// fan-out node, so operators must never mutate received rows.
+type Batch struct {
+	Rows [][]expr.Value
+}
+
+// source is the consumer side of an edge: next returns the following
+// batch, or false at end-of-stream (or abort).
+type source interface {
+	next() (*Batch, bool)
+}
+
+// sink is the producer side of an edge.
+type sink interface {
+	send(*Batch) bool // false when the run has been aborted
+	close()
+}
+
+// pipeEdge is a bounded single-consumer edge. Producers block when the
+// consumer falls behind (backpressure), which keeps the memory of a
+// streaming pipeline segment bounded at pipeDepth batches.
+type pipeEdge struct {
+	ch    chan *Batch
+	abort <-chan struct{}
+}
+
+func (e *pipeEdge) send(b *Batch) bool {
+	select {
+	case e.ch <- b:
+		return true
+	case <-e.abort:
+		return false
+	}
+}
+
+func (e *pipeEdge) close() { close(e.ch) }
+
+func (e *pipeEdge) next() (*Batch, bool) {
+	select {
+	case b, ok := <-e.ch:
+		return b, ok
+	case <-e.abort:
+		return nil, false
+	}
+}
+
+// fanEdge is one consumer's private cursor over a multi-consumer
+// node's output. Sends never block: a slow consumer buffers batches
+// instead of stalling its siblings. That is what makes
+// order-preserving consumers deadlock-free on shared subplans — a
+// Union draining its first input to completion, or a Join building
+// from its right input before probing, must not be able to wedge a
+// shared upstream producer. Worst-case buffering equals what the
+// materialising executor held anyway; consumed slots are released
+// eagerly.
+type fanEdge struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	items   []*Batch
+	head    int
+	closed  bool
+	aborted bool
+}
+
+func newFanEdge() *fanEdge {
+	e := &fanEdge{}
+	e.cond.L = &e.mu
+	return e
+}
+
+func (e *fanEdge) send(b *Batch) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.aborted {
+		return false
+	}
+	e.items = append(e.items, b)
+	e.cond.Signal()
+	return true
+}
+
+func (e *fanEdge) close() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+func (e *fanEdge) forceClose() {
+	e.mu.Lock()
+	e.aborted = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+func (e *fanEdge) next() (*Batch, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.aborted {
+			return nil, false
+		}
+		if e.head < len(e.items) {
+			b := e.items[e.head]
+			e.items[e.head] = nil // release the slot
+			e.head++
+			return b, true
+		}
+		if e.closed {
+			return nil, false
+		}
+		e.cond.Wait()
+	}
+}
+
+// nodeStats accumulates one operator's instrumentation. Today each
+// runner goroutine is the sole writer of its own counters (the main
+// goroutine reads only after wg.Wait), so plain fields would do; they
+// are atomic deliberately, so that future intra-operator parallelism
+// (a partitioned probe or scan writing from several goroutines)
+// cannot silently race them.
+type nodeStats struct {
+	rowsIn  atomic.Int64
+	rowsOut atomic.Int64
+	nanos   atomic.Int64
+}
+
+// executor owns one pipelined run.
+type executor struct {
+	opts Options
+	db   *storage.DB
+
+	sem   chan struct{} // worker-pool tokens
+	abort chan struct{} // closed on first error
+	fails sync.Once
+	err   error
+	fans  []*fanEdge
+
+	loadedMu sync.Mutex
+	loaded   map[string]int64
+}
+
+func (ex *executor) fail(err error) {
+	ex.fails.Do(func() {
+		ex.err = err
+		close(ex.abort)
+		for _, f := range ex.fans {
+			f.forceClose()
+		}
+	})
+}
+
+func (ex *executor) failed() bool {
+	select {
+	case <-ex.abort:
+		return true
+	default:
+		return false
+	}
+}
+
+func (ex *executor) addLoaded(table string, n int64) {
+	ex.loadedMu.Lock()
+	ex.loaded[table] += n
+	ex.loadedMu.Unlock()
+}
+
+// errAborted signals that another operator already failed; it is never
+// surfaced to the caller.
+var errAborted = errors.New("engine: run aborted")
+
+// runner executes one operation as a goroutine over its edges.
+type runner struct {
+	ex    *executor
+	node  *xlm.Node
+	infds [][]xlm.Field // input schemas, in edge order
+	ins   []source
+	outs  []sink
+	stats *nodeStats
+
+	// Source bindings are resolved at graph construction (before any
+	// goroutine starts), so a datastore always observes the table
+	// version that existed when the run began, even when a loader
+	// replaces it mid-run — exactly like the materialising executor.
+	// Loader targets, in contrast, are bound lazily (see runLoader):
+	// a run that fails upstream must not have replaced its target
+	// tables with empty ones.
+	ds *datastoreOp
+
+	// Loaders sharing one target table are chained in topological
+	// order — each waits for loadAfter and closes loadDone on success
+	// — reproducing the materialising execution order instead of
+	// racing on the table. (A waiting loader cannot deadlock its
+	// predecessor: the chains feeding two loaders only meet at
+	// fan-out nodes, whose edges never block.)
+	loadAfter <-chan struct{}
+	loadDone  chan struct{}
+}
+
+// work runs fn holding a worker-pool token and charges its wall time
+// to the operator. The token is held only while computing — never
+// while blocked on an edge — so Parallelism bounds CPU concurrency
+// without the pool starvation a blocked-holder design would risk.
+func (r *runner) work(fn func() error) error {
+	r.ex.sem <- struct{}{}
+	start := time.Now()
+	err := fn()
+	r.stats.nanos.Add(int64(time.Since(start)))
+	<-r.ex.sem
+	return err
+}
+
+// emit forwards a batch to every consumer, counting its rows once.
+func (r *runner) emit(b *Batch) bool {
+	if len(b.Rows) == 0 {
+		return true
+	}
+	r.stats.rowsOut.Add(int64(len(b.Rows)))
+	for _, o := range r.outs {
+		if !o.send(b) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *runner) emitRows(rows [][]expr.Value) bool {
+	if len(rows) == 0 {
+		return true
+	}
+	return r.emit(&Batch{Rows: rows})
+}
+
+// emitAll chunks a blocking operator's materialised result into
+// batches.
+func (r *runner) emitAll(rows [][]expr.Value) bool {
+	bs := r.ex.opts.BatchSize
+	for start := 0; start < len(rows); start += bs {
+		end := start + bs
+		if end > len(rows) {
+			end = len(rows)
+		}
+		if !r.emitRows(rows[start:end]) {
+			return false
+		}
+	}
+	return true
+}
+
+// drain consumes input i to end-of-stream, counting rows in.
+func (r *runner) drain(i int, fn func(*Batch) error) error {
+	for {
+		b, ok := r.ins[i].next()
+		if !ok {
+			return nil
+		}
+		r.stats.rowsIn.Add(int64(len(b.Rows)))
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+}
+
+func (r *runner) run() {
+	defer func() {
+		for _, o := range r.outs {
+			o.close()
+		}
+	}()
+	var err error
+	switch r.node.Type {
+	case xlm.OpDatastore:
+		err = r.runDatastore()
+	case xlm.OpExtraction, xlm.OpUnion:
+		err = r.runPassthrough()
+	case xlm.OpSelection:
+		err = r.runSelection()
+	case xlm.OpProjection:
+		err = r.runProjection()
+	case xlm.OpFunction:
+		err = r.runFunction()
+	case xlm.OpJoin:
+		err = r.runJoin()
+	case xlm.OpAggregation:
+		err = r.runAggregation()
+	case xlm.OpSort:
+		err = r.runSort()
+	case xlm.OpSurrogateKey:
+		err = r.runSurrogateKey()
+	case xlm.OpLoader:
+		err = r.runLoader()
+	default:
+		err = fmt.Errorf("unsupported operation type %q", r.node.Type)
+	}
+	if err != nil && err != errAborted {
+		r.ex.fail(fmt.Errorf("engine: node %q: %w", r.node.Name, err))
+	}
+}
+
+func (r *runner) runDatastore() error {
+	bs := r.ex.opts.BatchSize
+	for start := 0; start < r.ds.limit; start += bs {
+		var rows [][]expr.Value
+		if err := r.work(func() error {
+			rows = r.ds.read(start, bs)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if !r.emitRows(rows) {
+			return errAborted
+		}
+	}
+	return nil
+}
+
+// runPassthrough forwards batches unchanged: Extraction (one input)
+// and Union (≥2 inputs, concatenated in edge order).
+func (r *runner) runPassthrough() error {
+	for i := range r.ins {
+		if err := r.drain(i, func(b *Batch) error {
+			if !r.emit(b) {
+				return errAborted
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *runner) runSelection() error {
+	op, err := newSelectionOp(r.node, r.infds[0])
+	if err != nil {
+		return err
+	}
+	return r.drain(0, func(b *Batch) error {
+		var out [][]expr.Value
+		if err := r.work(func() error {
+			var err error
+			out, err = op.filter(nil, b.Rows)
+			return err
+		}); err != nil {
+			return err
+		}
+		if !r.emitRows(out) {
+			return errAborted
+		}
+		return nil
+	})
+}
+
+func (r *runner) runProjection() error {
+	op, err := newProjectionOp(r.node, r.infds[0])
+	if err != nil {
+		return err
+	}
+	return r.drain(0, func(b *Batch) error {
+		var out [][]expr.Value
+		if err := r.work(func() error {
+			out = op.apply(nil, b.Rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if !r.emitRows(out) {
+			return errAborted
+		}
+		return nil
+	})
+}
+
+func (r *runner) runFunction() error {
+	op, err := newFunctionOp(r.node, r.infds[0])
+	if err != nil {
+		return err
+	}
+	return r.drain(0, func(b *Batch) error {
+		var out [][]expr.Value
+		if err := r.work(func() error {
+			var err error
+			out, err = op.apply(nil, b.Rows)
+			return err
+		}); err != nil {
+			return err
+		}
+		if !r.emitRows(out) {
+			return errAborted
+		}
+		return nil
+	})
+}
+
+func (r *runner) runJoin() error {
+	op, err := newJoinOp(r.node, r.infds[0], r.infds[1])
+	if err != nil {
+		return err
+	}
+	// Build incrementally from the right input...
+	if err := r.drain(1, func(b *Batch) error {
+		return r.work(func() error {
+			op.addBuild(b.Rows)
+			return nil
+		})
+	}); err != nil {
+		return err
+	}
+	// ...then stream the left input through the probe.
+	return r.drain(0, func(b *Batch) error {
+		var out [][]expr.Value
+		if err := r.work(func() error {
+			out = op.probe(nil, b.Rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if !r.emitRows(out) {
+			return errAborted
+		}
+		return nil
+	})
+}
+
+func (r *runner) runAggregation() error {
+	op, err := newAggregationOp(r.node, r.infds[0])
+	if err != nil {
+		return err
+	}
+	if err := r.drain(0, func(b *Batch) error {
+		return r.work(func() error { return op.add(b.Rows) })
+	}); err != nil {
+		return err
+	}
+	if r.ex.failed() {
+		return errAborted
+	}
+	var rows [][]expr.Value
+	if err := r.work(func() error {
+		rows = op.result()
+		return nil
+	}); err != nil {
+		return err
+	}
+	if !r.emitAll(rows) {
+		return errAborted
+	}
+	return nil
+}
+
+func (r *runner) runSort() error {
+	op, err := newSortOp(r.node, r.infds[0])
+	if err != nil {
+		return err
+	}
+	if err := r.drain(0, func(b *Batch) error {
+		return r.work(func() error {
+			op.add(b.Rows)
+			return nil
+		})
+	}); err != nil {
+		return err
+	}
+	if r.ex.failed() {
+		return errAborted
+	}
+	var rows [][]expr.Value
+	if err := r.work(func() error {
+		rows = op.result()
+		return nil
+	}); err != nil {
+		return err
+	}
+	if !r.emitAll(rows) {
+		return errAborted
+	}
+	return nil
+}
+
+func (r *runner) runSurrogateKey() error {
+	op, err := newSurrogateKeyOp(r.node, r.infds[0])
+	if err != nil {
+		return err
+	}
+	return r.drain(0, func(b *Batch) error {
+		var out [][]expr.Value
+		if err := r.work(func() error {
+			out = op.apply(nil, b.Rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if !r.emitRows(out) {
+			return errAborted
+		}
+		return nil
+	})
+}
+
+// runLoader streams batches into the target table. The table is bound
+// (created/replaced, or append-remapped) on the first batch — or at a
+// clean end-of-stream for zero-row loads, which still create their
+// target like the materialising path — so a run that fails before any
+// data reaches the loader leaves existing target tables untouched.
+// Once data starts flowing the load is streaming: a run failing
+// mid-load can leave a partially written target (the price of not
+// buffering entire loads; the materialising path wrote each load
+// atomically at the loader's turn).
+func (r *runner) runLoader() error {
+	if r.loadAfter != nil {
+		select {
+		case <-r.loadAfter:
+		case <-r.ex.abort:
+			return errAborted
+		}
+	}
+	var op *loaderOp
+	bind := func() error {
+		if op != nil {
+			return nil
+		}
+		var err error
+		op, err = newLoaderOp(r.node, r.infds[0], r.ex.db)
+		return err
+	}
+	if err := r.drain(0, func(b *Batch) error {
+		return r.work(func() error {
+			if err := bind(); err != nil {
+				return err
+			}
+			return op.write(b.Rows)
+		})
+	}); err != nil {
+		return err
+	}
+	if r.ex.failed() {
+		return errAborted
+	}
+	if err := bind(); err != nil {
+		return err
+	}
+	r.ex.addLoaded(op.table, op.written)
+	// Release the next loader of this table, if any. On failure paths
+	// loadDone stays open and successors unblock through abort.
+	close(r.loadDone)
+	return nil
+}
+
+// RunWithOptions validates and executes the design with the pipelined,
+// DAG-parallel executor. Every operation runs as a batch iterator over
+// its input edges; single-consumer edges are bounded channels
+// (backpressure), multi-consumer nodes fan out through per-consumer
+// cursors. On success, results — loaded tables, per-operation row
+// counts, Loaded totals — are byte-identical to RunMaterializing for
+// any Options. On a failed run, target tables that no data reached
+// stay untouched, but a loader already mid-stream may leave a
+// partially written target (loads stream instead of buffering; the
+// materialising path wrote each load atomically at the loader's
+// turn).
+func RunWithOptions(d *xlm.Design, db *storage.DB, opts Options) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := d.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	ex := &executor{
+		opts:   opts,
+		db:     db,
+		sem:    make(chan struct{}, opts.Parallelism),
+		abort:  make(chan struct{}),
+		loaded: map[string]int64{},
+	}
+	// One edge object per design edge. A node with several consumers
+	// gets one never-blocking fanEdge cursor per consumer; a node with
+	// a single consumer streams through a bounded pipe.
+	type edgeKey struct{ from, to string }
+	type duplex interface {
+		source
+		sink
+	}
+	edges := map[edgeKey]duplex{}
+	for _, e := range d.Edges() {
+		if len(d.Outputs(e.From)) > 1 {
+			fe := newFanEdge()
+			ex.fans = append(ex.fans, fe)
+			edges[edgeKey{e.From, e.To}] = fe
+		} else {
+			edges[edgeKey{e.From, e.To}] = &pipeEdge{
+				ch:    make(chan *Batch, pipeDepth),
+				abort: ex.abort,
+			}
+		}
+	}
+	// Build runners in topological order. Datastore bindings happen
+	// here, sequentially and before any goroutine starts, so "table
+	// not found" surfaces without side effects and scans snapshot the
+	// pre-run table versions.
+	runners := make([]*runner, 0, len(order))
+	stats := make(map[string]*nodeStats, len(order))
+	loaderChain := map[string]chan struct{}{}
+	for _, n := range order {
+		r := &runner{ex: ex, node: n, stats: &nodeStats{}}
+		stats[n.Name] = r.stats
+		for _, in := range d.Inputs(n.Name) {
+			r.infds = append(r.infds, in.Fields)
+			r.ins = append(r.ins, edges[edgeKey{in.Name, n.Name}])
+		}
+		for _, out := range d.Outputs(n.Name) {
+			r.outs = append(r.outs, edges[edgeKey{n.Name, out.Name}])
+		}
+		switch n.Type {
+		case xlm.OpDatastore:
+			if r.ds, err = newDatastoreOp(n, db); err != nil {
+				return nil, fmt.Errorf("engine: node %q: %w", n.Name, err)
+			}
+		case xlm.OpLoader:
+			table := n.Param("table")
+			r.loadAfter = loaderChain[table]
+			r.loadDone = make(chan struct{})
+			loaderChain[table] = r.loadDone
+		}
+		runners = append(runners, r)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, r := range runners {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.run()
+		}()
+	}
+	wg.Wait()
+	if ex.err != nil {
+		return nil, ex.err
+	}
+	res := &Result{Loaded: ex.loaded, Elapsed: time.Since(start)}
+	for _, n := range order {
+		st := stats[n.Name]
+		res.Stats = append(res.Stats, OpStat{
+			Node:     n.Name,
+			Type:     n.Type,
+			RowsIn:   st.rowsIn.Load(),
+			RowsOut:  st.rowsOut.Load(),
+			Duration: time.Duration(st.nanos.Load()),
+		})
+	}
+	return res, nil
+}

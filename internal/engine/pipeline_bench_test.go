@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"testing"
+
+	"quarry/internal/etlintegrator"
+	"quarry/internal/interpreter"
+	"quarry/internal/quality"
+	"quarry/internal/storage"
+	"quarry/internal/tpch"
+	"quarry/internal/xlm"
+)
+
+// benchIntegratedDesign builds the multi-branch unified ETL flow over
+// all canonical TPC-H requirements plus a generated micro-TPC-H
+// instance at the given scale factor — the workload the
+// materializing-vs-pipelined speedup is tracked on.
+func benchIntegratedDesign(b *testing.B, sf float64) (*xlm.Design, *storage.DB) {
+	b.Helper()
+	o, err := tpch.Ontology()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := tpch.Mapping()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := tpch.Catalog(sf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := interpreter.New(o, m, c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	etlInt := etlintegrator.New(quality.DefaultETLCost(c), true)
+	var unified *xlm.Design
+	for _, r := range tpch.CanonicalRequirements() {
+		pd, err := in.Interpret(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if unified, _, err = etlInt.Integrate(unified, pd.ETL); err != nil {
+			b.Fatal(err)
+		}
+	}
+	db := storage.NewDB()
+	if _, err := tpch.Generate(db, sf, 42); err != nil {
+		b.Fatal(err)
+	}
+	return unified, db
+}
+
+func BenchmarkEngineExec_Materializing(b *testing.B) {
+	d, db := benchIntegratedDesign(b, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunMaterializing(d, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineExec_Pipelined(b *testing.B) {
+	d, db := benchIntegratedDesign(b, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(d, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -139,7 +139,7 @@ func TestQuickAggregationMatchesReference(t *testing.T) {
 			}
 			s, _ := row[1].AsFloat()
 			a, _ := row[3].AsFloat()
-			if !close(s, sums[g]) || row[2].AsInt() != counts[g] || !close(a, sums[g]/float64(counts[g])) {
+			if !approxEq(s, sums[g]) || row[2].AsInt() != counts[g] || !approxEq(a, sums[g]/float64(counts[g])) {
 				ok = false
 			}
 			return nil
@@ -151,7 +151,7 @@ func TestQuickAggregationMatchesReference(t *testing.T) {
 	}
 }
 
-func close(a, b float64) bool {
+func approxEq(a, b float64) bool {
 	d := a - b
 	return d < 1e-6 && d > -1e-6
 }
@@ -257,7 +257,7 @@ func TestQuickSelectionFunctionCommute(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return rows1 == out2.NumRows() && close(sum1, sumCol(out2, "y"))
+		return rows1 == out2.NumRows() && approxEq(sum1, sumCol(out2, "y"))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)

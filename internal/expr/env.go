@@ -1,0 +1,46 @@
+package expr
+
+// SliceEnv is a reusable environment over positional rows: the
+// name→position index is fixed at construction and Bind repoints the
+// environment at a new row without allocating. Row-at-a-time executors
+// that build a fresh closure per row spend a large share of their
+// inner loop in that allocation; a SliceEnv is built once per operator
+// and rebound per row (or per batch element) for free.
+//
+//	env := expr.NewSliceEnv(index)
+//	f := env.Env() // one closure, reused for every row
+//	for _, row := range rows {
+//		env.Bind(row)
+//		v, err := expr.Eval(node, f)
+//		...
+//	}
+//
+// A SliceEnv is not safe for concurrent use; each evaluating goroutine
+// needs its own.
+type SliceEnv struct {
+	index map[string]int
+	row   []Value
+	env   Env
+}
+
+// NewSliceEnv builds a SliceEnv resolving names through index.
+func NewSliceEnv(index map[string]int) *SliceEnv {
+	e := &SliceEnv{index: index}
+	e.env = e.lookup
+	return e
+}
+
+func (e *SliceEnv) lookup(name string) (Value, bool) {
+	i, ok := e.index[name]
+	if !ok || i >= len(e.row) {
+		return Null(), false
+	}
+	return e.row[i], true
+}
+
+// Bind points the environment at a new row. The row is read, never
+// mutated.
+func (e *SliceEnv) Bind(row []Value) { e.row = row }
+
+// Env returns the reusable Env closure bound to the current row.
+func (e *SliceEnv) Env() Env { return e.env }

@@ -379,3 +379,35 @@ func TestBuiltinsListSorted(t *testing.T) {
 		}
 	}
 }
+
+func TestSliceEnvRebinds(t *testing.T) {
+	e, err := Parse("a + b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewSliceEnv(map[string]int{"a": 0, "b": 1})
+	f := env.Env()
+	rows := [][]Value{
+		{Int(1), Int(2)},
+		{Int(10), Int(20)},
+	}
+	want := []int64{3, 30}
+	for i, row := range rows {
+		env.Bind(row)
+		v, err := Eval(e, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.AsInt() != want[i] {
+			t.Errorf("row %d = %v, want %d", i, v, want[i])
+		}
+	}
+	// Unbound name and out-of-range index both report unbound.
+	env.Bind(rows[0][:1])
+	if _, err := Eval(e, f); err == nil {
+		t.Error("short row bound b")
+	}
+	if _, err := Eval(MustParse("ghost"), f); err == nil {
+		t.Error("unknown name bound")
+	}
+}

@@ -163,6 +163,35 @@ func (t *Table) Scan(fn func(Row) error) error {
 	return nil
 }
 
+// ReadBatch returns up to max rows starting at position start, or nil
+// once start is past the end. The returned slice is a shared,
+// immutable view: callers must not mutate it or the rows it holds.
+// (Appends past the view never move existing rows, so the view stays
+// valid while the table grows.) Cursor-style batch reads amortise one
+// lock acquisition over max rows, where Scan pays one callback per
+// row under a lock held for the whole table.
+func (t *Table) ReadBatch(start, max int) []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if start < 0 || start >= len(t.rows) || max <= 0 {
+		return nil
+	}
+	end := start + max
+	if end > len(t.rows) {
+		end = len(t.rows)
+	}
+	return t.rows[start:end:end]
+}
+
+// AppendBatch validates and appends a batch of rows under a single
+// lock acquisition, failing atomically per batch (nothing from a bad
+// batch is inserted). It is the write-side counterpart of ReadBatch:
+// streaming loaders push fixed-size batches through it instead of
+// buffering an entire load for InsertAll.
+func (t *Table) AppendBatch(rows []Row) error {
+	return t.InsertAll(rows)
+}
+
 // Rows returns a copy of all rows; for tests and small results.
 func (t *Table) Rows() []Row {
 	t.mu.RLock()

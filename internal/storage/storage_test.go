@@ -195,3 +195,56 @@ func TestConcurrentInsertAndScan(t *testing.T) {
 		t.Errorf("rows = %d, want 800", tbl.NumRows())
 	}
 }
+
+func TestReadBatch(t *testing.T) {
+	db := NewDB()
+	tbl, _ := db.CreateTable("t", []Column{{Name: "a", Type: "int"}})
+	for i := 0; i < 10; i++ {
+		tbl.Insert(Row{expr.Int(int64(i))})
+	}
+	var got []int64
+	for start := 0; ; start += 3 {
+		batch := tbl.ReadBatch(start, 3)
+		if batch == nil {
+			break
+		}
+		for _, r := range batch {
+			got = append(got, r[0].AsInt())
+		}
+	}
+	if len(got) != 10 {
+		t.Fatalf("cursor read %d rows, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Errorf("row %d = %d", i, v)
+		}
+	}
+	if tbl.ReadBatch(10, 3) != nil || tbl.ReadBatch(-1, 3) != nil || tbl.ReadBatch(0, 0) != nil {
+		t.Error("out-of-range ReadBatch not nil")
+	}
+	// A view taken before appends must not see them.
+	view := tbl.ReadBatch(8, 100)
+	if len(view) != 2 {
+		t.Fatalf("tail view = %d rows", len(view))
+	}
+	tbl.AppendBatch([]Row{{expr.Int(100)}, {expr.Int(101)}})
+	if len(view) != 2 || view[1][0].AsInt() != 9 {
+		t.Error("append mutated an existing batch view")
+	}
+	if tbl.NumRows() != 12 {
+		t.Errorf("rows after AppendBatch = %d", tbl.NumRows())
+	}
+}
+
+func TestAppendBatchAtomic(t *testing.T) {
+	db := NewDB()
+	tbl, _ := db.CreateTable("t", []Column{{Name: "a", Type: "int"}})
+	err := tbl.AppendBatch([]Row{{expr.Int(1)}, {expr.Str("bad")}})
+	if err == nil {
+		t.Fatal("typed batch accepted")
+	}
+	if tbl.NumRows() != 0 {
+		t.Errorf("partial batch inserted: %d rows", tbl.NumRows())
+	}
+}

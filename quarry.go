@@ -20,6 +20,15 @@
 //     (PostgreSQL DDL, Pentaho PDI transformations) and executes the
 //     unified flow natively to populate the warehouse.
 //
+// Native execution uses a batch-vectorised, pipelined, DAG-parallel
+// engine: operators stream fixed-size row batches and independent
+// branches of the unified flow run concurrently on a bounded worker
+// pool. Tune it with EngineOptions — Parallelism bounds concurrently
+// executing operators (default GOMAXPROCS; 1 gives single-threaded
+// execution), BatchSize sets rows per batch (default 1024) — via
+// Config.Engine, or per run with Platform.RunWith. Results are
+// identical for every setting; only wall-clock time changes.
+//
 // Quickstart:
 //
 //	p, db, err := quarry.NewTPCHPlatform(10, 42)  // micro-TPC-H, SF 10
@@ -87,6 +96,10 @@ type Elicitor = elicitor.Elicitor
 
 // RunResult is the outcome of executing an ETL design.
 type RunResult = engine.Result
+
+// EngineOptions tunes native ETL execution (DAG parallelism, rows per
+// batch); see Config.Engine and Platform.RunWith.
+type EngineOptions = engine.Options
 
 // New builds a Platform for a custom domain.
 func New(cfg Config) (*Platform, error) { return core.New(cfg) }
