@@ -551,3 +551,80 @@ func BenchmarkAblation_MetadataLayer(b *testing.B) {
 		}
 	})
 }
+
+// benchOLAPEngine builds a deployed TPC-H warehouse at SF 5 (the
+// ISSUE 2 benchmark setting) and returns its OLAP engine.
+func benchOLAPEngine(b *testing.B) *olap.Engine {
+	b.Helper()
+	p, _, err := quarry.NewTPCHPlatform(5, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.AddRequirement(quarry.RevenueRequirement()); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Run(); err != nil {
+		b.Fatal(err)
+	}
+	oe, err := p.OLAP()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return oe
+}
+
+// benchCubeQuery is the serving benchmark's workload: a two-dimension
+// star join with two aggregates at the Nation roll-up level.
+func benchCubeQuery() olap.CubeQuery {
+	return olap.CubeQuery{
+		Fact:    "fact_table_revenue",
+		GroupBy: []string{"p_brand"},
+		RollUp:  map[string]string{"Supplier": "Nation"},
+		Measures: []olap.MeasureSpec{
+			{Out: "total", Func: "SUM", Col: "revenue"},
+			{Out: "n", Func: "COUNT", Col: ""},
+		},
+	}
+}
+
+// BenchmarkOLAPQuery_StarFlow measures the star-flow oracle: the cube
+// query compiled to a throwaway xLM flow and executed by the full
+// engine in a scratch database.
+func BenchmarkOLAPQuery_StarFlow(b *testing.B) {
+	oe := benchOLAPEngine(b)
+	q := benchCubeQuery()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := oe.QueryStarFlow(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOLAPQuery_FastPath measures the vectorized serving path:
+// hash joins and aggregation planned directly over snapshot cursors,
+// no design construction, no warehouse writes.
+func BenchmarkOLAPQuery_FastPath(b *testing.B) {
+	oe := benchOLAPEngine(b)
+	q := benchCubeQuery()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := oe.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOLAPDice measures the diamond-dicing fixpoint (incremental
+// worklist algorithm) on top of the fast path.
+func BenchmarkOLAPDice(b *testing.B) {
+	oe := benchOLAPEngine(b)
+	q := benchCubeQuery()
+	q.Dice = &olap.DiceSpec{Func: "COUNT", Thresholds: map[string]float64{"p_brand": 3, "n_name": 5}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := oe.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

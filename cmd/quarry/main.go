@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"quarry"
@@ -52,13 +53,18 @@ func usage() {
 }
 
 // cmdOLAP: consume the deployed DW — build it for the revenue
-// requirement, then answer an analytical question from it.
+// requirement, then answer an analytical question from it on the
+// vectorized fast path (or the star-flow oracle with -oracle).
 func cmdOLAP(args []string) error {
 	fs := flag.NewFlagSet("olap", flag.ExitOnError)
 	sf := fs.Float64("sf", 10, "scale factor")
 	by := fs.String("by", "n_name", "comma-separated group-by columns")
 	measure := fs.String("measure", "SUM:revenue", "FUNC:column aggregate")
 	filter := fs.String("filter", "", "optional predicate over fact/dimension columns")
+	rollup := fs.String("rollup", "", "comma-separated Dimension=Level roll-ups (e.g. Supplier=Nation)")
+	dice := fs.String("dice", "", "diamond dice: comma-separated column=minCarat thresholds")
+	diceCarat := fs.String("dice-carat", "COUNT:", "dice carat aggregate, FUNC:column (COUNT: counts rows)")
+	oracle := fs.Bool("oracle", false, "answer via the star-flow oracle instead of the fast path")
 	fs.Parse(args)
 	p, err := newPlatform(*sf)
 	if err != nil {
@@ -84,7 +90,40 @@ func cmdOLAP(args []string) error {
 		Measures: []olap.MeasureSpec{{Out: "answer", Func: parts[0], Col: parts[1]}},
 		Filter:   *filter,
 	}
-	res, err := oe.Query(q)
+	if *rollup != "" {
+		q.RollUp = map[string]string{}
+		for _, pair := range strings.Split(*rollup, ",") {
+			kv := strings.SplitN(pair, "=", 2)
+			if len(kv) != 2 {
+				return fmt.Errorf("rollup must be Dimension=Level, got %q", pair)
+			}
+			q.RollUp[strings.TrimSpace(kv[0])] = strings.TrimSpace(kv[1])
+		}
+	}
+	if *dice != "" {
+		cp := strings.SplitN(*diceCarat, ":", 2)
+		if len(cp) != 2 {
+			return fmt.Errorf("dice-carat must be FUNC:column, got %q", *diceCarat)
+		}
+		spec := &olap.DiceSpec{Func: cp[0], Col: cp[1], Thresholds: map[string]float64{}}
+		for _, pair := range strings.Split(*dice, ",") {
+			kv := strings.SplitN(pair, "=", 2)
+			if len(kv) != 2 {
+				return fmt.Errorf("dice must be column=minCarat, got %q", pair)
+			}
+			min, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+			if err != nil {
+				return fmt.Errorf("dice threshold %q: %w", pair, err)
+			}
+			spec.Thresholds[strings.TrimSpace(kv[0])] = min
+		}
+		q.Dice = spec
+	}
+	query := oe.Query
+	if *oracle {
+		query = oe.QueryStarFlow
+	}
+	res, err := query(q)
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@
 //
 //	quarryd [-addr :8080] [-sf 10] [-seed 42] [-store DIR]
 //	        [-parallelism 0] [-batch-size 0]
+//	        [-olap-concurrency 0] [-olap-cache 256]
 package main
 
 import (
@@ -27,6 +28,8 @@ func main() {
 	store := flag.String("store", "", "metadata repository directory (empty: in-memory)")
 	parallelism := flag.Int("parallelism", 0, "ETL engine worker pool size (0: GOMAXPROCS)")
 	batchSize := flag.Int("batch-size", 0, "ETL engine rows per batch (0: engine default)")
+	olapConc := flag.Int("olap-concurrency", 0, "max concurrent OLAP queries (0: 2×GOMAXPROCS)")
+	olapCache := flag.Int("olap-cache", 256, "OLAP result cache capacity (negative disables)")
 	flag.Parse()
 
 	onto, err := tpch.Ontology()
@@ -53,8 +56,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("quarryd: %v", err)
 	}
+	srv := server.NewWithOptions(p, server.Options{
+		OLAPConcurrency: *olapConc,
+		OLAPCacheSize:   *olapCache,
+	})
 	log.Printf("quarryd: micro-TPC-H ready (%d lineitems); listening on %s", sizes.Lineitem, *addr)
-	if err := http.ListenAndServe(*addr, server.New(p).Handler()); err != nil {
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatalf("quarryd: %v", err)
 	}
 }

@@ -87,6 +87,10 @@ type Platform struct {
 	partials   map[string]*interpreter.PartialDesign
 	unifiedMD  *xmd.Schema
 	unifiedETL *xlm.Design
+	// olapEng is the lazily-built OLAP engine over the current unified
+	// design; it is immutable (built from clones) and shared by every
+	// concurrent query until a design change invalidates it.
+	olapEng *olap.Engine
 }
 
 // New builds a Platform from the configuration.
@@ -207,6 +211,7 @@ func (p *Platform) AddRequirement(r *xrq.Requirement) (*ChangeReport, error) {
 	p.order = append(p.order, r.ID)
 	p.unifiedMD = newMD
 	p.unifiedETL = newETL
+	p.olapEng = nil
 	if err := p.persistLocked(r, pd); err != nil {
 		return nil, err
 	}
@@ -295,6 +300,7 @@ func (p *Platform) rederiveLocked() error {
 	}
 	p.unifiedMD = md
 	p.unifiedETL = etl
+	p.olapEng = nil
 	if md != nil {
 		if err := p.repo.SaveMD("unified", md); err != nil {
 			return err
@@ -492,9 +498,15 @@ func (p *Platform) Run() (*engine.Result, error) {
 
 // RunWith executes the unified ETL natively with explicit engine
 // options (overriding the configured defaults for this run only).
+// The design is cloned for the run, so concurrent runs — and
+// concurrent OLAP queries — never share mutable design state
+// (validation caches inferred schemas on the design's nodes).
 func (p *Platform) RunWith(opts engine.Options) (*engine.Result, error) {
 	p.mu.Lock()
-	etl := p.unifiedETL
+	var etl *xlm.Design
+	if p.unifiedETL != nil {
+		etl = p.unifiedETL.Clone()
+	}
 	db := p.db
 	p.mu.Unlock()
 	if etl == nil {
@@ -513,15 +525,24 @@ func (p *Platform) EngineOptions() engine.Options {
 	return p.engineOpts
 }
 
-// OLAP returns a query engine over the deployed DW (after Run).
+// OLAP returns a query engine over the deployed DW (after Run). The
+// engine is immutable and safe for concurrent use; it is built once
+// per unified design (from clones, so queries never touch the live
+// design) and rebuilt after the next lifecycle change.
 func (p *Platform) OLAP() (*olap.Engine, error) {
 	p.mu.Lock()
-	md, etl, db := p.unifiedMD, p.unifiedETL, p.db
-	p.mu.Unlock()
-	if md == nil || etl == nil {
+	defer p.mu.Unlock()
+	if p.unifiedMD == nil || p.unifiedETL == nil {
 		return nil, fmt.Errorf("core: no unified design; add requirements first")
 	}
-	return olap.New(md, etl, db)
+	if p.olapEng == nil {
+		eng, err := olap.New(p.unifiedMD.Clone(), p.unifiedETL.Clone(), p.db)
+		if err != nil {
+			return nil, err
+		}
+		p.olapEng = eng
+	}
+	return p.olapEng, nil
 }
 
 // RunSeparately executes every requirement's partial ETL flow
@@ -530,9 +551,9 @@ func (p *Platform) OLAP() (*olap.Engine, error) {
 func (p *Platform) RunSeparately() (*engine.Result, error) {
 	p.mu.Lock()
 	order := append([]string(nil), p.order...)
-	partials := make([]*interpreter.PartialDesign, 0, len(order))
+	flows := make([]*xlm.Design, 0, len(order))
 	for _, id := range order {
-		partials = append(partials, p.partials[id])
+		flows = append(flows, p.partials[id].ETL.Clone())
 	}
 	db := p.db
 	p.mu.Unlock()
@@ -540,8 +561,8 @@ func (p *Platform) RunSeparately() (*engine.Result, error) {
 		return nil, fmt.Errorf("core: platform has no execution database")
 	}
 	total := &engine.Result{Loaded: map[string]int64{}}
-	for _, pd := range partials {
-		res, err := engine.RunWithOptions(pd.ETL, db, p.EngineOptions())
+	for _, etl := range flows {
+		res, err := engine.RunWithOptions(etl, db, p.EngineOptions())
 		if err != nil {
 			return nil, err
 		}

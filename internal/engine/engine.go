@@ -109,6 +109,7 @@ func RunMaterializing(d *xlm.Design, db *storage.DB) (*Result, error) {
 	}
 	res := &Result{Loaded: map[string]int64{}}
 	mats := map[string]*mat{}
+	staged := newStagedLoads()
 	start := time.Now()
 	for _, n := range order {
 		opStart := time.Now()
@@ -119,7 +120,7 @@ func RunMaterializing(d *xlm.Design, db *storage.DB) (*Result, error) {
 			inMats[i] = mats[in.Name]
 			rowsIn += int64(len(inMats[i].rows))
 		}
-		out, err := execNode(n, inMats, db, res)
+		out, err := execNode(n, inMats, db, staged, res)
 		if err != nil {
 			return nil, fmt.Errorf("engine: node %q: %w", n.Name, err)
 		}
@@ -138,6 +139,9 @@ func RunMaterializing(d *xlm.Design, db *storage.DB) (*Result, error) {
 			}
 		}
 	}
+	// Commit point: publish every replace-mode load in one critical
+	// section, mirroring the pipelined executor.
+	staged.commit(db)
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -153,7 +157,7 @@ func allConsumed(d *xlm.Design, name string, mats map[string]*mat) bool {
 	return true
 }
 
-func execNode(n *xlm.Node, inputs []*mat, db *storage.DB, res *Result) (*mat, error) {
+func execNode(n *xlm.Node, inputs []*mat, db *storage.DB, staged *stagedLoads, res *Result) (*mat, error) {
 	out := &mat{fields: n.Fields}
 	switch n.Type {
 	case xlm.OpDatastore:
@@ -226,13 +230,14 @@ func execNode(n *xlm.Node, inputs []*mat, db *storage.DB, res *Result) (*mat, er
 		out.rows = op.apply(nil, inputs[0].rows)
 		return out, nil
 	case xlm.OpLoader:
-		op, err := newLoaderOp(n, inputs[0].fields, db)
+		op, err := newLoaderOp(n, inputs[0].fields, db, staged)
 		if err != nil {
 			return nil, err
 		}
 		if err := op.write(inputs[0].rows); err != nil {
 			return nil, err
 		}
+		op.finish()
 		res.Loaded[op.table] += op.written
 		return out, nil
 	}

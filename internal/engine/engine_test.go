@@ -558,3 +558,60 @@ func BenchmarkJoinAggregate(b *testing.B) {
 		}
 	}
 }
+
+// TestRunCommitsAtomically: a run with several replace-mode loaders
+// bumps the DB version exactly once (the PublishAll commit point), so
+// a concurrent snapshot can never see a mix of the run's outputs, and
+// every run — even one that reloads identical data — is observable to
+// version-keyed caches.
+func TestRunCommitsAtomically(t *testing.T) {
+	db := storage.NewDB()
+	src, err := db.CreateTable("src", []storage.Column{{Name: "k", Type: "int"}, {Name: "v", Type: "int"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := src.Insert(storage.Row{expr.Int(int64(i)), expr.Int(int64(i * 2))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := xlm.NewDesign("atomic")
+	ds := &xlm.Node{
+		Name: "SRC", Type: xlm.OpDatastore, Optype: "TableInput",
+		Fields: []xlm.Field{{Name: "k", Type: "int"}, {Name: "v", Type: "int"}},
+		Params: map[string]string{"store": "s", "table": "src"},
+	}
+	if err := d.AddNode(ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []string{"out_a", "out_b"} {
+		ld := &xlm.Node{
+			Name: "LOAD_" + target, Type: xlm.OpLoader, Optype: "TableOutput",
+			Params: map[string]string{"table": target, "mode": "replace"},
+		}
+		if err := d.AddNode(ld); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AddEdge("SRC", ld.Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, run := range map[string]func() (*Result, error){
+		"pipelined":     func() (*Result, error) { return Run(d.Clone(), db) },
+		"materializing": func() (*Result, error) { return RunMaterializing(d.Clone(), db) },
+	} {
+		before := db.Version()
+		if _, err := run(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := db.Version() - before; got != 1 {
+			t.Errorf("%s: run bumped version by %d, want exactly 1", name, got)
+		}
+		for _, target := range []string{"out_a", "out_b"} {
+			tb, ok := db.Table(target)
+			if !ok || tb.NumRows() != 10 {
+				t.Fatalf("%s: table %s not loaded", name, target)
+			}
+		}
+	}
+}

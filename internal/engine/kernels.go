@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"quarry/internal/expr"
 	"quarry/internal/storage"
@@ -579,34 +580,101 @@ func (o *surrogateKeyOp) apply(dst, rows [][]expr.Value) [][]expr.Value {
 	return dst
 }
 
+// stagedLoads collects a run's completed replace-mode loads so they
+// can all be committed in one critical section at the end of the run
+// (storage.DB.PublishAll): concurrent snapshots see either the whole
+// run or none of it, never a new fact table joined against old
+// dimension tables. Later loaders of the same run resolve their
+// targets through it first, so an append after a replace lands in the
+// staged table.
+type stagedLoads struct {
+	mu     sync.Mutex
+	tables []*storage.Table
+	byName map[string]*storage.Table
+}
+
+func newStagedLoads() *stagedLoads {
+	return &stagedLoads{byName: map[string]*storage.Table{}}
+}
+
+// add registers a completed staging table (last writer wins, matching
+// the old immediate-replace semantics for repeated loaders).
+func (s *stagedLoads) add(t *storage.Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byName[t.Name]; dup {
+		for i, old := range s.tables {
+			if old.Name == t.Name {
+				s.tables[i] = t
+				break
+			}
+		}
+	} else {
+		s.tables = append(s.tables, t)
+	}
+	s.byName[t.Name] = t
+}
+
+// lookup resolves a table already staged by this run.
+func (s *stagedLoads) lookup(name string) (*storage.Table, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.byName[name]
+	return t, ok
+}
+
+// commit publishes the run's loads atomically; it is the single
+// version bump every successful run causes (append-only runs included,
+// so version-keyed result caches always observe a load).
+func (s *stagedLoads) commit(db *storage.DB) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db.PublishAll(s.tables)
+}
+
 // loaderOp creates-or-replaces (default) or appends to the target
-// table and streams batches into it. In append mode onto an existing
-// table the incoming schema is remapped onto the table's column order
-// by name — matching names in a different order load correctly, and a
-// true schema mismatch (missing column, arity or type conflict) is an
-// error instead of silently corrupting data positionally.
+// table and streams batches into it. Replace-mode loads are staged:
+// batches stream into a detached table registered with the run's
+// stagedLoads on finish() and committed atomically when the whole run
+// succeeds, so concurrent readers (OLAP queries, snapshots) never
+// observe a half-loaded table or a partially-published run — and a
+// failing run leaves every previous table version intact. In append
+// mode onto an existing table the incoming schema is remapped onto
+// the table's column order by name — matching names in a different
+// order load correctly, and a true schema mismatch (missing column,
+// arity or type conflict) is an error instead of silently corrupting
+// data positionally.
 type loaderOp struct {
 	table   string
 	t       *storage.Table
+	staged  *stagedLoads
+	publish bool  // replace mode: t is a staging table, registered by finish
 	remap   []int // remap[i] = input position of table column i; nil = positional
 	written int64
 }
 
-func newLoaderOp(n *xlm.Node, in []xlm.Field, db *storage.DB) (*loaderOp, error) {
+func newLoaderOp(n *xlm.Node, in []xlm.Field, db *storage.DB, staged *stagedLoads) (*loaderOp, error) {
 	table := n.Param("table")
 	cols := make([]storage.Column, len(in))
 	for i, f := range in {
 		cols[i] = storage.Column{Name: f.Name, Type: f.Type}
 	}
-	op := &loaderOp{table: table}
+	op := &loaderOp{table: table, staged: staged}
 	var err error
 	switch n.Param("mode") {
 	case "", "replace":
-		op.t, err = db.CreateOrReplaceTable(table, cols)
+		op.t, err = storage.NewStagingTable(table, cols)
+		op.publish = true
 	case "append":
-		t, ok := db.Table(table)
+		t, ok := staged.lookup(table)
 		if !ok {
-			op.t, err = db.CreateTable(table, cols)
+			t, ok = db.Table(table)
+		}
+		if !ok {
+			// Append to a missing table creates it — staged like a
+			// replace so the creation also commits atomically.
+			op.t, err = storage.NewStagingTable(table, cols)
+			op.publish = true
 			break
 		}
 		op.t = t
@@ -618,6 +686,16 @@ func newLoaderOp(n *xlm.Node, in []xlm.Field, db *storage.DB) (*loaderOp, error)
 		return nil, err
 	}
 	return op, nil
+}
+
+// finish records the completed load with the run's staged set.
+// Callers invoke it exactly once, after the loader's input is fully
+// consumed and only on success paths; the run publishes the set when
+// every operation has succeeded.
+func (o *loaderOp) finish() {
+	if o.publish {
+		o.staged.add(o.t)
+	}
 }
 
 // appendRemap maps the incoming fields onto an existing table's column

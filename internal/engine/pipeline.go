@@ -185,6 +185,10 @@ type executor struct {
 
 	loadedMu sync.Mutex
 	loaded   map[string]int64
+
+	// staged collects completed replace-mode loads; the run commits
+	// them all at once on success (storage.DB.PublishAll).
+	staged *stagedLoads
 }
 
 func (ex *executor) fail(err error) {
@@ -545,14 +549,13 @@ func (r *runner) runSurrogateKey() error {
 }
 
 // runLoader streams batches into the target table. The table is bound
-// (created/replaced, or append-remapped) on the first batch — or at a
-// clean end-of-stream for zero-row loads, which still create their
-// target like the materialising path — so a run that fails before any
-// data reaches the loader leaves existing target tables untouched.
-// Once data starts flowing the load is streaming: a run failing
-// mid-load can leave a partially written target (the price of not
-// buffering entire loads; the materialising path wrote each load
-// atomically at the loader's turn).
+// (staged for replace, or append-remapped) on the first batch — or at
+// a clean end-of-stream for zero-row loads, which still create their
+// target like the materialising path. Replace-mode loads stream into
+// a detached staging table and publish it atomically on success, so
+// concurrent readers never see a half-loaded table and failed runs
+// leave the previous version intact; append-mode loads stream into
+// the live table and can leave a partial append behind on failure.
 func (r *runner) runLoader() error {
 	if r.loadAfter != nil {
 		select {
@@ -567,7 +570,7 @@ func (r *runner) runLoader() error {
 			return nil
 		}
 		var err error
-		op, err = newLoaderOp(r.node, r.infds[0], r.ex.db)
+		op, err = newLoaderOp(r.node, r.infds[0], r.ex.db, r.ex.staged)
 		return err
 	}
 	if err := r.drain(0, func(b *Batch) error {
@@ -586,6 +589,11 @@ func (r *runner) runLoader() error {
 	if err := bind(); err != nil {
 		return err
 	}
+	// Register the completed load with the run's staged set before
+	// successor loaders of the same table are released (they resolve
+	// their target through it); the run publishes everything at once
+	// when all operations have succeeded.
+	op.finish()
 	r.ex.addLoaded(op.table, op.written)
 	// Release the next loader of this table, if any. On failure paths
 	// loadDone stays open and successors unblock through abort.
@@ -599,11 +607,10 @@ func (r *runner) runLoader() error {
 // (backpressure), multi-consumer nodes fan out through per-consumer
 // cursors. On success, results — loaded tables, per-operation row
 // counts, Loaded totals — are byte-identical to RunMaterializing for
-// any Options. On a failed run, target tables that no data reached
-// stay untouched, but a loader already mid-stream may leave a
-// partially written target (loads stream instead of buffering; the
-// materialising path wrote each load atomically at the loader's
-// turn).
+// any Options. Replace-mode loads are staged and published atomically
+// on success (failed runs leave the previous table versions intact);
+// only an append-mode loader already mid-stream can leave a partial
+// append behind on failure.
 func RunWithOptions(d *xlm.Design, db *storage.DB, opts Options) (*Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -619,6 +626,7 @@ func RunWithOptions(d *xlm.Design, db *storage.DB, opts Options) (*Result, error
 		sem:    make(chan struct{}, opts.Parallelism),
 		abort:  make(chan struct{}),
 		loaded: map[string]int64{},
+		staged: newStagedLoads(),
 	}
 	// One edge object per design edge. A node with several consumers
 	// gets one never-blocking fanEdge cursor per consumer; a node with
@@ -684,6 +692,9 @@ func RunWithOptions(d *xlm.Design, db *storage.DB, opts Options) (*Result, error
 	if ex.err != nil {
 		return nil, ex.err
 	}
+	// Commit point: publish every replace-mode load in one critical
+	// section, so concurrent snapshots see the whole run or none of it.
+	ex.staged.commit(db)
 	res := &Result{Loaded: ex.loaded, Elapsed: time.Since(start)}
 	for _, n := range order {
 		st := stats[n.Name]

@@ -1,0 +1,106 @@
+package olap
+
+import (
+	"container/list"
+	"sync"
+)
+
+// ResultCache is a concurrency-safe LRU cache for query results,
+// used by the serving layer. Keys must embed everything that
+// determines the answer — canonically the serialized query plus the
+// warehouse's storage.DB.Version() (or Snapshot.Version()) — so a
+// reload of the warehouse naturally misses; callers additionally
+// Purge on load to stop stale versions from occupying space.
+type ResultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+// NewResultCache builds a cache holding up to capacity results;
+// capacity <= 0 disables caching (Get always misses, Put drops).
+func NewResultCache(capacity int) *ResultCache {
+	return &ResultCache{
+		cap:     capacity,
+		entries: map[string]*list.Element{},
+		order:   list.New(),
+	}
+}
+
+// Get returns the cached result for key, if any. The caller must not
+// mutate the returned result.
+func (c *ResultCache) Get(key string) (*Result, bool) {
+	if c == nil || c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores a result under key, evicting the least recently used
+// entry when full.
+func (c *ResultCache) Put(key string, res *Result) {
+	if c == nil || c.cap <= 0 || res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+}
+
+// Purge drops every entry (called when the warehouse is reloaded).
+func (c *ResultCache) Purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]*list.Element{}
+	c.order.Init()
+}
+
+// Len reports the number of cached results.
+func (c *ResultCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats reports cumulative hit/miss counts.
+func (c *ResultCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

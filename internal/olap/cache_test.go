@@ -1,0 +1,62 @@
+package olap_test
+
+import (
+	"fmt"
+	"testing"
+
+	"quarry/internal/olap"
+)
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := olap.NewResultCache(2)
+	r := func(n int) *olap.Result { return &olap.Result{Columns: []string{fmt.Sprint(n)}} }
+	c.Put("a", r(1))
+	c.Put("b", r(2))
+	if _, ok := c.Get("a"); !ok { // refresh a → b is now LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", r(3)) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite refresh")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("len after purge = %d", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived purge")
+	}
+	hits, misses := c.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("stats = %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	for _, capacity := range []int{0, -1} {
+		c := olap.NewResultCache(capacity)
+		c.Put("k", &olap.Result{})
+		if _, ok := c.Get("k"); ok {
+			t.Fatalf("capacity %d cached a result", capacity)
+		}
+	}
+	// A nil cache is inert, not a crash.
+	var nilCache *olap.ResultCache
+	nilCache.Put("k", &olap.Result{})
+	nilCache.Purge()
+	if _, ok := nilCache.Get("k"); ok {
+		t.Fatal("nil cache returned a result")
+	}
+	if nilCache.Len() != 0 {
+		t.Fatal("nil cache has length")
+	}
+}

@@ -1,0 +1,206 @@
+package olap
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"quarry/internal/expr"
+)
+
+// Diamond dicing (Webb, Kaser, Lemire: "Diamond Dicing"; and "Pruning
+// Attribute Values From Data Cubes with Diamond Dicing"): given
+// per-dimension carat thresholds k_d, the diamond is the maximal
+// subcube in which every remaining attribute value of every diced
+// dimension has carat (COUNT of rows, or SUM of a non-negative
+// measure) at least k_d. It is computed by iteratively pruning
+// attribute values whose carat falls below threshold until a
+// fixpoint: with a monotone carat (pruning rows can only lower other
+// values' carats) the fixpoint is unique and independent of pruning
+// order, which is why the two implementations below — a vectorized
+// worklist algorithm for the fast path and a naive recompute loop for
+// the oracle — agree row-for-row.
+//
+// Both implementations preserve the input row order of the surviving
+// rows, so downstream aggregation folds measures in the same order.
+
+// caratKey encodes a value as an exact map key (hex float bits keep
+// distinct floats distinct even when their decimal rendering
+// collides).
+func caratKey(v expr.Value) string {
+	switch v.Kind() {
+	case expr.KindNull:
+		return "n"
+	case expr.KindInt:
+		return "i" + strconv.FormatInt(v.AsInt(), 10)
+	case expr.KindFloat:
+		f, _ := v.AsFloat()
+		return "f" + strconv.FormatUint(math.Float64bits(f), 16)
+	case expr.KindBool:
+		if v.AsBool() {
+			return "bt"
+		}
+		return "bf"
+	default:
+		return "s" + v.AsString()
+	}
+}
+
+// caratOf returns a row's contribution to its values' carats.
+func caratOf(row []expr.Value, d *dicePlan) (float64, error) {
+	if d.caratIdx == -1 {
+		return 1, nil
+	}
+	v := row[d.caratIdx]
+	if v.IsNull() {
+		return 0, nil
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return 0, fmt.Errorf("olap: dice SUM carat over non-numeric value %s", v)
+	}
+	if f < 0 {
+		return 0, fmt.Errorf("olap: dice SUM carat requires non-negative values, got %s", v)
+	}
+	return f, nil
+}
+
+// sliceState tracks one attribute value of one diced dimension in the
+// worklist algorithm.
+type sliceState struct {
+	rows   []int // indexes (global row order) of rows carrying the value
+	dead   bool
+	queued bool
+}
+
+// diceFast computes the diamond with a dirty-revalidation worklist:
+// only attribute values that lost rows since their last check are
+// re-examined, and each check recomputes the carat over the value's
+// surviving rows in global row order — the exact floating-point
+// summation diceReference performs for the same subset, so the two
+// implementations never diverge by accumulated subtraction drift.
+// (In exact arithmetic the diamond fixpoint is unique regardless of
+// pruning order; carats here are independent row-order subset sums,
+// never running differences, which keeps the FP behaviour matched to
+// the reference.)
+func diceFast(rows [][]expr.Value, d *dicePlan) ([][]expr.Value, error) {
+	nd := len(d.colIdx)
+	states := make([]map[string]*sliceState, nd)
+	for i := range states {
+		states[i] = map[string]*sliceState{}
+	}
+	carats := make([]float64, len(rows))
+	keys := make([][]string, len(rows))
+	for r, row := range rows {
+		c, err := caratOf(row, d)
+		if err != nil {
+			return nil, err
+		}
+		carats[r] = c
+		ks := make([]string, nd)
+		for i, ci := range d.colIdx {
+			k := caratKey(row[ci])
+			ks[i] = k
+			st := states[i][k]
+			if st == nil {
+				st = &sliceState{}
+				states[i][k] = st
+			}
+			st.rows = append(st.rows, r)
+		}
+		keys[r] = ks
+	}
+	alive := make([]bool, len(rows))
+	for i := range alive {
+		alive[i] = true
+	}
+	type ref struct {
+		dim int
+		key string
+	}
+	// Every value starts dirty; values re-enter the queue when they
+	// lose rows.
+	var queue []ref
+	for i, m := range states {
+		for k, st := range m {
+			st.queued = true
+			queue = append(queue, ref{i, k})
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		st := states[cur.dim][cur.key]
+		st.queued = false
+		if st.dead {
+			continue
+		}
+		// Recompute the carat over surviving rows, in row order.
+		var carat float64
+		for _, r := range st.rows {
+			if alive[r] {
+				carat += carats[r]
+			}
+		}
+		if carat >= d.thresholds[cur.dim] {
+			continue
+		}
+		st.dead = true
+		for _, r := range st.rows {
+			if !alive[r] {
+				continue
+			}
+			alive[r] = false
+			for i, k := range keys[r] {
+				other := states[i][k]
+				if other.dead || other.queued {
+					continue
+				}
+				other.queued = true
+				queue = append(queue, ref{i, k})
+			}
+		}
+	}
+	var out [][]expr.Value
+	for r, row := range rows {
+		if alive[r] {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// diceReference computes the same diamond with the textbook fixpoint
+// loop: recompute every value's carat from scratch each pass, drop
+// below-threshold values, repeat until a pass removes nothing. It is
+// the independent implementation the fast algorithm is verified
+// against.
+func diceReference(rows [][]expr.Value, d *dicePlan) ([][]expr.Value, error) {
+	cur := rows
+	for {
+		removed := false
+		for i, ci := range d.colIdx {
+			carat := map[string]float64{}
+			for _, row := range cur {
+				c, err := caratOf(row, d)
+				if err != nil {
+					return nil, err
+				}
+				carat[caratKey(row[ci])] += c
+			}
+			var kept [][]expr.Value
+			for _, row := range cur {
+				if carat[caratKey(row[ci])] >= d.thresholds[i] {
+					kept = append(kept, row)
+				}
+			}
+			if len(kept) != len(cur) {
+				removed = true
+				cur = kept
+			}
+		}
+		if !removed {
+			return cur, nil
+		}
+	}
+}

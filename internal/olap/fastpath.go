@@ -1,0 +1,175 @@
+package olap
+
+import (
+	"fmt"
+
+	"quarry/internal/engine"
+	"quarry/internal/expr"
+	"quarry/internal/storage"
+)
+
+// fastBatchSize is the number of rows per vectorized batch, matching
+// the ETL engine's default.
+const fastBatchSize = 1024
+
+// viewRemap maps a table view's physical column order onto the
+// planned column order by name (nil when they coincide, which is the
+// common case: deployed tables are created from the same definitions
+// the planner reads).
+func viewRemap(view *storage.TableView, cols []string) ([]int, error) {
+	idx := make([]int, len(cols))
+	identity := len(cols) == len(view.Columns())
+	for i, name := range cols {
+		j, ok := view.ColumnIndex(name)
+		if !ok {
+			return nil, fmt.Errorf("olap: deployed table %q lacks column %q", view.Name(), name)
+		}
+		idx[i] = j
+		if j != i {
+			identity = false
+		}
+	}
+	if identity {
+		return nil, nil
+	}
+	return idx, nil
+}
+
+// readBatch returns up to max remapped rows starting at start, nil at
+// the end.
+func readBatch(view *storage.TableView, remap []int, start, max int) [][]expr.Value {
+	rows := view.ReadBatch(start, max)
+	if rows == nil {
+		return nil
+	}
+	out := make([][]expr.Value, len(rows))
+	for i, r := range rows {
+		if remap == nil {
+			out[i] = r
+			continue
+		}
+		nr := make([]expr.Value, len(remap))
+		for k, j := range remap {
+			nr[k] = r[j]
+		}
+		out[i] = nr
+	}
+	return out
+}
+
+// execFast runs the plan on the vectorized fast path over a snapshot:
+// build per-dimension hash tables, stream the fact through join →
+// filter → (dice) → hash aggregation, sort, and return the in-memory
+// result. Nothing is written to any database.
+func (e *Engine) execFast(p *starPlan, snap *storage.Snapshot) (*Result, error) {
+	// Build phase: one hash table per dimension, keyed on the
+	// reference column, rows projected to key alias + needed columns.
+	joins := make([]*engine.HashJoin, len(p.joins))
+	for i, sj := range p.joins {
+		view, ok := snap.Table(sj.def.Name)
+		if !ok {
+			return nil, fmt.Errorf("olap: snapshot lacks dimension table %q", sj.def.Name)
+		}
+		cols := append([]string{sj.refCol}, sj.buildCols...)
+		remap, err := viewRemap(view, cols)
+		if err != nil {
+			return nil, err
+		}
+		if remap == nil {
+			// Force projection: the build side must contain exactly
+			// key + needed columns.
+			remap = make([]int, len(cols))
+			for k, name := range cols {
+				j, _ := view.ColumnIndex(name)
+				remap[k] = j
+			}
+		}
+		hj, err := engine.NewHashJoin([]int{sj.probeIdx}, []int{0})
+		if err != nil {
+			return nil, err
+		}
+		for start := 0; ; start += fastBatchSize {
+			rows := readBatch(view, remap, start, fastBatchSize)
+			if rows == nil {
+				break
+			}
+			hj.Build(rows)
+		}
+		joins[i] = hj
+	}
+	agg, err := engine.NewHashAggregator(p.groupIdx, p.aggs, p.aggIdx)
+	if err != nil {
+		return nil, err
+	}
+	var filterOp func(dst, rows [][]expr.Value) ([][]expr.Value, error)
+	if p.filter != nil {
+		env := expr.NewSliceEnv(p.index)
+		pred := p.filter
+		filterOp = func(dst, rows [][]expr.Value) ([][]expr.Value, error) {
+			ev := env.Env()
+			for _, row := range rows {
+				env.Bind(row)
+				ok, err := expr.EvalBool(pred, ev)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					dst = append(dst, row)
+				}
+			}
+			return dst, nil
+		}
+	}
+	factView, ok := snap.Table(p.fact.Name)
+	if !ok {
+		return nil, fmt.Errorf("olap: snapshot lacks fact table %q", p.fact.Name)
+	}
+	factCols := make([]string, len(p.fact.Columns))
+	for i, c := range p.fact.Columns {
+		factCols[i] = c.Name
+	}
+	factRemap, err := viewRemap(factView, factCols)
+	if err != nil {
+		return nil, err
+	}
+	// Probe phase: stream fact batches through the joins and filter.
+	var detail [][]expr.Value // buffered only when dicing
+	for start := 0; ; start += fastBatchSize {
+		cur := readBatch(factView, factRemap, start, fastBatchSize)
+		if cur == nil {
+			break
+		}
+		for _, hj := range joins {
+			cur = hj.Probe(nil, cur)
+		}
+		if filterOp != nil {
+			cur, err = filterOp(nil, cur)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if p.dice != nil {
+			detail = append(detail, cur...)
+			continue
+		}
+		if err := agg.Add(cur); err != nil {
+			return nil, err
+		}
+	}
+	if p.dice != nil {
+		survivors, err := diceFast(detail, p.dice)
+		if err != nil {
+			return nil, err
+		}
+		if err := agg.Add(survivors); err != nil {
+			return nil, err
+		}
+	}
+	rows := agg.Result()
+	sortIdx := make([]int, len(p.groupBy))
+	for i := range sortIdx {
+		sortIdx[i] = i
+	}
+	rows = engine.SortRowsBy(rows, sortIdx)
+	return &Result{Columns: p.resultColumns(), Rows: rows}, nil
+}

@@ -1,0 +1,112 @@
+package olap_test
+
+import (
+	"strings"
+	"testing"
+
+	"quarry/internal/olap"
+)
+
+// Golden results for canonical TPC-H cube queries over the
+// deterministic micro-TPC-H instance (SF 5, seed 42, IR_revenue
+// deployed): revenue at each roll-up level of the Supplier hierarchy
+// plus one diamond dice, with expected rows checked in so planner or
+// kernel refactors cannot silently change answers. Each line encodes
+// one row as kind:value fields (see encodeValue), so even an
+// int-vs-float drift fails the test. Both executors are held to the
+// same fixture.
+var goldenQueries = map[string]olap.CubeQuery{
+	"revenue_by_supplier": {
+		Fact:    "fact_table_revenue",
+		GroupBy: []string{"s_name"},
+		Measures: []olap.MeasureSpec{
+			{Out: "total", Func: "SUM", Col: "revenue"},
+			{Out: "n", Func: "COUNT", Col: ""},
+		},
+	},
+	"revenue_by_nation": {
+		Fact:   "fact_table_revenue",
+		RollUp: map[string]string{"Supplier": "Nation"},
+		Measures: []olap.MeasureSpec{
+			{Out: "total", Func: "SUM", Col: "revenue"},
+			{Out: "n", Func: "COUNT", Col: ""},
+		},
+	},
+	"revenue_by_region": {
+		Fact:   "fact_table_revenue",
+		RollUp: map[string]string{"Supplier": "Region"},
+		Measures: []olap.MeasureSpec{
+			{Out: "total", Func: "SUM", Col: "revenue"},
+			{Out: "n", Func: "COUNT", Col: ""},
+		},
+	},
+	"revenue_brand_dice": {
+		Fact:     "fact_table_revenue",
+		GroupBy:  []string{"p_brand"},
+		Measures: []olap.MeasureSpec{{Out: "total", Func: "SUM", Col: "revenue"}},
+		Dice: &olap.DiceSpec{
+			Func:       "COUNT",
+			Thresholds: map[string]float64{"p_brand": 4},
+		},
+	},
+}
+
+var goldenResults = map[string][]string{
+	"revenue_by_supplier": {
+		"columns: s_name, total, n",
+		"string:'Supplier#000000000' | float:1.8483491012099565e+06 | int:80",
+	},
+	"revenue_by_nation": {
+		"columns: n_name, total, n",
+		"string:'SPAIN' | float:1.8483491012099565e+06 | int:80",
+	},
+	"revenue_by_region": {
+		"columns: r_name, total, n",
+		"string:'EUROPE' | float:1.8483491012099565e+06 | int:80",
+	},
+	"revenue_brand_dice": {
+		"columns: p_brand, total",
+		"string:'Brand#12' | float:134461.0649206349",
+		"string:'Brand#14' | float:95598.81380952381",
+		"string:'Brand#23' | float:86831.14",
+		"string:'Brand#31' | float:74472.16305952381",
+		"string:'Brand#35' | float:188313.04844155844",
+		"string:'Brand#42' | float:136459.38514285712",
+		"string:'Brand#43' | float:116208.26393939393",
+		"string:'Brand#45' | float:150533.3903809524",
+		"string:'Brand#54' | float:131147.50719913418",
+	},
+}
+
+func TestGoldenTPCHCubeQueries(t *testing.T) {
+	p, _ := deployedPlatform(t) // SF 5, seed 42, IR_revenue
+	e, err := p.OLAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, q := range goldenQueries {
+		want := goldenResults[name]
+		for _, exec := range []struct {
+			label string
+			run   func(olap.CubeQuery) (*olap.Result, error)
+		}{
+			{"fast", e.Query},
+			{"star-flow", e.QueryStarFlow},
+		} {
+			res, err := exec.run(q)
+			if err != nil {
+				t.Fatalf("%s (%s): %v", name, exec.label, err)
+			}
+			got := encodeResult(res)
+			if len(got) != len(want) {
+				t.Fatalf("%s (%s): %d lines, want %d\ngot:\n%s", name, exec.label,
+					len(got), len(want), strings.Join(got, "\n"))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("%s (%s) line %d:\ngot:  %s\nwant: %s", name, exec.label, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,24 +1,39 @@
-// Package olap answers analytical (OLAP) queries over the deployed
-// data warehouse: the consumption side of the lifecycle, motivating
-// the paper's §1 argument that "more complex ETL flows may be
-// required to reduce the complexity of an MD schema and improve the
-// performance of OLAP queries by pre-aggregating and joining source
-// data".
+// Package olap is Quarry's serving layer: it answers analytical
+// (OLAP) cube queries over the deployed data warehouse — the
+// consumption side of the lifecycle, motivating the paper's §1
+// argument that the whole point of a well-designed MD schema is
+// faster analytical reads.
 //
 // A CubeQuery names a fact of the unified MD schema, the dimension
-// descriptors to group by (at any roll-up level), slicer predicates
-// and aggregated measures. The query is compiled into an xLM star
-// flow over the *deployed* tables (fact ⋈ dimensions) and executed by
-// the native engine — the same machinery used to populate the DW,
-// now reading from it.
+// descriptors to group by (at any roll-up level of the xMD
+// hierarchies), slicer predicates, aggregated measures, and an
+// optional diamond dice. Two executors answer it:
+//
+//   - Query — the vectorized fast path: the star join
+//     (fact ⋈ dimensions) and hash aggregation are planned and executed
+//     directly over storage snapshot cursors using the engine's batch
+//     kernels. No xLM design is constructed and nothing is written to
+//     the warehouse; results stay in memory per request, so any number
+//     of queries run concurrently with each other and with ETL loads
+//     (snapshot isolation: each query reads the stable view captured
+//     at its start).
+//   - QueryStarFlow — the correctness oracle: the query is compiled to
+//     an xLM star flow (exactly the PR 1 pattern of RunMaterializing)
+//     and run by the full engine against a scratch database that
+//     shares frozen snapshot views of the deployed tables. Results are
+//     byte-identical to the fast path; the scratch DB keeps the oracle
+//     from ever writing into the warehouse.
+//
+// Both executors resolve the query through one shared planner
+// (planner.go), which is what makes them byte-identical by
+// construction: same join order, same row order into aggregation,
+// same kernels.
 package olap
 
 import (
 	"fmt"
 	"sort"
-	"strings"
 
-	"quarry/internal/engine"
 	"quarry/internal/expr"
 	"quarry/internal/sqlgen"
 	"quarry/internal/storage"
@@ -32,34 +47,62 @@ type CubeQuery struct {
 	Fact string
 	// GroupBy lists dimension descriptor columns to group by (must
 	// exist in one of the fact's dimension tables or in the fact
-	// itself).
+	// itself). Descriptors of any roll-up level may be named directly;
+	// the deployed dimension tables are denormalised over their full
+	// hierarchy.
 	GroupBy []string
-	// Measures maps output names to aggregate specs over fact
-	// columns, e.g. {"total": {"SUM", "revenue"}}.
+	// Measures maps output names to aggregate specs over fact or
+	// dimension columns, e.g. {"total": {"SUM", "revenue"}}.
 	Measures []MeasureSpec
 	// Filter is an optional predicate over fact or dimension columns.
 	Filter string
+	// RollUp maps an xMD dimension name to the hierarchy level to
+	// aggregate at (e.g. {"Supplier": "Nation"}); each named level's
+	// key descriptor joins the group-by columns. Engine.RollUp and
+	// Engine.DrillDown navigate a query along the hierarchy.
+	RollUp map[string]string
+	// Dice, when non-nil, applies a diamond dice (Webb, Kaser,
+	// Lemire) to the detail rows before aggregation: attribute values
+	// whose carat falls below their threshold are iteratively pruned
+	// until the remaining subcube is stable.
+	Dice *DiceSpec
 }
 
 // MeasureSpec is one aggregated measure.
 type MeasureSpec struct {
 	Out  string
 	Func string // SUM/AVG/MIN/MAX/COUNT
-	Col  string
+	Col  string // input column ("" only for COUNT(*))
 }
 
-// Result is a small, ordered result set.
+// DiceSpec configures a diamond dice. The carat of an attribute value
+// is the aggregate (COUNT of rows, or SUM of a non-negative measure
+// column) over the detail rows currently carrying that value.
+type DiceSpec struct {
+	// Func is the carat aggregate: "COUNT" or "SUM". Diamond dicing
+	// requires a monotone carat (deleting rows must never raise
+	// another value's carat), hence SUM demands non-negative values.
+	Func string
+	// Col is the measure column for SUM carats ("" for COUNT).
+	Col string
+	// Thresholds maps group-by columns to their minimum carat; only
+	// listed columns are diced.
+	Thresholds map[string]float64
+}
+
+// Result is an ordered, in-memory result set.
 type Result struct {
 	Columns []string
 	Rows    [][]expr.Value
 }
 
-// Engine compiles and runs cube queries against a database holding a
-// deployed design.
+// Engine answers cube queries against a database holding a deployed
+// design. It is immutable after New and safe for concurrent use.
 type Engine struct {
-	md  *xmd.Schema
-	etl *xlm.Design
-	db  *storage.DB
+	md   *xmd.Schema
+	etl  *xlm.Design
+	db   *storage.DB
+	defs []sqlgen.TableDef
 }
 
 // New builds an OLAP engine over the unified design and the database
@@ -68,211 +111,59 @@ func New(md *xmd.Schema, etl *xlm.Design, db *storage.DB) (*Engine, error) {
 	if md == nil || etl == nil || db == nil {
 		return nil, fmt.Errorf("olap: md, etl and db are required")
 	}
-	return &Engine{md: md, etl: etl, db: db}, nil
+	defs, err := sqlgen.Tables(etl)
+	if err != nil {
+		return nil, fmt.Errorf("olap: deriving deployed tables: %w", err)
+	}
+	return &Engine{md: md, etl: etl, db: db, defs: defs}, nil
 }
 
 // tableOf returns the deployed definition of a table.
 func (e *Engine) tableOf(name string) (*sqlgen.TableDef, error) {
-	defs, err := sqlgen.Tables(e.etl)
-	if err != nil {
-		return nil, err
-	}
-	for i := range defs {
-		if defs[i].Name == name {
-			return &defs[i], nil
+	for i := range e.defs {
+		if e.defs[i].Name == name {
+			return &e.defs[i], nil
 		}
 	}
 	return nil, fmt.Errorf("olap: table %q is not part of the deployed design", name)
 }
 
-// Query compiles the cube query to a star flow over the deployed
-// tables and executes it.
+// Query answers the cube query on the vectorized fast path: star join
+// and hash aggregation directly over a storage snapshot, entirely in
+// memory. See QueryStarFlow for the engine-executed oracle.
 func (e *Engine) Query(q CubeQuery) (*Result, error) {
-	if len(q.GroupBy) == 0 {
-		return nil, fmt.Errorf("olap: query needs at least one group-by column")
-	}
-	if len(q.Measures) == 0 {
-		return nil, fmt.Errorf("olap: query needs at least one measure")
-	}
-	fact, err := e.tableOf(q.Fact)
+	p, err := e.plan(q)
 	if err != nil {
 		return nil, err
 	}
-	d := xlm.NewDesign("olap_" + q.Fact)
-	addTable := func(def *sqlgen.TableDef, nodeName string) error {
-		fields := make([]xlm.Field, len(def.Columns))
-		copy(fields, def.Columns)
-		return d.AddNode(&xlm.Node{
-			Name: nodeName, Type: xlm.OpDatastore, Optype: "TableInput",
-			Fields: fields,
-			Params: map[string]string{"store": "dw", "table": def.Name},
-		})
-	}
-	if err := addTable(fact, "DW_"+q.Fact); err != nil {
+	snap, err := e.db.Snapshot(p.tables...)
+	if err != nil {
 		return nil, err
 	}
-	// Which columns do we need from dimensions?
-	needed := map[string]bool{}
-	for _, g := range q.GroupBy {
-		needed[g] = true
-	}
-	var filterPred expr.Node
-	if q.Filter != "" {
-		filterPred, err = expr.Parse(q.Filter)
-		if err != nil {
-			return nil, fmt.Errorf("olap: filter: %w", err)
-		}
-		for _, id := range expr.Idents(filterPred) {
-			needed[id] = true
-		}
-	}
-	// Join every referenced dimension table.
-	cur := "DW_" + q.Fact
-	available := map[string]bool{}
-	for _, c := range fact.Columns {
-		available[c.Name] = true
-	}
-	joined := map[string]bool{}
-	for _, fk := range fact.ForeignKeys {
-		if joined[fk.RefTable] {
-			continue
-		}
-		dim, err := e.tableOf(fk.RefTable)
-		if err != nil {
-			return nil, err
-		}
-		usesDim := false
-		for _, c := range dim.Columns {
-			if needed[c.Name] && !available[c.Name] {
-				usesDim = true
-			}
-		}
-		if !usesDim {
-			continue
-		}
-		joined[fk.RefTable] = true
-		nodeName := "DW_" + fk.RefTable
-		if err := addTable(dim, nodeName); err != nil {
-			return nil, err
-		}
-		// Project the dimension side down to the join key (renamed to
-		// stay unambiguous) plus the columns the query actually needs.
-		keyAlias := "__key_" + fk.RefTable
-		projCols := []string{keyAlias + "=" + fk.RefColumn}
-		for _, c := range dim.Columns {
-			if needed[c.Name] && !available[c.Name] {
-				projCols = append(projCols, c.Name)
-				available[c.Name] = true
-			}
-		}
-		proj := &xlm.Node{
-			Name: "PREP_" + fk.RefTable, Type: xlm.OpProjection,
-			Params: map[string]string{"columns": strings.Join(projCols, ",")},
-		}
-		if err := d.AddNode(proj); err != nil {
-			return nil, err
-		}
-		if err := d.AddEdge(nodeName, proj.Name); err != nil {
-			return nil, err
-		}
-		join := &xlm.Node{
-			Name: "JOIN_" + fk.RefTable, Type: xlm.OpJoin,
-			Params: map[string]string{"on": fk.Column + "=" + keyAlias},
-		}
-		if err := d.AddNode(join); err != nil {
-			return nil, err
-		}
-		if err := d.AddEdge(cur, join.Name); err != nil {
-			return nil, err
-		}
-		if err := d.AddEdge(proj.Name, join.Name); err != nil {
-			return nil, err
-		}
-		cur = join.Name
-	}
-	// Every needed column must now be available.
-	var missing []string
-	for c := range needed {
-		if !available[c] {
-			missing = append(missing, c)
-		}
-	}
-	if len(missing) > 0 {
-		sort.Strings(missing)
-		return nil, fmt.Errorf("olap: columns %v not reachable from fact %q", missing, q.Fact)
-	}
-	if filterPred != nil {
-		sel := &xlm.Node{
-			Name: "FILTER", Type: xlm.OpSelection,
-			Params: map[string]string{"predicate": filterPred.String()},
-		}
-		if err := d.AddNode(sel); err != nil {
-			return nil, err
-		}
-		if err := d.AddEdge(cur, sel.Name); err != nil {
-			return nil, err
-		}
-		cur = sel.Name
-	}
-	var aggs []string
-	for _, m := range q.Measures {
-		fn := strings.ToUpper(m.Func)
-		switch fn {
-		case "SUM", "AVG", "MIN", "MAX", "COUNT":
-		default:
-			return nil, fmt.Errorf("olap: unknown aggregate %q", m.Func)
-		}
-		aggs = append(aggs, fmt.Sprintf("%s:%s:%s", m.Out, fn, m.Col))
-	}
-	agg := &xlm.Node{
-		Name: "CUBE", Type: xlm.OpAggregation,
-		Params: map[string]string{
-			"group":      strings.Join(q.GroupBy, ","),
-			"aggregates": strings.Join(aggs, ";"),
-		},
-	}
-	if err := d.AddNode(agg); err != nil {
+	return e.execFast(p, snap)
+}
+
+// QuerySnapshot answers the query on the fast path against an
+// existing snapshot (which must cover the fact and dimension tables
+// the query touches). Callers that answer several queries from one
+// consistent view — or cache results keyed by Snapshot.Version —
+// take their snapshot once and reuse it.
+func (e *Engine) QuerySnapshot(q CubeQuery, snap *storage.Snapshot) (*Result, error) {
+	p, err := e.plan(q)
+	if err != nil {
 		return nil, err
 	}
-	if err := d.AddEdge(cur, agg.Name); err != nil {
+	return e.execFast(p, snap)
+}
+
+// Snapshot captures the consistent view the query would read:
+// the fact table plus every dimension table the plan joins.
+func (e *Engine) Snapshot(q CubeQuery) (*storage.Snapshot, error) {
+	p, err := e.plan(q)
+	if err != nil {
 		return nil, err
 	}
-	sortNode := &xlm.Node{
-		Name: "ORDER", Type: xlm.OpSort,
-		Params: map[string]string{"by": strings.Join(q.GroupBy, ",")},
-	}
-	if err := d.AddNode(sortNode); err != nil {
-		return nil, err
-	}
-	if err := d.AddEdge(agg.Name, sortNode.Name); err != nil {
-		return nil, err
-	}
-	out := &xlm.Node{
-		Name: "ANSWER", Type: xlm.OpLoader, Optype: "TableOutput",
-		Params: map[string]string{"table": "__olap_answer", "mode": "replace"},
-	}
-	if err := d.AddNode(out); err != nil {
-		return nil, err
-	}
-	if err := d.AddEdge(sortNode.Name, out.Name); err != nil {
-		return nil, err
-	}
-	if _, err := engine.Run(d, e.db); err != nil {
-		return nil, err
-	}
-	answer, ok := e.db.Table("__olap_answer")
-	if !ok {
-		return nil, fmt.Errorf("olap: internal: answer table missing")
-	}
-	res := &Result{}
-	for _, c := range answer.Columns {
-		res.Columns = append(res.Columns, c.Name)
-	}
-	for _, r := range answer.Rows() {
-		res.Rows = append(res.Rows, r)
-	}
-	_ = e.db.Drop("__olap_answer")
-	return res, nil
+	return e.db.Snapshot(p.tables...)
 }
 
 // Facts lists the queryable fact tables of the design.
@@ -283,4 +174,114 @@ func (e *Engine) Facts() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Levels returns a dimension's hierarchy as level names ordered base
+// → coarsest (breadth-first over the roll-up edges).
+func (e *Engine) Levels(dimension string) ([]string, error) {
+	d, ok := e.md.Dimension(dimension)
+	if !ok {
+		return nil, fmt.Errorf("olap: unknown dimension %q", dimension)
+	}
+	bases := d.BaseLevels()
+	var out []string
+	seen := map[string]bool{}
+	var queue []string
+	for _, b := range bases {
+		queue = append(queue, b.Name)
+		seen[b.Name] = true
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		out = append(out, cur)
+		for _, r := range d.Rollups {
+			if r.From == cur && !seen[r.To] {
+				seen[r.To] = true
+				queue = append(queue, r.To)
+			}
+		}
+	}
+	return out, nil
+}
+
+// currentLevel resolves the level a query aggregates a dimension at:
+// the explicit RollUp entry, or the fact's base level for the
+// dimension.
+func (e *Engine) currentLevel(q CubeQuery, dimension string) (string, *xmd.Dimension, error) {
+	d, ok := e.md.Dimension(dimension)
+	if !ok {
+		return "", nil, fmt.Errorf("olap: unknown dimension %q", dimension)
+	}
+	if lvl, ok := q.RollUp[dimension]; ok {
+		if _, ok := d.Level(lvl); !ok {
+			return "", nil, fmt.Errorf("olap: dimension %q has no level %q", dimension, lvl)
+		}
+		return lvl, d, nil
+	}
+	bases := d.BaseLevels()
+	if len(bases) == 0 {
+		return "", nil, fmt.Errorf("olap: dimension %q has no base level", dimension)
+	}
+	return bases[0].Name, d, nil
+}
+
+// withLevel returns a copy of q aggregating dimension at level.
+func withLevel(q CubeQuery, dimension, level string) CubeQuery {
+	ru := make(map[string]string, len(q.RollUp)+1)
+	for k, v := range q.RollUp {
+		ru[k] = v
+	}
+	ru[dimension] = level
+	q.RollUp = ru
+	return q
+}
+
+// RollUp returns a copy of the query aggregating the dimension one
+// level coarser along the xMD hierarchy (e.g. Supplier → Nation). It
+// fails at the top of the hierarchy or if the roll-up is ambiguous
+// (branching hierarchies need an explicit RollUp entry).
+func (e *Engine) RollUp(q CubeQuery, dimension string) (CubeQuery, error) {
+	cur, d, err := e.currentLevel(q, dimension)
+	if err != nil {
+		return q, err
+	}
+	var next string
+	for _, r := range d.Rollups {
+		if r.From != cur {
+			continue
+		}
+		if next != "" {
+			return q, fmt.Errorf("olap: dimension %q rolls up from %q to both %q and %q; set RollUp explicitly", dimension, cur, next, r.To)
+		}
+		next = r.To
+	}
+	if next == "" {
+		return q, fmt.Errorf("olap: dimension %q is already at its coarsest level %q", dimension, cur)
+	}
+	return withLevel(q, dimension, next), nil
+}
+
+// DrillDown returns a copy of the query aggregating the dimension one
+// level finer (the inverse of RollUp). It fails at the base level or
+// if the drill-down is ambiguous.
+func (e *Engine) DrillDown(q CubeQuery, dimension string) (CubeQuery, error) {
+	cur, d, err := e.currentLevel(q, dimension)
+	if err != nil {
+		return q, err
+	}
+	var prev string
+	for _, r := range d.Rollups {
+		if r.To != cur {
+			continue
+		}
+		if prev != "" {
+			return q, fmt.Errorf("olap: dimension %q drills down from %q to both %q and %q; set RollUp explicitly", dimension, cur, prev, r.From)
+		}
+		prev = r.From
+	}
+	if prev == "" {
+		return q, fmt.Errorf("olap: dimension %q is already at its base level %q", dimension, cur)
+	}
+	return withLevel(q, dimension, prev), nil
 }

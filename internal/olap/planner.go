@@ -1,0 +1,302 @@
+package olap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"quarry/internal/expr"
+	"quarry/internal/sqlgen"
+	"quarry/internal/xlm"
+)
+
+// The planner resolves a CubeQuery into a physical star plan shared by
+// both executors: which dimension tables to join (in the fact's
+// foreign-key order), which columns each join contributes, the final
+// row layout, and the positions of group keys, measures, filter
+// identifiers and dice columns within it. Because both executors
+// consume the same plan — same join order, same build projections,
+// same filter placement (after all joins), same aggregation input
+// order — their results are byte-identical by construction.
+
+// starJoin is one fact ⋈ dimension hash join of the plan.
+type starJoin struct {
+	def *sqlgen.TableDef
+	// fkCol is the fact-side key, refCol the dimension-side key.
+	fkCol, refCol string
+	// keyAlias renames the dimension key in the joined layout so it
+	// never collides with the fact column of the same name.
+	keyAlias string
+	// buildCols are the dimension columns the join contributes, in
+	// dimension column order.
+	buildCols []string
+	// probeIdx is the position of fkCol in the probe-side layout.
+	probeIdx int
+}
+
+// dicePlan is the resolved diamond dice.
+type dicePlan struct {
+	fn         string // COUNT or SUM
+	caratCol   string // "" for COUNT
+	caratIdx   int    // position in layout; -1 for COUNT
+	cols       []string
+	colIdx     []int // positions in layout
+	thresholds []float64
+}
+
+// starPlan is the resolved physical plan of one cube query.
+type starPlan struct {
+	fact     *sqlgen.TableDef
+	joins    []*starJoin
+	layout   []string       // column names after all joins
+	index    map[string]int // name → first position in layout
+	groupBy  []string       // resolved group columns (incl. roll-up keys)
+	groupIdx []int
+	aggs     []xlm.AggSpec
+	aggIdx   []int // layout positions; -1 for COUNT(*)
+	filter   expr.Node
+	dice     *dicePlan
+	tables   []string // fact + joined dimension table names
+}
+
+// resolveGroupBy expands the query's explicit group-by columns with
+// the key descriptors of the requested roll-up levels (dimensions in
+// name order, for determinism), deduplicating.
+func (e *Engine) resolveGroupBy(q CubeQuery) ([]string, error) {
+	out := append([]string(nil), q.GroupBy...)
+	seen := map[string]bool{}
+	for _, g := range out {
+		seen[g] = true
+	}
+	dims := make([]string, 0, len(q.RollUp))
+	for d := range q.RollUp {
+		dims = append(dims, d)
+	}
+	sort.Strings(dims)
+	fact, ok := e.md.Fact(q.Fact)
+	for _, dim := range dims {
+		lvlName := q.RollUp[dim]
+		d, okd := e.md.Dimension(dim)
+		if !okd {
+			return nil, fmt.Errorf("olap: unknown dimension %q in roll-up", dim)
+		}
+		if ok && !fact.UsesDimension(dim) {
+			return nil, fmt.Errorf("olap: fact %q does not use dimension %q", q.Fact, dim)
+		}
+		lvl, okl := d.Level(lvlName)
+		if !okl {
+			return nil, fmt.Errorf("olap: dimension %q has no level %q", dim, lvlName)
+		}
+		// The level must be reachable from a base level of the
+		// hierarchy (aggregating below the base grain is impossible).
+		reachable := false
+		for _, b := range d.BaseLevels() {
+			if d.RollsUpTo(b.Name, lvlName) {
+				reachable = true
+				break
+			}
+		}
+		if !reachable {
+			return nil, fmt.Errorf("olap: level %q is not reachable from the base of dimension %q", lvlName, dim)
+		}
+		if lvl.Key == "" {
+			return nil, fmt.Errorf("olap: level %q of dimension %q has no key descriptor", lvlName, dim)
+		}
+		if !seen[lvl.Key] {
+			seen[lvl.Key] = true
+			out = append(out, lvl.Key)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("olap: query needs at least one group-by column or roll-up level")
+	}
+	return out, nil
+}
+
+// plan resolves a cube query against the deployed schema.
+func (e *Engine) plan(q CubeQuery) (*starPlan, error) {
+	if len(q.Measures) == 0 {
+		return nil, fmt.Errorf("olap: query needs at least one measure")
+	}
+	fact, err := e.tableOf(q.Fact)
+	if err != nil {
+		return nil, err
+	}
+	groupBy, err := e.resolveGroupBy(q)
+	if err != nil {
+		return nil, err
+	}
+	p := &starPlan{fact: fact, groupBy: groupBy, tables: []string{fact.Name}}
+	// Columns the joined layout must provide.
+	needed := map[string]bool{}
+	for _, g := range groupBy {
+		needed[g] = true
+	}
+	for _, m := range q.Measures {
+		fn := strings.ToUpper(m.Func)
+		switch fn {
+		case "SUM", "AVG", "MIN", "MAX", "COUNT":
+		default:
+			return nil, fmt.Errorf("olap: unknown aggregate %q", m.Func)
+		}
+		if m.Col == "" && fn != "COUNT" {
+			return nil, fmt.Errorf("olap: aggregate %s needs a column", fn)
+		}
+		if m.Col != "" {
+			needed[m.Col] = true
+		}
+		p.aggs = append(p.aggs, xlm.AggSpec{Out: m.Out, Func: fn, Col: m.Col})
+	}
+	if q.Filter != "" {
+		p.filter, err = expr.Parse(q.Filter)
+		if err != nil {
+			return nil, fmt.Errorf("olap: filter: %w", err)
+		}
+		for _, id := range expr.Idents(p.filter) {
+			needed[id] = true
+		}
+	}
+	if q.Dice != nil {
+		fn := strings.ToUpper(q.Dice.Func)
+		switch fn {
+		case "COUNT":
+			if q.Dice.Col != "" {
+				return nil, fmt.Errorf("olap: dice COUNT carat takes no column")
+			}
+		case "SUM":
+			if q.Dice.Col == "" {
+				return nil, fmt.Errorf("olap: dice SUM carat needs a column")
+			}
+			needed[q.Dice.Col] = true
+		default:
+			return nil, fmt.Errorf("olap: dice carat must be COUNT or SUM, got %q", q.Dice.Func)
+		}
+		if len(q.Dice.Thresholds) == 0 {
+			return nil, fmt.Errorf("olap: dice needs at least one threshold")
+		}
+		d := &dicePlan{fn: fn, caratCol: q.Dice.Col}
+		cols := make([]string, 0, len(q.Dice.Thresholds))
+		for c := range q.Dice.Thresholds {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+		inGroup := map[string]bool{}
+		for _, g := range groupBy {
+			inGroup[g] = true
+		}
+		for _, c := range cols {
+			if !inGroup[c] {
+				return nil, fmt.Errorf("olap: dice threshold column %q is not grouped by", c)
+			}
+			d.cols = append(d.cols, c)
+			d.thresholds = append(d.thresholds, q.Dice.Thresholds[c])
+		}
+		p.dice = d
+	}
+	// Layout starts as the fact columns; join every referenced
+	// dimension table, in foreign-key order.
+	available := map[string]bool{}
+	for _, c := range fact.Columns {
+		p.layout = append(p.layout, c.Name)
+		available[c.Name] = true
+	}
+	joined := map[string]bool{}
+	for _, fk := range fact.ForeignKeys {
+		if joined[fk.RefTable] {
+			continue
+		}
+		dim, err := e.tableOf(fk.RefTable)
+		if err != nil {
+			return nil, err
+		}
+		usesDim := false
+		for _, c := range dim.Columns {
+			if needed[c.Name] && !available[c.Name] {
+				usesDim = true
+			}
+		}
+		if !usesDim {
+			continue
+		}
+		joined[fk.RefTable] = true
+		j := &starJoin{
+			def:      dim,
+			fkCol:    fk.Column,
+			refCol:   fk.RefColumn,
+			keyAlias: "__key_" + fk.RefTable,
+		}
+		probeIdx := -1
+		for i, name := range p.layout {
+			if name == j.fkCol {
+				probeIdx = i
+				break
+			}
+		}
+		if probeIdx == -1 {
+			return nil, fmt.Errorf("olap: fact %q lacks foreign-key column %q", fact.Name, j.fkCol)
+		}
+		j.probeIdx = probeIdx
+		p.layout = append(p.layout, j.keyAlias)
+		for _, c := range dim.Columns {
+			if needed[c.Name] && !available[c.Name] {
+				j.buildCols = append(j.buildCols, c.Name)
+				p.layout = append(p.layout, c.Name)
+				available[c.Name] = true
+			}
+		}
+		p.joins = append(p.joins, j)
+		p.tables = append(p.tables, dim.Name)
+	}
+	// Every needed column must now be available.
+	var missing []string
+	for c := range needed {
+		if !available[c] {
+			missing = append(missing, c)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return nil, fmt.Errorf("olap: columns %v not reachable from fact %q", missing, q.Fact)
+	}
+	// Position resolution over the final layout (first occurrence
+	// wins; layout names are unique by construction).
+	p.index = make(map[string]int, len(p.layout))
+	for i, name := range p.layout {
+		if _, dup := p.index[name]; !dup {
+			p.index[name] = i
+		}
+	}
+	p.groupIdx = make([]int, len(p.groupBy))
+	for i, g := range p.groupBy {
+		p.groupIdx[i] = p.index[g]
+	}
+	p.aggIdx = make([]int, len(p.aggs))
+	for i, a := range p.aggs {
+		if a.Col == "" {
+			p.aggIdx[i] = -1
+			continue
+		}
+		p.aggIdx[i] = p.index[a.Col]
+	}
+	if p.dice != nil {
+		p.dice.colIdx = make([]int, len(p.dice.cols))
+		for i, c := range p.dice.cols {
+			p.dice.colIdx[i] = p.index[c]
+		}
+		p.dice.caratIdx = -1
+		if p.dice.caratCol != "" {
+			p.dice.caratIdx = p.index[p.dice.caratCol]
+		}
+	}
+	return p, nil
+}
+
+// resultColumns is the output schema: group columns then measure
+// outputs.
+func (p *starPlan) resultColumns() []string {
+	out := append([]string(nil), p.groupBy...)
+	for _, a := range p.aggs {
+		out = append(out, a.Out)
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package olap_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"quarry/internal/olap"
+	"quarry/internal/tpch"
+)
+
+// Quick-check equivalence: random cube queries — random group-bys,
+// measures, filters, roll-up levels and dices — over randomized
+// TPC-H-shaped warehouses must return byte-identical Results from the
+// vectorized fast path and the star-flow oracle (the same pattern as
+// internal/engine/quick_test.go, one level up the stack).
+
+// randomQuery draws a cube query over fact_table_revenue. The column
+// pools cover fact columns, both dimension tables, and every roll-up
+// level of the Supplier hierarchy.
+func randomQuery(r *rand.Rand) olap.CubeQuery {
+	groupPool := []string{"p_brand", "p_type", "p_name", "s_name", "n_name", "r_name", "p_partkey", "s_suppkey"}
+	measurePool := []olap.MeasureSpec{
+		{Out: "sum_rev", Func: "SUM", Col: "revenue"},
+		{Out: "avg_rev", Func: "AVG", Col: "revenue"},
+		{Out: "min_rev", Func: "MIN", Col: "revenue"},
+		{Out: "max_rev", Func: "MAX", Col: "revenue"},
+		{Out: "rows", Func: "COUNT", Col: ""},
+		{Out: "n_rev", Func: "COUNT", Col: "revenue"},
+		{Out: "sum_price", Func: "SUM", Col: "p_retailprice"},
+		{Out: "avg_bal", Func: "AVG", Col: "s_acctbal"},
+	}
+	filterPool := []string{
+		"",
+		"p_retailprice > 950",
+		"s_acctbal > 0",
+		"revenue > 5000",
+		"p_type = 'STANDARD' OR p_type = 'PROMO'",
+		"p_retailprice > 920 AND revenue < 100000",
+	}
+	q := olap.CubeQuery{Fact: "fact_table_revenue"}
+	perm := r.Perm(len(groupPool))
+	for _, i := range perm[:1+r.Intn(3)] {
+		q.GroupBy = append(q.GroupBy, groupPool[i])
+	}
+	mperm := r.Perm(len(measurePool))
+	for _, i := range mperm[:1+r.Intn(3)] {
+		q.Measures = append(q.Measures, measurePool[i])
+	}
+	q.Filter = filterPool[r.Intn(len(filterPool))]
+	// Sometimes aggregate the Supplier dimension at a rolled-up level.
+	switch r.Intn(4) {
+	case 1:
+		q.RollUp = map[string]string{"Supplier": "Nation"}
+	case 2:
+		q.RollUp = map[string]string{"Supplier": "Region"}
+	case 3:
+		q.RollUp = map[string]string{"Supplier": "Supplier"}
+	}
+	// Sometimes dice on one of the grouped columns.
+	if r.Intn(3) == 0 {
+		spec := &olap.DiceSpec{Thresholds: map[string]float64{}}
+		if r.Intn(2) == 0 {
+			spec.Func = "COUNT"
+			spec.Thresholds[q.GroupBy[0]] = float64(1 + r.Intn(4))
+		} else {
+			spec.Func = "SUM"
+			spec.Col = "revenue"
+			spec.Thresholds[q.GroupBy[0]] = float64(r.Intn(40000))
+		}
+		if len(q.GroupBy) > 1 && r.Intn(2) == 0 {
+			spec.Thresholds[q.GroupBy[1]] = float64(1 + r.Intn(8))
+			if spec.Func == "SUM" {
+				spec.Thresholds[q.GroupBy[1]] = float64(r.Intn(20000))
+			}
+		}
+		q.Dice = spec
+	}
+	return q
+}
+
+func TestQuickFastPathMatchesStarFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-check in -short mode")
+	}
+	for _, seed := range []int64{7, 1234} {
+		p, _ := platformWith(t, 3, seed, tpch.RevenueRequirement())
+		e, err := p.OLAP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(seed * 31))
+		for i := 0; i < 25; i++ {
+			q := randomQuery(r)
+			fast, errF := e.Query(q)
+			oracle, errO := e.QueryStarFlow(q)
+			if (errF == nil) != (errO == nil) {
+				t.Fatalf("seed %d query %d: fast err=%v oracle err=%v (%s)", seed, i, errF, errO, queryString(q))
+			}
+			if errF != nil {
+				continue
+			}
+			assertIdentical(t, queryString(q), fast, oracle)
+		}
+	}
+}
+
+// TestQuickRollUpMatchesExplicitGroupBy verifies the roll-up sugar:
+// aggregating dimension Supplier at level L must equal grouping by
+// L's key descriptor directly.
+func TestQuickRollUpMatchesExplicitGroupBy(t *testing.T) {
+	p, _ := platformWith(t, 3, 99, tpch.RevenueRequirement())
+	e, err := p.OLAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for level, key := range map[string]string{"Supplier": "s_name", "Nation": "n_name", "Region": "r_name"} {
+		rolled, err := e.Query(olap.CubeQuery{
+			Fact:     "fact_table_revenue",
+			RollUp:   map[string]string{"Supplier": level},
+			Measures: []olap.MeasureSpec{{Out: "total", Func: "SUM", Col: "revenue"}},
+		})
+		if err != nil {
+			t.Fatalf("roll-up to %s: %v", level, err)
+		}
+		explicit, err := e.Query(olap.CubeQuery{
+			Fact:     "fact_table_revenue",
+			GroupBy:  []string{key},
+			Measures: []olap.MeasureSpec{{Out: "total", Func: "SUM", Col: "revenue"}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, "roll-up to "+level, rolled, explicit)
+	}
+}

@@ -1,0 +1,268 @@
+package olap
+
+import (
+	"fmt"
+	"strings"
+
+	"quarry/internal/engine"
+	"quarry/internal/expr"
+	"quarry/internal/sqlgen"
+	"quarry/internal/storage"
+	"quarry/internal/xlm"
+)
+
+// The star-flow oracle answers the same cube queries by compiling the
+// shared plan to a throwaway xLM star flow and executing it with the
+// full ETL engine — the RunMaterializing pattern of PR 1: a second,
+// independent execution strategy kept as the correctness reference
+// the fast path is tested against (and the baseline its speedup is
+// measured from).
+//
+// Unlike the pre-PR-2 implementation, the flow never touches the
+// warehouse: it runs against a private scratch database holding
+// frozen snapshot views of the deployed tables, so its result table
+// is invisible to other queries and to concurrent ETL runs, and the
+// oracle reads the same stable snapshot the fast path would.
+
+// scratch table names used by the oracle flows.
+const (
+	answerTable = "__olap_answer"
+	detailTable = "__olap_detail"
+	dicedTable  = "__olap_diced"
+)
+
+// QueryStarFlow answers the cube query with the star-flow oracle.
+// Results are byte-identical to Query.
+func (e *Engine) QueryStarFlow(q CubeQuery) (*Result, error) {
+	p, err := e.plan(q)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := e.db.Snapshot(p.tables...)
+	if err != nil {
+		return nil, err
+	}
+	// Private scratch DB sharing frozen views of the deployed tables.
+	scratch := storage.NewDB()
+	for _, name := range p.tables {
+		view, _ := snap.Table(name)
+		if err := scratch.Attach(view.Freeze()); err != nil {
+			return nil, err
+		}
+	}
+	if p.dice == nil {
+		d, err := buildStarFlow(p, true)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := engine.Run(d, scratch); err != nil {
+			return nil, err
+		}
+		return readResult(scratch, p)
+	}
+	// Dicing: materialise the detail rows (joins + filter, no
+	// aggregation), prune them to the diamond with the reference
+	// fixpoint, then aggregate the survivors with a second flow.
+	d1, err := buildStarFlow(p, false)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := engine.Run(d1, scratch); err != nil {
+		return nil, err
+	}
+	detail, ok := scratch.Table(detailTable)
+	if !ok {
+		return nil, fmt.Errorf("olap: internal: detail table missing")
+	}
+	survivors, err := diceReference(valueRows(detail.Rows()), p.dice)
+	if err != nil {
+		return nil, err
+	}
+	diced, err := scratch.CreateTable(dicedTable, detail.Columns)
+	if err != nil {
+		return nil, err
+	}
+	kept := make([]storage.Row, len(survivors))
+	for i, r := range survivors {
+		kept[i] = r
+	}
+	if err := diced.InsertAll(kept); err != nil {
+		return nil, err
+	}
+	fields := make([]xlm.Field, len(detail.Columns))
+	for i, c := range detail.Columns {
+		fields[i] = xlm.Field{Name: c.Name, Type: c.Type}
+	}
+	d2, err := buildAggregateFlow(p, fields)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := engine.Run(d2, scratch); err != nil {
+		return nil, err
+	}
+	return readResult(scratch, p)
+}
+
+// readResult copies the answer table out of the scratch DB.
+func readResult(scratch *storage.DB, p *starPlan) (*Result, error) {
+	answer, ok := scratch.Table(answerTable)
+	if !ok {
+		return nil, fmt.Errorf("olap: internal: answer table missing")
+	}
+	res := &Result{Columns: p.resultColumns()}
+	res.Rows = valueRows(answer.Rows())
+	return res, nil
+}
+
+// valueRows converts storage rows to the engine's row representation
+// (a per-row slice-header copy, no value copies).
+func valueRows(rows []storage.Row) [][]expr.Value {
+	out := make([][]expr.Value, len(rows))
+	for i, r := range rows {
+		out[i] = r
+	}
+	return out
+}
+
+// addTable emits a datastore node scanning a deployed table.
+func addTable(d *xlm.Design, def *sqlgen.TableDef, nodeName string) error {
+	fields := make([]xlm.Field, len(def.Columns))
+	copy(fields, def.Columns)
+	return d.AddNode(&xlm.Node{
+		Name: nodeName, Type: xlm.OpDatastore, Optype: "TableInput",
+		Fields: fields,
+		Params: map[string]string{"store": "dw", "table": def.Name},
+	})
+}
+
+// buildStarFlow compiles the plan to an xLM star flow: fact scan,
+// one projection+hash-join per dimension (in plan order), the filter,
+// and — when aggregate is true — the cube aggregation, sort and
+// answer loader; otherwise the joined, filtered detail rows are
+// loaded into the detail table for dicing.
+func buildStarFlow(p *starPlan, aggregate bool) (*xlm.Design, error) {
+	d := xlm.NewDesign("olap_" + p.fact.Name)
+	if err := addTable(d, p.fact, "DW_"+p.fact.Name); err != nil {
+		return nil, err
+	}
+	cur := "DW_" + p.fact.Name
+	for _, sj := range p.joins {
+		nodeName := "DW_" + sj.def.Name
+		if err := addTable(d, sj.def, nodeName); err != nil {
+			return nil, err
+		}
+		projCols := []string{sj.keyAlias + "=" + sj.refCol}
+		projCols = append(projCols, sj.buildCols...)
+		proj := &xlm.Node{
+			Name: "PREP_" + sj.def.Name, Type: xlm.OpProjection,
+			Params: map[string]string{"columns": strings.Join(projCols, ",")},
+		}
+		if err := d.AddNode(proj); err != nil {
+			return nil, err
+		}
+		if err := d.AddEdge(nodeName, proj.Name); err != nil {
+			return nil, err
+		}
+		join := &xlm.Node{
+			Name: "JOIN_" + sj.def.Name, Type: xlm.OpJoin,
+			Params: map[string]string{"on": sj.fkCol + "=" + sj.keyAlias},
+		}
+		if err := d.AddNode(join); err != nil {
+			return nil, err
+		}
+		if err := d.AddEdge(cur, join.Name); err != nil {
+			return nil, err
+		}
+		if err := d.AddEdge(proj.Name, join.Name); err != nil {
+			return nil, err
+		}
+		cur = join.Name
+	}
+	if p.filter != nil {
+		sel := &xlm.Node{
+			Name: "FILTER", Type: xlm.OpSelection,
+			Params: map[string]string{"predicate": p.filter.String()},
+		}
+		if err := d.AddNode(sel); err != nil {
+			return nil, err
+		}
+		if err := d.AddEdge(cur, sel.Name); err != nil {
+			return nil, err
+		}
+		cur = sel.Name
+	}
+	if !aggregate {
+		out := &xlm.Node{
+			Name: "DETAIL", Type: xlm.OpLoader, Optype: "TableOutput",
+			Params: map[string]string{"table": detailTable, "mode": "replace"},
+		}
+		if err := d.AddNode(out); err != nil {
+			return nil, err
+		}
+		if err := d.AddEdge(cur, out.Name); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	if err := addAggregateTail(d, p, cur); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// buildAggregateFlow compiles the aggregation tail alone, reading the
+// diced detail table.
+func buildAggregateFlow(p *starPlan, detailFields []xlm.Field) (*xlm.Design, error) {
+	d := xlm.NewDesign("olap_dice_" + p.fact.Name)
+	ds := &xlm.Node{
+		Name: "DW_DICED", Type: xlm.OpDatastore, Optype: "TableInput",
+		Fields: detailFields,
+		Params: map[string]string{"store": "dw", "table": dicedTable},
+	}
+	if err := d.AddNode(ds); err != nil {
+		return nil, err
+	}
+	if err := addAggregateTail(d, p, ds.Name); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// addAggregateTail appends CUBE → ORDER → ANSWER to the flow.
+func addAggregateTail(d *xlm.Design, p *starPlan, cur string) error {
+	var aggs []string
+	for _, a := range p.aggs {
+		aggs = append(aggs, fmt.Sprintf("%s:%s:%s", a.Out, a.Func, a.Col))
+	}
+	agg := &xlm.Node{
+		Name: "CUBE", Type: xlm.OpAggregation,
+		Params: map[string]string{
+			"group":      strings.Join(p.groupBy, ","),
+			"aggregates": strings.Join(aggs, ";"),
+		},
+	}
+	if err := d.AddNode(agg); err != nil {
+		return err
+	}
+	if err := d.AddEdge(cur, agg.Name); err != nil {
+		return err
+	}
+	sortNode := &xlm.Node{
+		Name: "ORDER", Type: xlm.OpSort,
+		Params: map[string]string{"by": strings.Join(p.groupBy, ",")},
+	}
+	if err := d.AddNode(sortNode); err != nil {
+		return err
+	}
+	if err := d.AddEdge(agg.Name, sortNode.Name); err != nil {
+		return err
+	}
+	out := &xlm.Node{
+		Name: "ANSWER", Type: xlm.OpLoader, Optype: "TableOutput",
+		Params: map[string]string{"table": answerTable, "mode": "replace"},
+	}
+	if err := d.AddNode(out); err != nil {
+		return err
+	}
+	return d.AddEdge(sortNode.Name, out.Name)
+}

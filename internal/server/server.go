@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
 
 	"quarry/internal/core"
@@ -22,15 +23,43 @@ import (
 	"quarry/internal/xrq"
 )
 
-// Server serves a Platform.
-type Server struct {
-	p   *core.Platform
-	mux *http.ServeMux
+// Options tunes the serving layer.
+type Options struct {
+	// OLAPConcurrency bounds the number of OLAP queries executing at
+	// once; excess requests queue. 0 means 2×GOMAXPROCS.
+	OLAPConcurrency int
+	// OLAPCacheSize is the capacity of the LRU result cache (entries);
+	// 0 means 256, negative disables caching.
+	OLAPCacheSize int
 }
 
-// New wires the routes.
-func New(p *core.Platform) *Server {
-	s := &Server{p: p, mux: http.NewServeMux()}
+// Server serves a Platform.
+type Server struct {
+	p    *core.Platform
+	mux  *http.ServeMux
+	pool chan struct{}
+	// cache holds OLAP results keyed by query + warehouse version; it
+	// is purged whenever /api/run reloads the warehouse.
+	cache *olap.ResultCache
+}
+
+// New wires the routes with default options.
+func New(p *core.Platform) *Server { return NewWithOptions(p, Options{}) }
+
+// NewWithOptions wires the routes.
+func NewWithOptions(p *core.Platform, opts Options) *Server {
+	if opts.OLAPConcurrency <= 0 {
+		opts.OLAPConcurrency = 2 * runtime.GOMAXPROCS(0)
+	}
+	if opts.OLAPCacheSize == 0 {
+		opts.OLAPCacheSize = 256
+	}
+	s := &Server{
+		p:     p,
+		mux:   http.NewServeMux(),
+		pool:  make(chan struct{}, opts.OLAPConcurrency),
+		cache: olap.NewResultCache(opts.OLAPCacheSize),
+	}
 	s.mux.HandleFunc("GET /api/health", s.handleHealth)
 	s.mux.HandleFunc("GET /api/ontology/graph", s.handleGraph)
 	s.mux.HandleFunc("GET /api/ontology/search", s.handleSearch)
@@ -63,6 +92,18 @@ type olapRequest struct {
 		Col  string `json:"col"`
 	} `json:"measures"`
 	Filter string `json:"filter,omitempty"`
+	// RollUp maps xMD dimension names to the hierarchy level to
+	// aggregate at (e.g. {"Supplier": "Nation"}).
+	RollUp map[string]string `json:"roll_up,omitempty"`
+	// Dice applies a diamond dice before aggregation.
+	Dice *struct {
+		Func       string             `json:"func"`
+		Col        string             `json:"col,omitempty"`
+		Thresholds map[string]float64 `json:"thresholds"`
+	} `json:"dice,omitempty"`
+	// Oracle answers via the star-flow reference executor instead of
+	// the vectorized fast path (slower; for cross-checking).
+	Oracle bool `json:"oracle,omitempty"`
 }
 
 type olapResponse struct {
@@ -76,20 +117,66 @@ func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	// Cache key: canonical request JSON + warehouse version. Every ETL
+	// run bumps the version (PublishAll), so a result computed from a
+	// pre-run snapshot can never be served post-run even if its Put
+	// races handleRun's purge. Hits are answered before touching the
+	// query pool, so cached answers never queue behind heavy queries.
+	var key string
+	if db := s.p.DB(); db != nil {
+		canonical, err := json.Marshal(body)
+		if err == nil {
+			key = fmt.Sprintf("v%d:%s", db.Version(), canonical)
+		}
+	}
+	if key != "" {
+		if res, ok := s.cache.Get(key); ok {
+			w.Header().Set("X-Quarry-Cache", "hit")
+			writeJSON(w, http.StatusOK, olapBody(res))
+			return
+		}
+	}
+	// Bounded-concurrency query pool: at most cap(s.pool) queries
+	// execute at once, the rest queue here. A client that disconnects
+	// while queued abandons its slot request instead of burning a
+	// query on an answer nobody will read.
+	select {
+	case s.pool <- struct{}{}:
+	case <-r.Context().Done():
+		writeErr(w, http.StatusServiceUnavailable, r.Context().Err())
+		return
+	}
+	defer func() { <-s.pool }()
 	oe, err := s.p.OLAP()
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	q := olap.CubeQuery{Fact: body.Fact, GroupBy: body.GroupBy, Filter: body.Filter}
+	q := olap.CubeQuery{Fact: body.Fact, GroupBy: body.GroupBy, Filter: body.Filter, RollUp: body.RollUp}
 	for _, m := range body.Measures {
 		q.Measures = append(q.Measures, olap.MeasureSpec{Out: m.Out, Func: m.Func, Col: m.Col})
 	}
-	res, err := oe.Query(q)
+	if body.Dice != nil {
+		q.Dice = &olap.DiceSpec{Func: body.Dice.Func, Col: body.Dice.Col, Thresholds: body.Dice.Thresholds}
+	}
+	var res *olap.Result
+	if body.Oracle {
+		res, err = oe.QueryStarFlow(q)
+	} else {
+		res, err = oe.Query(q)
+	}
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	if key != "" {
+		s.cache.Put(key, res)
+		w.Header().Set("X-Quarry-Cache", "miss")
+	}
+	writeJSON(w, http.StatusOK, olapBody(res))
+}
+
+func olapBody(res *olap.Result) olapResponse {
 	out := olapResponse{Columns: res.Columns, Rows: [][]string{}}
 	for _, row := range res.Rows {
 		vals := make([]string, len(row))
@@ -98,7 +185,7 @@ func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
 		}
 		out.Rows = append(out.Rows, vals)
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out
 }
 
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
@@ -422,6 +509,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	// The warehouse changed: cached OLAP results are stale.
+	s.cache.Purge()
 	writeJSON(w, http.StatusOK, runResponse{
 		Loaded:        res.Loaded,
 		RowsProcessed: res.RowsProcessed(),

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"quarry/internal/core"
+	"quarry/internal/storage"
+	"quarry/internal/tpch"
+)
+
+// stressServer builds a server over a deployed warehouse with a small
+// query pool and cache, returning the platform too.
+func stressServer(t *testing.T, opts Options) (*httptest.Server, *core.Platform) {
+	t.Helper()
+	o, err := tpch.Ontology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tpch.Mapping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tpch.Catalog(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDB()
+	if _, err := tpch.Generate(db, 2, 42); err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.New(core.Config{Ontology: o, Mapping: m, Catalog: c, DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddRequirement(tpch.RevenueRequirement()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewWithOptions(p, opts).Handler())
+	t.Cleanup(ts.Close)
+	return ts, p
+}
+
+func postJSON(t testing.TB, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+const stressQuery = `{"fact":"fact_table_revenue","group_by":["p_brand"],` +
+	`"roll_up":{"Supplier":"Nation"},` +
+	`"measures":[{"out":"total","func":"SUM","col":"revenue"},{"out":"n","func":"COUNT"}]}`
+
+// TestOLAPUnderConcurrentReloads hammers POST /api/olap from N
+// goroutines while POST /api/run reloads the warehouse concurrently.
+// The generator is deterministic, so a reload rebuilds identical
+// tables: every OLAP response must therefore equal the canonical
+// answer — a response computed from a half-loaded (torn) fact or
+// dimension table would differ. Run under -race this also checks the
+// locking discipline of the whole serving path.
+func TestOLAPUnderConcurrentReloads(t *testing.T) {
+	ts, _ := stressServer(t, Options{OLAPConcurrency: 4, OLAPCacheSize: -1})
+
+	resp, body := postJSON(t, ts.URL+"/api/olap", stressQuery)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("canonical query = %d: %s", resp.StatusCode, body)
+	}
+	var canonical struct {
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &canonical); err != nil {
+		t.Fatal(err)
+	}
+	if len(canonical.Rows) == 0 {
+		t.Fatal("canonical query returned no rows")
+	}
+
+	stop := make(chan struct{})
+	loadErrs := make(chan string, 1)
+	go func() {
+		defer close(loadErrs)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, body := postJSON(t, ts.URL+"/api/run", `{}`)
+			if resp.StatusCode != http.StatusOK {
+				loadErrs <- string(body)
+				return
+			}
+		}
+	}()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				resp, body := postJSON(t, ts.URL+"/api/olap", stressQuery)
+				if resp.StatusCode != http.StatusOK {
+					errs <- string(body)
+					return
+				}
+				var got struct {
+					Columns []string   `json:"columns"`
+					Rows    [][]string `json:"rows"`
+				}
+				if err := json.Unmarshal(body, &got); err != nil {
+					errs <- err.Error()
+					return
+				}
+				if !reflect.DeepEqual(got.Columns, canonical.Columns) || !reflect.DeepEqual(got.Rows, canonical.Rows) {
+					errs <- "response diverged from canonical answer (torn snapshot?)"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	if msg, ok := <-loadErrs; ok && msg != "" {
+		t.Fatalf("concurrent /api/run failed: %s", msg)
+	}
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// TestOLAPCacheInvalidation: repeated queries hit the LRU cache, a
+// reload invalidates it, and the post-reload answer is served fresh.
+func TestOLAPCacheInvalidation(t *testing.T) {
+	ts, _ := stressServer(t, Options{OLAPCacheSize: 16})
+	resp1, body1 := postJSON(t, ts.URL+"/api/olap", stressQuery)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first query = %d: %s", resp1.StatusCode, body1)
+	}
+	if got := resp1.Header.Get("X-Quarry-Cache"); got != "miss" {
+		t.Fatalf("first query cache header = %q, want miss", got)
+	}
+	resp2, body2 := postJSON(t, ts.URL+"/api/olap", stressQuery)
+	if got := resp2.Header.Get("X-Quarry-Cache"); got != "hit" {
+		t.Fatalf("second query cache header = %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("cached response differs from computed response")
+	}
+	// Reload: the cache must not serve the pre-reload entry.
+	if resp, body := postJSON(t, ts.URL+"/api/run", `{}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload = %d: %s", resp.StatusCode, body)
+	}
+	resp3, body3 := postJSON(t, ts.URL+"/api/olap", stressQuery)
+	if got := resp3.Header.Get("X-Quarry-Cache"); got != "miss" {
+		t.Fatalf("post-reload cache header = %q, want miss", got)
+	}
+	if !bytes.Equal(body1, body3) {
+		t.Fatal("post-reload answer differs (deterministic data should reproduce it)")
+	}
+}
+
+// TestOLAPRollUpAndDiceOverHTTP exercises the new request fields
+// end-to-end, including the oracle switch.
+func TestOLAPRollUpAndDiceOverHTTP(t *testing.T) {
+	ts, _ := stressServer(t, Options{})
+	body := `{"fact":"fact_table_revenue",` +
+		`"roll_up":{"Supplier":"Region"},` +
+		`"measures":[{"out":"total","func":"SUM","col":"revenue"}]}`
+	resp, out := postJSON(t, ts.URL+"/api/olap", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("roll-up query = %d: %s", resp.StatusCode, out)
+	}
+	var rollup struct {
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(out, &rollup); err != nil {
+		t.Fatal(err)
+	}
+	if len(rollup.Columns) == 0 || rollup.Columns[0] != "r_name" {
+		t.Fatalf("roll-up columns = %v", rollup.Columns)
+	}
+	if len(rollup.Rows) != 1 || rollup.Rows[0][0] != "EUROPE" {
+		t.Fatalf("roll-up rows = %v", rollup.Rows)
+	}
+	// The oracle path returns the same body.
+	oracleBody := body[:len(body)-1] + `,"oracle":true}`
+	respO, outO := postJSON(t, ts.URL+"/api/olap", oracleBody)
+	if respO.StatusCode != http.StatusOK {
+		t.Fatalf("oracle query = %d: %s", respO.StatusCode, outO)
+	}
+	var oracle struct {
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(outO, &oracle); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rollup, oracle) {
+		t.Fatalf("oracle answer differs: %v vs %v", rollup, oracle)
+	}
+	// A dice over HTTP.
+	diceBody := `{"fact":"fact_table_revenue","group_by":["p_brand"],` +
+		`"measures":[{"out":"total","func":"SUM","col":"revenue"}],` +
+		`"dice":{"func":"COUNT","thresholds":{"p_brand":2}}}`
+	respD, outD := postJSON(t, ts.URL+"/api/olap", diceBody)
+	if respD.StatusCode != http.StatusOK {
+		t.Fatalf("dice query = %d: %s", respD.StatusCode, outD)
+	}
+	// Malformed dice → 422.
+	badDice := `{"fact":"fact_table_revenue","group_by":["p_brand"],` +
+		`"measures":[{"out":"total","func":"SUM","col":"revenue"}],` +
+		`"dice":{"func":"MEDIAN","thresholds":{"p_brand":2}}}`
+	respB, _ := postJSON(t, ts.URL+"/api/olap", badDice)
+	if respB.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad dice = %d, want 422", respB.StatusCode)
+	}
+}

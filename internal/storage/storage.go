@@ -215,6 +215,20 @@ type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 	order  []string
+	// version counts structural changes (create/replace/drop/attach);
+	// result caches key on it to detect reloads of the warehouse.
+	version uint64
+}
+
+// Version reports the structural version: it increases whenever a
+// table is created, replaced, dropped or attached, and once per ETL
+// run commit (PublishAll — which append-only runs also call), so
+// version-keyed caches observe every load. Direct row appends outside
+// an engine run do not bump it.
+func (db *DB) Version() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.version
 }
 
 // NewDB creates an empty database.
@@ -235,7 +249,58 @@ func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
 	}
 	db.tables[name] = t
 	db.order = append(db.order, name)
+	db.version++
 	return t, nil
+}
+
+// NewStagingTable creates a detached table registered in no database:
+// loaders build replace-mode loads in one, then swap the finished
+// table in atomically with Publish, so concurrent readers never
+// observe a half-loaded table.
+func NewStagingTable(name string, cols []Column) (*Table, error) {
+	return newTable(name, cols)
+}
+
+// Publish atomically registers the table under its name, replacing
+// any previous version. Snapshots and readers holding the previous
+// table object keep their stable view.
+func (db *DB) Publish(t *Table) { db.PublishAll([]*Table{t}) }
+
+// PublishAll registers every table in one critical section — the
+// commit point of an ETL run: a concurrent Snapshot sees either none
+// or all of the run's replace-mode loads, never a mix of new facts
+// with old dimensions. The version is bumped once per call, even for
+// an empty table list (append-only runs call it with no tables so
+// version-keyed caches still observe the change).
+func (db *DB) PublishAll(tables []*Table) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, t := range tables {
+		if _, exists := db.tables[t.Name]; !exists {
+			db.order = append(db.order, t.Name)
+		}
+		db.tables[t.Name] = t
+	}
+	db.version++
+}
+
+// Attach registers an existing table object under its own name without
+// copying rows; it fails if the name is taken. Scratch databases use it
+// to share source tables (typically frozen snapshot views) with a main
+// database while keeping their own writes private.
+func (db *DB) Attach(t *Table) error {
+	if t == nil {
+		return fmt.Errorf("storage: cannot attach nil table")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[t.Name]; dup {
+		return fmt.Errorf("storage: table %q already exists", t.Name)
+	}
+	db.tables[t.Name] = t
+	db.order = append(db.order, t.Name)
+	db.version++
+	return nil
 }
 
 // CreateOrReplaceTable creates the table, dropping any previous
@@ -251,6 +316,7 @@ func (db *DB) CreateOrReplaceTable(name string, cols []Column) (*Table, error) {
 		db.order = append(db.order, name)
 	}
 	db.tables[name] = t
+	db.version++
 	return t, nil
 }
 
@@ -268,6 +334,7 @@ func (db *DB) Drop(name string) error {
 			break
 		}
 	}
+	db.version++
 	return nil
 }
 

@@ -47,6 +47,7 @@ import (
 	"quarry/internal/elicitor"
 	"quarry/internal/engine"
 	"quarry/internal/mapping"
+	"quarry/internal/olap"
 	"quarry/internal/ontology"
 	"quarry/internal/sources"
 	"quarry/internal/storage"
@@ -100,6 +101,29 @@ type RunResult = engine.Result
 // EngineOptions tunes native ETL execution (DAG parallelism, rows per
 // batch); see Config.Engine and Platform.RunWith.
 type EngineOptions = engine.Options
+
+// OLAPEngine answers analytical cube queries over the deployed DW
+// (obtain one with Platform.OLAP after Run). Query is the vectorized
+// fast path — star joins and hash aggregation planned directly over
+// snapshot-isolated storage cursors, nothing written to the warehouse
+// — and QueryStarFlow the engine-executed correctness oracle.
+type OLAPEngine = olap.Engine
+
+// CubeQuery is an analytical query over a deployed fact table:
+// group-by descriptors (optionally at coarser roll-up levels of the
+// xMD hierarchies), aggregated measures, slicer predicate and an
+// optional diamond dice.
+type CubeQuery = olap.CubeQuery
+
+// OLAPMeasure is one aggregated measure of a CubeQuery.
+type OLAPMeasure = olap.MeasureSpec
+
+// DiceSpec configures a CubeQuery's diamond dice: per-dimension
+// minimum carats, pruned to a fixpoint.
+type DiceSpec = olap.DiceSpec
+
+// OLAPResult is an ordered, in-memory OLAP result set.
+type OLAPResult = olap.Result
 
 // New builds a Platform for a custom domain.
 func New(cfg Config) (*Platform, error) { return core.New(cfg) }
