@@ -615,6 +615,33 @@ func BenchmarkOLAPQuery_FastPath(b *testing.B) {
 	}
 }
 
+// BenchmarkOLAPQuery_Materialized measures the materialized-aggregate
+// path: the store is trained on the serving workload and refreshed
+// once, then every query is rewritten onto its aggregate (a
+// projection over ~tens of rows instead of a star join over the fact
+// table). The acceptance bar is ≥2× over BenchmarkOLAPQuery_FastPath
+// for covered roll-ups.
+func BenchmarkOLAPQuery_Materialized(b *testing.B) {
+	oe := benchOLAPEngine(b).WithMatAgg(olap.NewMatAgg(8))
+	q := benchCubeQuery()
+	if _, err := oe.Query(q); err != nil { // record the pattern
+		b.Fatal(err)
+	}
+	if _, err := oe.MatAgg().Refresh(oe); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := oe.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := oe.MatAgg().Stats(); st.Hits+st.Rewrites == 0 {
+		b.Fatalf("benchmark never hit a materialized aggregate: %+v", st)
+	}
+}
+
 // BenchmarkOLAPDice measures the diamond-dicing fixpoint (incremental
 // worklist algorithm) on top of the fast path.
 func BenchmarkOLAPDice(b *testing.B) {

@@ -1,0 +1,200 @@
+// Command benchjson converts `go test -bench` text output into a
+// stable JSON document and optionally gates it against a checked-in
+// baseline — the CI bench job's regression tripwire.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' ./... | tee bench.txt
+//	benchjson -in bench.txt -sha $GITHUB_SHA -out BENCH_$GITHUB_SHA.json
+//	benchjson -in bench.txt -baseline BENCH_baseline.json \
+//	          -gate '^BenchmarkOLAP' -threshold 0.25
+//
+// The gate fails (exit 1) when any baseline benchmark whose name
+// matches -gate is either missing from the current run or slower than
+// baseline × (1 + threshold).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the JSON document.
+type Report struct {
+	SHA        string      `json:"sha,omitempty"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkName-8   100   123456 ns/op  4.5 extra_metric`;
+// the -N GOMAXPROCS suffix is stripped from the stored name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.eE+]+) ns/op(.*)$`)
+
+// parse reads `go test -bench` output. Duplicate names (re-runs across
+// packages) keep the last occurrence.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	byName := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %w", line, err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %w", line, err)
+		}
+		b := Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if extra := strings.Fields(m[4]); len(extra) >= 2 {
+			b.Metrics = map[string]float64{}
+			for i := 0; i+1 < len(extra); i += 2 {
+				v, err := strconv.ParseFloat(extra[i], 64)
+				if err != nil {
+					continue // allocation columns etc. stay numeric, but be lenient
+				}
+				b.Metrics[extra[i+1]] = v
+			}
+		}
+		if i, dup := byName[b.Name]; dup {
+			rep.Benchmarks[i] = b
+			continue
+		}
+		byName[b.Name] = len(rep.Benchmarks)
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// gate compares the current report against the baseline and returns
+// one human-readable failure per regressed (or vanished) benchmark.
+func gate(current, baseline *Report, match *regexp.Regexp, threshold float64) []string {
+	cur := map[string]Benchmark{}
+	for _, b := range current.Benchmarks {
+		cur[b.Name] = b
+	}
+	var failures []string
+	for _, base := range baseline.Benchmarks {
+		if !match.MatchString(base.Name) {
+			continue
+		}
+		got, ok := cur[base.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from this run", base.Name))
+			continue
+		}
+		limit := base.NsPerOp * (1 + threshold)
+		if got.NsPerOp > limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f ns/op exceeds baseline %.0f ns/op by %.1f%% (limit +%.0f%%)",
+				base.Name, got.NsPerOp, base.NsPerOp,
+				100*(got.NsPerOp-base.NsPerOp)/base.NsPerOp, 100*threshold))
+		}
+	}
+	return failures
+}
+
+func run() error {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "", "write the parsed report as JSON to this file")
+	sha := flag.String("sha", "", "commit SHA recorded in the report")
+	baselinePath := flag.String("baseline", "", "baseline JSON to gate against")
+	gateExpr := flag.String("gate", "^Benchmark", "regexp of baseline benchmarks the gate enforces")
+	threshold := flag.Float64("threshold", 0.25, "allowed slowdown vs baseline (0.25 = +25%)")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := parse(src)
+	if err != nil {
+		return err
+	}
+	rep.SHA = *sha
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: no benchmark results in input")
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+	}
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			return err
+		}
+		var baseline Report
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			return fmt.Errorf("benchjson: parsing baseline %s: %w", *baselinePath, err)
+		}
+		match, err := regexp.Compile(*gateExpr)
+		if err != nil {
+			return fmt.Errorf("benchjson: bad -gate regexp: %w", err)
+		}
+		failures := gate(rep, &baseline, match, *threshold)
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", f)
+			}
+			return fmt.Errorf("benchjson: %d benchmark(s) regressed beyond +%.0f%%", len(failures), 100**threshold)
+		}
+		fmt.Printf("benchjson: gate passed (%s, threshold +%.0f%%)\n", *gateExpr, 100**threshold)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: quarry
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkOLAPQuery_StarFlow-8     	       1	    253000 ns/op
+BenchmarkOLAPQuery_FastPath-8     	       1	    113000 ns/op
+BenchmarkOLAPQuery_Materialized-8 	       1	     16000 ns/op
+BenchmarkOLAPDice-8               	       1	    131000 ns/op
+BenchmarkFig3_IntegrationAndDeployment-8 	       1	   1795000 ns/op	         4.000 reuse_ratio
+PASS
+ok  	quarry	12.3s
+?   	quarry/cmd/quarryd	[no test files]
+`
+
+func parseSample(t *testing.T, text string) *Report {
+	t.Helper()
+	rep, err := parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	rep := parseSample(t, sampleOutput)
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("environment = %q/%q/%q", rep.GOOS, rep.GOARCH, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(rep.Benchmarks))
+	}
+	fast := rep.Benchmarks[1]
+	if fast.Name != "BenchmarkOLAPQuery_FastPath" || fast.Iterations != 1 || fast.NsPerOp != 113000 {
+		t.Errorf("fast path parsed as %+v", fast)
+	}
+	fig3 := rep.Benchmarks[4]
+	if fig3.Metrics["reuse_ratio"] != 4 {
+		t.Errorf("extra metric parsed as %+v", fig3.Metrics)
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	base := parseSample(t, sampleOutput)
+	cur := parseSample(t, strings.ReplaceAll(sampleOutput, "113000 ns/op", "130000 ns/op")) // +15%
+	match := regexp.MustCompile(`^BenchmarkOLAP`)
+	if failures := gate(cur, base, match, 0.25); len(failures) != 0 {
+		t.Fatalf("gate tripped within threshold: %v", failures)
+	}
+}
+
+// TestGateTripsOnInjectedSlowdown is the acceptance check: a 2× slower
+// fast path must trip the 25% gate.
+func TestGateTripsOnInjectedSlowdown(t *testing.T) {
+	base := parseSample(t, sampleOutput)
+	cur := parseSample(t, strings.ReplaceAll(sampleOutput, "113000 ns/op", "226000 ns/op")) // 2×
+	match := regexp.MustCompile(`^BenchmarkOLAP`)
+	failures := gate(cur, base, match, 0.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkOLAPQuery_FastPath") {
+		t.Fatalf("gate failures = %v, want exactly the fast-path regression", failures)
+	}
+	// Benchmarks outside the gate regexp never trip it.
+	slowFig := parseSample(t, strings.ReplaceAll(sampleOutput, "1795000 ns/op", "9795000 ns/op"))
+	if failures := gate(slowFig, base, match, 0.25); len(failures) != 0 {
+		t.Fatalf("ungated benchmark tripped the gate: %v", failures)
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	base := parseSample(t, sampleOutput)
+	var lines []string
+	for _, l := range strings.Split(sampleOutput, "\n") {
+		if !strings.Contains(l, "BenchmarkOLAPDice") {
+			lines = append(lines, l)
+		}
+	}
+	cur := parseSample(t, strings.Join(lines, "\n"))
+	match := regexp.MustCompile(`^BenchmarkOLAP`)
+	failures := gate(cur, base, match, 0.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("gate failures = %v, want a missing-benchmark failure", failures)
+	}
+}

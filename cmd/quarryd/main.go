@@ -7,6 +7,7 @@
 //	quarryd [-addr :8080] [-sf 10] [-seed 42] [-store DIR]
 //	        [-parallelism 0] [-batch-size 0]
 //	        [-olap-concurrency 0] [-olap-cache 256]
+//	        [-matagg] [-matagg-top-k 8]
 package main
 
 import (
@@ -30,6 +31,8 @@ func main() {
 	batchSize := flag.Int("batch-size", 0, "ETL engine rows per batch (0: engine default)")
 	olapConc := flag.Int("olap-concurrency", 0, "max concurrent OLAP queries (0: 2×GOMAXPROCS)")
 	olapCache := flag.Int("olap-cache", 256, "OLAP result cache capacity (negative disables)")
+	matagg := flag.Bool("matagg", true, "materialize hot OLAP aggregates (adaptive, version-keyed)")
+	mataggTopK := flag.Int("matagg-top-k", 8, "materialized aggregates kept per refresh")
 	flag.Parse()
 
 	onto, err := tpch.Ontology()
@@ -49,9 +52,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("quarryd: %v", err)
 	}
+	topK := 0
+	if *matagg {
+		topK = *mataggTopK
+	}
 	p, err := core.New(core.Config{
 		Ontology: onto, Mapping: mapg, Catalog: cat, DB: db, StoreDir: *store,
-		Engine: engine.Options{Parallelism: *parallelism, BatchSize: *batchSize},
+		Engine:     engine.Options{Parallelism: *parallelism, BatchSize: *batchSize},
+		MatAggTopK: topK,
 	})
 	if err != nil {
 		log.Fatalf("quarryd: %v", err)

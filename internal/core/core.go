@@ -64,6 +64,11 @@ type Config struct {
 	// size); the zero value uses the engine defaults (GOMAXPROCS
 	// workers, 1024-row batches).
 	Engine engine.Options
+	// MatAggTopK enables the OLAP materialized-aggregate store (plus
+	// the per-dimension build-side cache), materializing up to K hot
+	// aggregates per refresh; 0 disables the subsystem. See
+	// internal/olap/matagg.go.
+	MatAggTopK int
 }
 
 // Platform is the running Quarry instance.
@@ -91,6 +96,9 @@ type Platform struct {
 	// design; it is immutable (built from clones) and shared by every
 	// concurrent query until a design change invalidates it.
 	olapEng *olap.Engine
+	// matAgg outlives engine rebuilds (entries are DB-version-keyed);
+	// design changes invalidate it wholesale. Nil when disabled.
+	matAgg *olap.MatAgg
 }
 
 // New builds a Platform from the configuration.
@@ -124,6 +132,9 @@ func New(cfg Config) (*Platform, error) {
 		engineOpts: cfg.Engine,
 		reqs:       map[string]*xrq.Requirement{},
 		partials:   map[string]*interpreter.PartialDesign{},
+	}
+	if cfg.MatAggTopK > 0 {
+		p.matAgg = olap.NewMatAgg(cfg.MatAggTopK)
 	}
 	// A persistent repository may already hold a lifecycle; restore
 	// it so the platform resumes where the previous session stopped.
@@ -212,6 +223,7 @@ func (p *Platform) AddRequirement(r *xrq.Requirement) (*ChangeReport, error) {
 	p.unifiedMD = newMD
 	p.unifiedETL = newETL
 	p.olapEng = nil
+	p.matAgg.Invalidate()
 	if err := p.persistLocked(r, pd); err != nil {
 		return nil, err
 	}
@@ -301,6 +313,7 @@ func (p *Platform) rederiveLocked() error {
 	p.unifiedMD = md
 	p.unifiedETL = etl
 	p.olapEng = nil
+	p.matAgg.Invalidate()
 	if md != nil {
 		if err := p.repo.SaveMD("unified", md); err != nil {
 			return err
@@ -540,9 +553,22 @@ func (p *Platform) OLAP() (*olap.Engine, error) {
 		if err != nil {
 			return nil, err
 		}
+		if p.matAgg != nil {
+			eng = eng.WithMatAgg(p.matAgg)
+		}
 		p.olapEng = eng
 	}
 	return p.olapEng, nil
+}
+
+// MatAgg exposes the materialized-aggregate store, or nil when the
+// subsystem is disabled (Config.MatAggTopK == 0). Serving layers call
+// its Refresh after warehouse reloads to re-materialize hot aggregates
+// at the new version.
+func (p *Platform) MatAgg() *olap.MatAgg {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.matAgg
 }
 
 // RunSeparately executes every requirement's partial ETL flow

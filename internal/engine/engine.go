@@ -139,8 +139,9 @@ func RunMaterializing(d *xlm.Design, db *storage.DB) (*Result, error) {
 			}
 		}
 	}
-	// Commit point: publish every replace-mode load in one critical
-	// section, mirroring the pipelined executor.
+	// Commit point: publish every staged load — replace tables and
+	// append deltas — in one critical section, mirroring the pipelined
+	// executor.
 	staged.commit(db)
 	res.Elapsed = time.Since(start)
 	return res, nil

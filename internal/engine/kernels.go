@@ -580,17 +580,18 @@ func (o *surrogateKeyOp) apply(dst, rows [][]expr.Value) [][]expr.Value {
 	return dst
 }
 
-// stagedLoads collects a run's completed replace-mode loads so they
-// can all be committed in one critical section at the end of the run
-// (storage.DB.PublishAll): concurrent snapshots see either the whole
-// run or none of it, never a new fact table joined against old
-// dimension tables. Later loaders of the same run resolve their
-// targets through it first, so an append after a replace lands in the
-// staged table.
+// stagedLoads collects a run's completed loads — replace-mode staging
+// tables and append-mode deltas — so they can all be committed in one
+// critical section at the end of the run (storage.DB.CommitRun):
+// concurrent snapshots see either the whole run or none of it, never a
+// new fact table joined against old dimension tables or a partial
+// append. Later loaders of the same run resolve their targets through
+// it first, so an append after a replace lands in the staged table.
 type stagedLoads struct {
-	mu     sync.Mutex
-	tables []*storage.Table
-	byName map[string]*storage.Table
+	mu      sync.Mutex
+	tables  []*storage.Table
+	byName  map[string]*storage.Table
+	appends []storage.AppendDelta
 }
 
 func newStagedLoads() *stagedLoads {
@@ -623,34 +624,49 @@ func (s *stagedLoads) lookup(name string) (*storage.Table, bool) {
 	return t, ok
 }
 
+// addAppend registers a completed append-mode load: a detached delta
+// table merged into its live target at commit. Deltas are merged in
+// registration order, which the per-table loader chain makes the
+// topological order — the same order the rows would have landed in
+// had they been appended live.
+func (s *stagedLoads) addAppend(target, delta *storage.Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.appends = append(s.appends, storage.AppendDelta{Target: target, Delta: delta})
+}
+
 // commit publishes the run's loads atomically; it is the single
 // version bump every successful run causes (append-only runs included,
 // so version-keyed result caches always observe a load).
 func (s *stagedLoads) commit(db *storage.DB) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	db.PublishAll(s.tables)
+	db.CommitRun(s.tables, s.appends)
 }
 
 // loaderOp creates-or-replaces (default) or appends to the target
 // table and streams batches into it. Replace-mode loads are staged:
 // batches stream into a detached table registered with the run's
 // stagedLoads on finish() and committed atomically when the whole run
-// succeeds, so concurrent readers (OLAP queries, snapshots) never
-// observe a half-loaded table or a partially-published run — and a
-// failing run leaves every previous table version intact. In append
-// mode onto an existing table the incoming schema is remapped onto
-// the table's column order by name — matching names in a different
-// order load correctly, and a true schema mismatch (missing column,
-// arity or type conflict) is an error instead of silently corrupting
-// data positionally.
+// succeeds. Append-mode loads onto an existing live table are staged
+// too: batches stream into a detached delta table (with the target's
+// column layout) that is merged into the live table at the run's
+// commit point. Either way, concurrent readers (OLAP queries,
+// snapshots) never observe a half-loaded table or a
+// partially-published run — and a failing run leaves every live table
+// byte-identical to its pre-run state. In append mode the incoming
+// schema is remapped onto the table's column order by name — matching
+// names in a different order load correctly, and a true schema
+// mismatch (missing column, arity or type conflict) is an error
+// instead of silently corrupting data positionally.
 type loaderOp struct {
-	table   string
-	t       *storage.Table
-	staged  *stagedLoads
-	publish bool  // replace mode: t is a staging table, registered by finish
-	remap   []int // remap[i] = input position of table column i; nil = positional
-	written int64
+	table    string
+	t        *storage.Table
+	staged   *stagedLoads
+	publish  bool           // replace mode: t is a staging table, registered by finish
+	appendTo *storage.Table // append mode onto a live table: t is the delta, merged at commit
+	remap    []int          // remap[i] = input position of table column i; nil = positional
+	written  int64
 }
 
 func newLoaderOp(n *xlm.Node, in []xlm.Field, db *storage.DB, staged *stagedLoads) (*loaderOp, error) {
@@ -666,10 +682,15 @@ func newLoaderOp(n *xlm.Node, in []xlm.Field, db *storage.DB, staged *stagedLoad
 		op.t, err = storage.NewStagingTable(table, cols)
 		op.publish = true
 	case "append":
-		t, ok := staged.lookup(table)
-		if !ok {
-			t, ok = db.Table(table)
+		if t, ok := staged.lookup(table); ok {
+			// Appending after a replace of the same run: the staged
+			// table is detached, so writing into it directly is already
+			// atomic with the run's commit.
+			op.t = t
+			op.remap, err = appendRemap(table, in, t.Columns)
+			break
 		}
+		live, ok := db.Table(table)
 		if !ok {
 			// Append to a missing table creates it — staged like a
 			// replace so the creation also commits atomically.
@@ -677,8 +698,13 @@ func newLoaderOp(n *xlm.Node, in []xlm.Field, db *storage.DB, staged *stagedLoad
 			op.publish = true
 			break
 		}
-		op.t = t
-		op.remap, err = appendRemap(table, in, t.Columns)
+		// Stage the delta with the live table's column layout; write()
+		// remaps incoming rows into it, and the run's commit merges it.
+		if op.remap, err = appendRemap(table, in, live.Columns); err != nil {
+			break
+		}
+		op.appendTo = live
+		op.t, err = storage.NewStagingTable(table, live.Columns)
 	default:
 		return nil, fmt.Errorf("loader mode %q unknown", n.Param("mode"))
 	}
@@ -695,6 +721,8 @@ func newLoaderOp(n *xlm.Node, in []xlm.Field, db *storage.DB, staged *stagedLoad
 func (o *loaderOp) finish() {
 	if o.publish {
 		o.staged.add(o.t)
+	} else if o.appendTo != nil {
+		o.staged.addAppend(o.appendTo, o.t)
 	}
 }
 

@@ -549,13 +549,14 @@ func (r *runner) runSurrogateKey() error {
 }
 
 // runLoader streams batches into the target table. The table is bound
-// (staged for replace, or append-remapped) on the first batch — or at
-// a clean end-of-stream for zero-row loads, which still create their
-// target like the materialising path. Replace-mode loads stream into
-// a detached staging table and publish it atomically on success, so
-// concurrent readers never see a half-loaded table and failed runs
-// leave the previous version intact; append-mode loads stream into
-// the live table and can leave a partial append behind on failure.
+// (staged for replace, or delta-staged and remapped for append) on the
+// first batch — or at a clean end-of-stream for zero-row loads, which
+// still create their target like the materialising path. Replace-mode
+// loads stream into a detached staging table published atomically on
+// success; append-mode loads stream into a detached delta table merged
+// into the live target at the same commit point. Concurrent readers
+// therefore never see a half-loaded table or a partial append, and
+// failed runs leave every live table untouched.
 func (r *runner) runLoader() error {
 	if r.loadAfter != nil {
 		select {
@@ -608,9 +609,9 @@ func (r *runner) runLoader() error {
 // cursors. On success, results — loaded tables, per-operation row
 // counts, Loaded totals — are byte-identical to RunMaterializing for
 // any Options. Replace-mode loads are staged and published atomically
-// on success (failed runs leave the previous table versions intact);
-// only an append-mode loader already mid-stream can leave a partial
-// append behind on failure.
+// on success, and append-mode loads are staged as deltas merged at the
+// same commit point, so a failed run leaves every live table — replace
+// and append targets alike — in its pre-run state.
 func RunWithOptions(d *xlm.Design, db *storage.DB, opts Options) (*Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -692,8 +693,9 @@ func RunWithOptions(d *xlm.Design, db *storage.DB, opts Options) (*Result, error
 	if ex.err != nil {
 		return nil, ex.err
 	}
-	// Commit point: publish every replace-mode load in one critical
-	// section, so concurrent snapshots see the whole run or none of it.
+	// Commit point: publish every staged load — replace tables and
+	// append deltas — in one critical section, so concurrent snapshots
+	// see the whole run or none of it.
 	ex.staged.commit(db)
 	res := &Result{Loaded: ex.loaded, Elapsed: time.Since(start)}
 	for _, n := range order {

@@ -64,11 +64,27 @@ func readBatch(view *storage.TableView, remap []int, start, max int) [][]expr.Va
 func (e *Engine) execFast(p *starPlan, snap *storage.Snapshot) (*Result, error) {
 	// Build phase: one hash table per dimension, keyed on the
 	// reference column, rows projected to key alias + needed columns.
+	// With a MatAgg attached, built tables are cached per (version,
+	// dimension rows, join shape) and reused across concurrent queries
+	// until the next republish — a fully built HashJoin is immutable,
+	// so any number of probes share it.
+	var cache *dimCache
+	if e.mat != nil {
+		cache = e.mat.dims
+	}
 	joins := make([]*engine.HashJoin, len(p.joins))
 	for i, sj := range p.joins {
 		view, ok := snap.Table(sj.def.Name)
 		if !ok {
 			return nil, fmt.Errorf("olap: snapshot lacks dimension table %q", sj.def.Name)
+		}
+		key := ""
+		if cache != nil {
+			key = dimKey(sj, view.NumRows())
+			if hj, ok := cache.get(snap.Version(), key); ok {
+				joins[i] = hj
+				continue
+			}
 		}
 		cols := append([]string{sj.refCol}, sj.buildCols...)
 		remap, err := viewRemap(view, cols)
@@ -94,6 +110,9 @@ func (e *Engine) execFast(p *starPlan, snap *storage.Snapshot) (*Result, error) 
 				break
 			}
 			hj.Build(rows)
+		}
+		if cache != nil {
+			cache.put(snap.Version(), key, hj)
 		}
 		joins[i] = hj
 	}

@@ -1,0 +1,762 @@
+package olap
+
+// Materialized aggregates: the serving layer's answer to the
+// ROADMAP's "materialized aggregate selection" item, after the
+// classic view-materialization lattice literature (Harinarayan,
+// Rajaraman, Ullman: "Implementing Data Cubes Efficiently").
+//
+// A MatAgg store watches the query log the fast path already sees:
+// every planned cube query is recorded as a (fact, group-by set,
+// measure set) pattern — the group-by set resolved through the xMD
+// roll-up hierarchies and widened by the filter's identifiers, so a
+// pattern names exactly the granularity that could answer the query.
+// From each observed pattern the recorder also derives its coarser
+// lattice neighbours by walking the roll-up hierarchies (replacing a
+// level's key descriptor with its parent level's key), anticipating
+// the roll-up navigation OLAP sessions actually perform.
+//
+// Refresh materializes the top-K hottest patterns: each is executed on
+// the vectorized fast path over its own storage snapshot and the
+// result is stored in a detached staging table — outside the published
+// namespace, so ETL runs, snapshots and the repository never see it —
+// keyed by the snapshot's DB version. A republish (every /api/run
+// bumps the version exactly once at PublishAll) therefore invalidates
+// every aggregate implicitly; queries compare versions and fall back
+// to the base-fact path until the next Refresh.
+//
+// Rewrite (answer) picks the COARSEST usable aggregate — fewest rows —
+// whose group-by set is a superset of the query's needs. Two shapes
+// exist:
+//
+//   - projection: the aggregate's granularity equals the query's
+//     resolved group-by set. Stored rows ARE the answer (they were
+//     computed by the byte-identical fast path at the same version);
+//     the rewrite filters on group columns, projects the query's
+//     column order and re-sorts. Every aggregate function qualifies.
+//   - re-aggregation: the aggregate is strictly finer. Stored partial
+//     states are folded once more (COUNT → SUM of counts, MIN → MIN of
+//     mins, MAX → MAX of maxs, SUM over int columns → SUM of partial
+//     sums). Only aggregates whose second fold is EXACT qualify:
+//     float SUM and AVG re-aggregate in a different order than the
+//     fact-order fold the oracle performs, which changes low-order
+//     bits, so they fall back to the base path — QueryStarFlow stays
+//     the byte-identical oracle for every served query.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"quarry/internal/engine"
+	"quarry/internal/expr"
+	"quarry/internal/storage"
+	"quarry/internal/xlm"
+)
+
+// maxPatterns bounds the query-log pattern map; beyond it the
+// lowest-weight pattern is evicted.
+const maxPatterns = 512
+
+// derivedWeight is the frequency credited to hierarchy-derived
+// lattice neighbours per observation (observed patterns get 1.0, so
+// directly-observed granularities win ties).
+const derivedWeight = 0.25
+
+// patternDecay ages every retained weight when a full pattern log
+// rejects a newcomer, so a persistently shifted workload is admitted
+// after a bounded number of rejections instead of being locked out by
+// stale accumulated weights.
+const patternDecay = 0.95
+
+// aggMeasure is one stored measure of a pattern, canonicalized.
+type aggMeasure struct {
+	Func string // canonical upper-case aggregate
+	Col  string // source column; "" for COUNT(*)
+}
+
+func (m aggMeasure) key() string { return m.Func + ":" + m.Col }
+
+// column is the measure's column name inside the aggregate table.
+func (m aggMeasure) column() string {
+	col := m.Col
+	if col == "" {
+		col = "_all"
+	}
+	return "m_" + strings.ToLower(m.Func) + "_" + col
+}
+
+// aggPattern is one (fact, group-by set, measure set) granularity
+// observed in (or derived from) the query log.
+type aggPattern struct {
+	key      string
+	fact     string
+	groupBy  []string // sorted, unique
+	measures []aggMeasure
+	weight   float64
+}
+
+func patternKey(fact string, groupBy []string, measures []aggMeasure) string {
+	mk := make([]string, len(measures))
+	for i, m := range measures {
+		mk[i] = m.key()
+	}
+	return fact + "|" + strings.Join(groupBy, ",") + "|" + strings.Join(mk, ";")
+}
+
+// matEntry is one materialized aggregate: a detached snapshot-backed
+// table holding the pattern's fast-path result at a specific DB
+// version. Entries are immutable after construction.
+type matEntry struct {
+	pat     *aggPattern
+	table   *storage.Table
+	version uint64
+	rows    int
+	// srcRows records the row count of every source table the entry
+	// was built from. The DB version catches every structural change
+	// (create/replace/drop/attach, one bump per ETL run), but a direct
+	// Table.Insert outside a run does NOT bump it — row counts do
+	// change, so answer() re-checks them (the same guard the
+	// build-side cache keys on).
+	srcRows  map[string]int64
+	layout   map[string]int    // column name → position in table
+	mIdx     map[string]int    // measure key → position in table
+	mTyp     map[string]string // measure key → source column type
+	groupSet map[string]bool
+}
+
+// MatAggStats is the admin/stats view of a store.
+type MatAggStats struct {
+	TopK               int    `json:"top_k"`
+	Patterns           int    `json:"patterns"`
+	Materialized       int    `json:"materialized"`
+	MaterializedRows   int64  `json:"materialized_rows"`
+	Recorded           int64  `json:"recorded"`
+	Hits               int64  `json:"hits"`
+	Rewrites           int64  `json:"rewrites"`
+	Misses             int64  `json:"misses"`
+	LastRefreshVersion uint64 `json:"last_refresh_version"`
+	LastRefreshError   string `json:"last_refresh_error,omitempty"`
+	DimCacheHits       int64  `json:"dim_cache_hits"`
+	DimCacheMisses     int64  `json:"dim_cache_misses"`
+}
+
+// MatAgg is a materialized-aggregate store plus the per-dimension
+// build-side cache (both invalidated by the same DB-version
+// lifecycle). It is safe for concurrent use and shared across engine
+// rebuilds: attach it with Engine.WithMatAgg.
+type MatAgg struct {
+	mu       sync.Mutex
+	topK     int
+	patterns map[string]*aggPattern
+	entries  map[string]*matEntry
+	dims     *dimCache
+
+	recorded, hits, rewrites, misses int64
+	lastRefreshVersion               uint64
+	lastRefreshErr                   string
+	// gen counts wholesale invalidations; a Refresh started before an
+	// Invalidate must not install its (old-design) entries afterwards.
+	gen uint64
+}
+
+// NewMatAgg builds a store materializing up to topK aggregates per
+// Refresh (topK <= 0 defaults to 8).
+func NewMatAgg(topK int) *MatAgg {
+	if topK <= 0 {
+		topK = 8
+	}
+	return &MatAgg{
+		topK:     topK,
+		patterns: map[string]*aggPattern{},
+		entries:  map[string]*matEntry{},
+		dims:     newDimCache(),
+	}
+}
+
+// Invalidate drops every materialized aggregate, recorded pattern and
+// cached build side. Call it when the unified design changes (a data
+// republish needs nothing: versions diverge by themselves).
+func (m *MatAgg) Invalidate() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.patterns = map[string]*aggPattern{}
+	m.entries = map[string]*matEntry{}
+	m.gen++
+	m.mu.Unlock()
+	m.dims.purge()
+}
+
+// Stats reports the store's counters.
+func (m *MatAgg) Stats() MatAggStats {
+	if m == nil {
+		return MatAggStats{}
+	}
+	m.mu.Lock()
+	st := MatAggStats{
+		TopK:               m.topK,
+		Patterns:           len(m.patterns),
+		Materialized:       len(m.entries),
+		Recorded:           m.recorded,
+		Hits:               m.hits,
+		Rewrites:           m.rewrites,
+		Misses:             m.misses,
+		LastRefreshVersion: m.lastRefreshVersion,
+		LastRefreshError:   m.lastRefreshErr,
+	}
+	for _, en := range m.entries {
+		st.MaterializedRows += int64(en.rows)
+	}
+	m.mu.Unlock()
+	st.DimCacheHits, st.DimCacheMisses = m.dims.stats()
+	return st
+}
+
+// patternOf canonicalizes a plan into its query-log pattern: the
+// resolved group-by set widened by the filter identifiers, plus the
+// deduplicated measure set. Dice queries have no pattern (a dice needs
+// the detail rows).
+func patternOf(p *starPlan) (groupBy []string, measures []aggMeasure, ok bool) {
+	if p.dice != nil {
+		return nil, nil, false
+	}
+	set := map[string]bool{}
+	for _, g := range p.groupBy {
+		set[g] = true
+	}
+	if p.filter != nil {
+		for _, id := range expr.Idents(p.filter) {
+			set[id] = true
+		}
+	}
+	for g := range set {
+		groupBy = append(groupBy, g)
+	}
+	sort.Strings(groupBy)
+	seen := map[string]bool{}
+	for _, a := range p.aggs {
+		am := aggMeasure{Func: a.Func, Col: a.Col}
+		if seen[am.key()] {
+			continue
+		}
+		seen[am.key()] = true
+		measures = append(measures, am)
+	}
+	sort.Slice(measures, func(i, j int) bool { return measures[i].key() < measures[j].key() })
+	return groupBy, measures, true
+}
+
+// record logs one planned query and its hierarchy-derived coarser
+// lattice neighbours. Pattern canonicalization and the roll-up
+// closure run before the store lock is taken — only the weight bumps
+// serialize, keeping contention off the serving hot path.
+func (m *MatAgg) record(e *Engine, p *starPlan) {
+	groupBy, measures, ok := patternOf(p)
+	if !ok {
+		return
+	}
+	variants := e.rollupVariants(groupBy)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recorded++
+	m.bumpLocked(p.fact.Name, groupBy, measures, 1)
+	for _, variant := range variants {
+		m.bumpLocked(p.fact.Name, variant, measures, derivedWeight)
+	}
+}
+
+func (m *MatAgg) bumpLocked(fact string, groupBy []string, measures []aggMeasure, w float64) {
+	key := patternKey(fact, groupBy, measures)
+	if pat, ok := m.patterns[key]; ok {
+		pat.weight += w
+		return
+	}
+	if len(m.patterns) >= maxPatterns {
+		var coldest *aggPattern
+		for _, pat := range m.patterns {
+			if coldest == nil || pat.weight < coldest.weight || (pat.weight == coldest.weight && pat.key > coldest.key) {
+				coldest = pat
+			}
+		}
+		if coldest == nil || coldest.weight > w {
+			// Incoming pattern is colder than everything kept: reject,
+			// but age the log so repeated observations of a shifted
+			// workload eventually displace stale weights.
+			for _, pat := range m.patterns {
+				pat.weight *= patternDecay
+			}
+			return
+		}
+		delete(m.patterns, coldest.key)
+	}
+	m.patterns[key] = &aggPattern{
+		key:      key,
+		fact:     fact,
+		groupBy:  append([]string(nil), groupBy...),
+		measures: append([]aggMeasure(nil), measures...),
+		weight:   w,
+	}
+}
+
+// rollupVariants derives the coarser lattice neighbours of a group-by
+// set along the xMD hierarchies: every column that is some level's key
+// descriptor is replaced, one roll-up edge at a time, by the parent
+// level's key (precomputed in New), and the closure of such
+// replacements is returned (excluding the original set).
+func (e *Engine) rollupVariants(groupBy []string) [][]string {
+	parents := e.rollupParents
+	if len(parents) == 0 {
+		return nil
+	}
+	canon := func(set []string) string { return strings.Join(set, ",") }
+	start := append([]string(nil), groupBy...)
+	sort.Strings(start)
+	seen := map[string]bool{canon(start): true}
+	frontier := [][]string{start}
+	var out [][]string
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for i, col := range cur {
+			for _, parent := range parents[col] {
+				variant := make([]string, 0, len(cur))
+				variant = append(variant, cur[:i]...)
+				variant = append(variant, cur[i+1:]...)
+				dup := false
+				for _, v := range variant {
+					if v == parent {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					variant = append(variant, parent)
+				}
+				sort.Strings(variant)
+				if seen[canon(variant)] {
+					continue
+				}
+				seen[canon(variant)] = true
+				out = append(out, variant)
+				frontier = append(frontier, variant)
+			}
+		}
+	}
+	return out
+}
+
+// columnType resolves a column's declared type within a plan's star
+// schema.
+func (p *starPlan) columnType(name string) (string, bool) {
+	for _, c := range p.fact.Columns {
+		if c.Name == name {
+			return c.Type, true
+		}
+	}
+	for _, j := range p.joins {
+		for _, c := range j.def.Columns {
+			if c.Name == name {
+				return c.Type, true
+			}
+		}
+	}
+	return "", false
+}
+
+// measureColumnType is the storage type of a stored measure column,
+// mirroring the aggregation kernel's output kinds exactly.
+func measureColumnType(m aggMeasure, srcType string) string {
+	switch m.Func {
+	case "COUNT":
+		return "int"
+	case "AVG":
+		return "float"
+	case "SUM":
+		if srcType == "int" {
+			return "int"
+		}
+		return "float"
+	default: // MIN, MAX carry the column's own type
+		return srcType
+	}
+}
+
+// reaggregable reports whether a measure's second fold over stored
+// partial states is exact — i.e. byte-identical to folding the detail
+// rows once in fact order. Float SUM and AVG are not (float addition
+// is order-sensitive); COUNT, MIN, MAX and int SUM are.
+func reaggregable(fn, srcType string) bool {
+	switch fn {
+	case "COUNT", "MIN", "MAX":
+		return true
+	case "SUM":
+		return srcType == "int"
+	}
+	return false
+}
+
+// RefreshReport summarises one Refresh.
+type RefreshReport struct {
+	Materialized int
+	Rows         int64
+	Dropped      int // patterns that no longer plan (dropped from the log)
+}
+
+// Refresh materializes the current top-K patterns, each from its own
+// snapshot of the deployed tables, and atomically swaps the entry set.
+// Patterns that no longer plan against the deployed design (e.g. after
+// a lifecycle change removed a column) are dropped from the log.
+// Concurrent queries keep answering from the previous entries — the
+// per-entry version check makes any stale entry unservable regardless.
+func (m *MatAgg) Refresh(e *Engine) (RefreshReport, error) {
+	var rep RefreshReport
+	if m == nil || e == nil {
+		return rep, nil
+	}
+	// Snapshot (pattern, weight) under the lock: weights keep being
+	// bumped by concurrent queries while we sort and build. Everything
+	// else on a pattern is immutable after creation.
+	type ranked struct {
+		pat    *aggPattern
+		weight float64
+	}
+	m.mu.Lock()
+	startGen := m.gen
+	snapshot := make([]ranked, 0, len(m.patterns))
+	for _, pat := range m.patterns {
+		snapshot = append(snapshot, ranked{pat, pat.weight})
+	}
+	topK := m.topK
+	m.mu.Unlock()
+	sort.Slice(snapshot, func(i, j int) bool {
+		if snapshot[i].weight != snapshot[j].weight {
+			return snapshot[i].weight > snapshot[j].weight
+		}
+		return snapshot[i].pat.key < snapshot[j].pat.key
+	})
+	if len(snapshot) > topK {
+		snapshot = snapshot[:topK]
+	}
+	pats := make([]*aggPattern, len(snapshot))
+	for i, r := range snapshot {
+		pats[i] = r.pat
+	}
+	entries := make(map[string]*matEntry, len(pats))
+	var firstErr error
+	var maxVersion uint64
+	for _, pat := range pats {
+		en, err := m.build(e, pat)
+		if err != nil {
+			rep.Dropped++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("matagg: pattern %s: %w", pat.key, err)
+			}
+			m.mu.Lock()
+			delete(m.patterns, pat.key)
+			m.mu.Unlock()
+			continue
+		}
+		entries[pat.key] = en
+		rep.Materialized++
+		rep.Rows += int64(en.rows)
+		if en.version > maxVersion {
+			maxVersion = en.version
+		}
+	}
+	m.mu.Lock()
+	// Install only when still current: an Invalidate (design change)
+	// since we started means these entries were built from the old
+	// design, and a concurrent Refresh that already installed entries
+	// at a NEWER warehouse version must not be overwritten with
+	// stale-version ones (which would be unservable and silently
+	// degrade every query to the base path until the next run).
+	if m.gen == startGen && maxVersion >= m.lastRefreshVersion {
+		m.entries = entries
+		m.lastRefreshVersion = maxVersion
+		if firstErr != nil {
+			m.lastRefreshErr = firstErr.Error()
+		} else {
+			m.lastRefreshErr = ""
+		}
+	} else {
+		rep.Materialized = 0
+		rep.Rows = 0
+	}
+	m.mu.Unlock()
+	return rep, firstErr
+}
+
+// build materializes one pattern: plan → snapshot → fast-path execute
+// → detached staging table keyed by the snapshot version.
+func (m *MatAgg) build(e *Engine, pat *aggPattern) (*matEntry, error) {
+	q := CubeQuery{Fact: pat.fact, GroupBy: append([]string(nil), pat.groupBy...)}
+	for _, am := range pat.measures {
+		q.Measures = append(q.Measures, MeasureSpec{Out: am.column(), Func: am.Func, Col: am.Col})
+	}
+	p, err := e.plan(q)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := e.db.Snapshot(p.tables...)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.execFast(p, snap)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]storage.Column, 0, len(res.Columns))
+	mTyp := map[string]string{}
+	for _, g := range pat.groupBy {
+		typ, ok := p.columnType(g)
+		if !ok {
+			return nil, fmt.Errorf("group column %q has no deployed type", g)
+		}
+		cols = append(cols, storage.Column{Name: g, Type: typ})
+	}
+	for _, am := range pat.measures {
+		srcType := ""
+		if am.Col != "" {
+			t, ok := p.columnType(am.Col)
+			if !ok {
+				return nil, fmt.Errorf("measure column %q has no deployed type", am.Col)
+			}
+			srcType = t
+		}
+		mTyp[am.key()] = srcType
+		cols = append(cols, storage.Column{Name: am.column(), Type: measureColumnType(am, srcType)})
+	}
+	// The table stays detached — outside the published namespace — so
+	// it is invisible to snapshots, ETL runs and TableNames; dropping
+	// the entry garbage-collects it.
+	t, err := storage.NewStagingTable("__matagg|"+pat.key, cols)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]storage.Row, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = r
+	}
+	if err := t.InsertAll(rows); err != nil {
+		return nil, err
+	}
+	en := &matEntry{
+		pat:      pat,
+		table:    t,
+		version:  snap.Version(),
+		rows:     len(rows),
+		srcRows:  make(map[string]int64, len(p.tables)),
+		layout:   make(map[string]int, len(cols)),
+		mIdx:     make(map[string]int, len(pat.measures)),
+		mTyp:     mTyp,
+		groupSet: make(map[string]bool, len(pat.groupBy)),
+	}
+	for _, name := range p.tables {
+		view, ok := snap.Table(name)
+		if !ok {
+			return nil, fmt.Errorf("snapshot lacks table %q", name)
+		}
+		en.srcRows[name] = view.NumRows()
+	}
+	for i, c := range cols {
+		en.layout[c.Name] = i
+	}
+	for _, am := range pat.measures {
+		en.mIdx[am.key()] = en.layout[am.column()]
+	}
+	for _, g := range pat.groupBy {
+		en.groupSet[g] = true
+	}
+	return en, nil
+}
+
+// answer tries to rewrite the planned query onto the coarsest eligible
+// materialized aggregate at the snapshot's version. ok is false when
+// no aggregate covers the query (or versions mismatch) — the caller
+// falls back to the base-fact path.
+func (m *MatAgg) answer(e *Engine, p *starPlan, snap *storage.Snapshot) (*Result, bool, error) {
+	if m == nil {
+		return nil, false, nil
+	}
+	if p.dice != nil {
+		return nil, false, nil
+	}
+	groupSet := map[string]bool{}
+	for _, g := range p.groupBy {
+		groupSet[g] = true
+	}
+	need := make(map[string]bool, len(groupSet))
+	for g := range groupSet {
+		need[g] = true
+	}
+	if p.filter != nil {
+		for _, id := range expr.Idents(p.filter) {
+			need[id] = true
+		}
+	}
+	version := snap.Version()
+	m.mu.Lock()
+	var best *matEntry
+	var bestExact bool
+	for _, en := range m.entries {
+		if en.pat.fact != p.fact.Name || en.version != version {
+			continue
+		}
+		// Version equality catches every structural change, but direct
+		// row appends outside an engine run don't bump it: re-check the
+		// entry's source row counts (through the query's snapshot where
+		// it covers the table, the live table otherwise — appends only
+		// grow tables, so any count drift means the entry is stale and
+		// the query falls back to the base path).
+		fresh := true
+		for name, n := range en.srcRows {
+			if view, ok := snap.Table(name); ok {
+				if view.NumRows() != n {
+					fresh = false
+					break
+				}
+				continue
+			}
+			live, ok := e.db.Table(name)
+			if !ok || live.NumRows() != n {
+				fresh = false
+				break
+			}
+		}
+		if !fresh {
+			continue
+		}
+		covered := true
+		for col := range need {
+			if !en.groupSet[col] {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		// Exact granularity: the aggregate's group-by set equals the
+		// query's resolved group-by set (column order and duplicates
+		// don't matter — projection handles both).
+		exact := len(en.pat.groupBy) == len(groupSet)
+		if exact {
+			for g := range groupSet {
+				if !en.groupSet[g] {
+					exact = false
+					break
+				}
+			}
+		}
+		eligible := true
+		for _, a := range p.aggs {
+			if _, stored := en.mIdx[a.Func+":"+a.Col]; !stored {
+				eligible = false
+				break
+			}
+			if !exact && !reaggregable(a.Func, en.mTyp[a.Func+":"+a.Col]) {
+				eligible = false
+				break
+			}
+		}
+		if !eligible {
+			continue
+		}
+		// Coarsest usable aggregate: fewest rows; deterministic
+		// tie-break on the pattern key.
+		if best == nil || en.rows < best.rows || (en.rows == best.rows && en.pat.key < best.pat.key) {
+			best, bestExact = en, exact
+		}
+	}
+	if best == nil {
+		m.misses++
+		m.mu.Unlock()
+		return nil, false, nil
+	}
+	if bestExact {
+		m.hits++
+	} else {
+		m.rewrites++
+	}
+	m.mu.Unlock()
+	res, err := rewriteOnto(best, p, bestExact)
+	if err != nil {
+		return nil, false, err
+	}
+	return res, true, nil
+}
+
+// rewriteOnto answers the planned query from a materialized aggregate:
+// filter (group-key predicates commute with aggregation), then either
+// project (exact granularity) or re-aggregate with the engine kernels,
+// and finally sort with the shared plan's order — the same kernels and
+// sort the base path uses, which is what keeps served answers
+// byte-identical to the oracle.
+func rewriteOnto(en *matEntry, p *starPlan, exact bool) (*Result, error) {
+	rows := valueRows(en.table.ReadBatch(0, en.rows))
+	if p.filter != nil {
+		env := expr.NewSliceEnv(en.layout)
+		ev := env.Env()
+		kept := make([][]expr.Value, 0, len(rows))
+		for _, row := range rows {
+			env.Bind(row)
+			ok, err := expr.EvalBool(p.filter, ev)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+	}
+	var out [][]expr.Value
+	if exact {
+		proj := make([]int, 0, len(p.groupBy)+len(p.aggs))
+		for _, g := range p.groupBy {
+			proj = append(proj, en.layout[g])
+		}
+		for _, a := range p.aggs {
+			proj = append(proj, en.mIdx[a.Func+":"+a.Col])
+		}
+		out = make([][]expr.Value, len(rows))
+		for i, row := range rows {
+			nr := make([]expr.Value, len(proj))
+			for k, j := range proj {
+				nr[k] = row[j]
+			}
+			out[i] = nr
+		}
+	} else {
+		groupIdx := make([]int, len(p.groupBy))
+		for i, g := range p.groupBy {
+			groupIdx[i] = en.layout[g]
+		}
+		aggs := make([]xlm.AggSpec, len(p.aggs))
+		aggIdx := make([]int, len(p.aggs))
+		for i, a := range p.aggs {
+			fn := a.Func
+			if fn == "COUNT" {
+				fn = "SUM" // second fold of a count is a sum of counts
+			}
+			aggs[i] = xlm.AggSpec{Out: a.Out, Func: fn, Col: "partial"}
+			aggIdx[i] = en.mIdx[a.Func+":"+a.Col]
+		}
+		agg, err := engine.NewHashAggregator(groupIdx, aggs, aggIdx)
+		if err != nil {
+			return nil, err
+		}
+		if err := agg.Add(rows); err != nil {
+			return nil, err
+		}
+		out = agg.Result()
+	}
+	sortIdx := make([]int, len(p.groupBy))
+	for i := range sortIdx {
+		sortIdx[i] = i
+	}
+	out = engine.SortRowsBy(out, sortIdx)
+	return &Result{Columns: p.resultColumns(), Rows: out}, nil
+}

@@ -1,0 +1,477 @@
+package olap_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"quarry/internal/olap"
+	"quarry/internal/tpch"
+)
+
+// matAggEngine returns the platform's OLAP engine with a fresh
+// materialized-aggregate store attached.
+func matAggEngine(t *testing.T, sf float64, seed int64) (*olap.Engine, *olap.MatAgg) {
+	t.Helper()
+	p, _ := platformWith(t, sf, seed, tpch.RevenueRequirement())
+	e, err := p.OLAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := olap.NewMatAgg(16)
+	return e.WithMatAgg(m), m
+}
+
+// train records the queries in the store's log and materializes the
+// top-K aggregates.
+func train(t *testing.T, e *olap.Engine, queries ...olap.CubeQuery) {
+	t.Helper()
+	for _, q := range queries {
+		if _, err := e.Query(q); err != nil {
+			t.Fatalf("training query failed (%s): %v", queryString(q), err)
+		}
+	}
+	if _, err := e.MatAgg().Refresh(e); err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+}
+
+// TestMatAggExactGranularityServed: a repeated query is answered from
+// its own materialized aggregate, byte-identical to the oracle — for
+// every aggregate function, float SUM and AVG included (exact
+// granularity is a projection, not a re-aggregation).
+func TestMatAggExactGranularityServed(t *testing.T) {
+	e, m := matAggEngine(t, 3, 42)
+	q := olap.CubeQuery{
+		Fact:    "fact_table_revenue",
+		GroupBy: []string{"p_brand"},
+		RollUp:  map[string]string{"Supplier": "Nation"},
+		Measures: []olap.MeasureSpec{
+			{Out: "total", Func: "SUM", Col: "revenue"},
+			{Out: "avg", Func: "AVG", Col: "revenue"},
+			{Out: "n", Func: "COUNT", Col: ""},
+		},
+	}
+	train(t, e, q)
+	before := m.Stats()
+	fast, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := e.QueryStarFlow(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "exact-granularity hit", fast, oracle)
+	after := m.Stats()
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("query was not served from the aggregate: hits %d → %d (stats %+v)", before.Hits, after.Hits, after)
+	}
+	if after.Materialized == 0 || after.MaterializedRows == 0 {
+		t.Fatalf("nothing materialized: %+v", after)
+	}
+}
+
+// TestMatAggCoarserRewrite: a query strictly coarser than a
+// materialized aggregate re-aggregates the stored partial states —
+// allowed only for exactly re-foldable measures (COUNT, MIN, MAX,
+// int SUM) — and stays byte-identical to the oracle.
+func TestMatAggCoarserRewrite(t *testing.T) {
+	e, m := matAggEngine(t, 3, 42)
+	fine := olap.CubeQuery{
+		Fact:    "fact_table_revenue",
+		GroupBy: []string{"p_brand", "n_name"},
+		Measures: []olap.MeasureSpec{
+			{Out: "n", Func: "COUNT", Col: ""},
+			{Out: "min_p", Func: "MIN", Col: "p_retailprice"},
+			{Out: "max_b", Func: "MAX", Col: "s_acctbal"},
+			{Out: "keys", Func: "SUM", Col: "p_partkey"}, // int SUM: exact second fold
+		},
+	}
+	train(t, e, fine)
+	coarse := fine
+	coarse.GroupBy = []string{"p_brand"}
+	before := m.Stats()
+	fast, err := e.Query(coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := e.QueryStarFlow(coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "coarser rewrite", fast, oracle)
+	after := m.Stats()
+	if after.Rewrites != before.Rewrites+1 {
+		t.Fatalf("coarser query was not rewritten: rewrites %d → %d (stats %+v)", before.Rewrites, after.Rewrites, after)
+	}
+
+	// A filtered roll-up whose filter identifiers live in the
+	// aggregate's group-by set also rewrites (group-key predicates
+	// commute with aggregation).
+	filtered := coarse
+	filtered.Filter = "n_name = 'SPAIN'"
+	fast, err = e.Query(filtered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err = e.QueryStarFlow(filtered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "filtered rewrite", fast, oracle)
+	if got := m.Stats().Rewrites; got != after.Rewrites+1 {
+		t.Fatalf("filtered query was not rewritten: rewrites = %d", got)
+	}
+}
+
+// TestMatAggFloatSumNeverReaggregated pins the exactness gate: float
+// SUM (and AVG) must never be answered by re-aggregating a finer
+// aggregate, because a second float fold changes low-order bits.
+func TestMatAggFloatSumNeverReaggregated(t *testing.T) {
+	e, m := matAggEngine(t, 3, 42)
+	fine := olap.CubeQuery{
+		Fact:     "fact_table_revenue",
+		GroupBy:  []string{"p_brand", "n_name"},
+		Measures: []olap.MeasureSpec{{Out: "total", Func: "SUM", Col: "revenue"}},
+	}
+	train(t, e, fine)
+	coarse := fine
+	coarse.GroupBy = []string{"p_brand"}
+	before := m.Stats()
+	fast, err := e.Query(coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := e.QueryStarFlow(coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "float SUM fallback", fast, oracle)
+	after := m.Stats()
+	if after.Hits != before.Hits || after.Rewrites != before.Rewrites {
+		t.Fatalf("float SUM was served from an aggregate: %+v → %+v", before, after)
+	}
+	if after.Misses != before.Misses+1 {
+		t.Fatalf("fallback not counted as miss: %+v", after)
+	}
+}
+
+// TestMatAggHierarchyDerivedLevels: recording a query at one hierarchy
+// level also registers its coarser lattice neighbours (Supplier →
+// Nation → Region), so a later roll-up query finds an aggregate at its
+// exact granularity — float SUM included.
+func TestMatAggHierarchyDerivedLevels(t *testing.T) {
+	e, m := matAggEngine(t, 3, 42)
+	bySupplier := olap.CubeQuery{
+		Fact:     "fact_table_revenue",
+		GroupBy:  []string{"s_name"},
+		Measures: []olap.MeasureSpec{{Out: "total", Func: "SUM", Col: "revenue"}},
+	}
+	train(t, e, bySupplier)
+	for _, level := range []string{"Nation", "Region"} {
+		q := olap.CubeQuery{
+			Fact:     "fact_table_revenue",
+			RollUp:   map[string]string{"Supplier": level},
+			Measures: []olap.MeasureSpec{{Out: "total", Func: "SUM", Col: "revenue"}},
+		}
+		before := m.Stats()
+		fast, err := e.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := e.QueryStarFlow(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, "derived level "+level, fast, oracle)
+		if got := m.Stats().Hits; got != before.Hits+1 {
+			t.Fatalf("roll-up to %s not served from its derived aggregate (hits %d → %d)", level, before.Hits, got)
+		}
+	}
+}
+
+// TestMatAggStaleVersionNeverServed: a warehouse republish bumps the
+// DB version, making every existing aggregate unservable until the
+// next Refresh — queries silently fall back to the base-fact path.
+func TestMatAggStaleVersionNeverServed(t *testing.T) {
+	p, _ := platformWith(t, 3, 42, tpch.RevenueRequirement())
+	base, err := p.OLAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := olap.NewMatAgg(8)
+	e := base.WithMatAgg(m)
+	q := olap.CubeQuery{
+		Fact:     "fact_table_revenue",
+		GroupBy:  []string{"p_brand"},
+		Measures: []olap.MeasureSpec{{Out: "n", Func: "COUNT", Col: ""}},
+	}
+	train(t, e, q)
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Hits; got != 1 {
+		t.Fatalf("warm-up hit count = %d, want 1", got)
+	}
+	// Republish: deterministic regeneration, but a NEW version.
+	if _, err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Stats()
+	fast, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := e.QueryStarFlow(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "post-republish fallback", fast, oracle)
+	after := m.Stats()
+	if after.Hits != before.Hits || after.Rewrites != before.Rewrites {
+		t.Fatalf("stale aggregate served after republish: %+v → %+v", before, after)
+	}
+	// Refresh rebuilds at the new version; hits resume.
+	if _, err := m.Refresh(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Hits; got != after.Hits+1 {
+		t.Fatalf("refreshed aggregate not served: hits = %d", got)
+	}
+}
+
+// TestMatAggDirectAppendInvalidates: direct row appends to a deployed
+// table do NOT bump the DB version (only engine runs do), so the
+// version check alone would serve a stale aggregate. The store
+// re-checks source row counts — after an append the query must fall
+// back to the base path and match the oracle over the grown table.
+func TestMatAggDirectAppendInvalidates(t *testing.T) {
+	p, db := platformWith(t, 3, 42, tpch.RevenueRequirement())
+	base, err := p.OLAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := olap.NewMatAgg(8)
+	e := base.WithMatAgg(m)
+	q := olap.CubeQuery{
+		Fact:     "fact_table_revenue",
+		GroupBy:  []string{"p_brand"},
+		Measures: []olap.MeasureSpec{{Out: "n", Func: "COUNT", Col: ""}},
+	}
+	train(t, e, q)
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Hits; got != 1 {
+		t.Fatalf("warm-up hit count = %d, want 1", got)
+	}
+	// Duplicate an existing fact row straight into the live table —
+	// valid by construction, COUNT visibly changes, version does not.
+	fact, ok := db.Table("fact_table_revenue")
+	if !ok {
+		t.Fatal("deployed fact table missing")
+	}
+	vBefore := db.Version()
+	if err := fact.Insert(fact.Rows()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Version(); got != vBefore {
+		t.Fatalf("direct append bumped version %d → %d; test premise broken", vBefore, got)
+	}
+	before := m.Stats()
+	fast, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := e.QueryStarFlow(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "post-append fallback", fast, oracle)
+	after := m.Stats()
+	if after.Hits != before.Hits || after.Rewrites != before.Rewrites {
+		t.Fatalf("stale aggregate served after direct append: %+v → %+v", before, after)
+	}
+}
+
+// TestMatAggDimCache: with a store attached, dimension build sides are
+// cached across queries at the same version and dropped on republish.
+func TestMatAggDimCache(t *testing.T) {
+	p, _ := platformWith(t, 3, 42, tpch.RevenueRequirement())
+	base, err := p.OLAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := olap.NewMatAgg(8)
+	e := base.WithMatAgg(m)
+	// Dicing keeps the query off the aggregate path, so every run
+	// exercises the join build phase.
+	q := olap.CubeQuery{
+		Fact:     "fact_table_revenue",
+		GroupBy:  []string{"p_brand"},
+		Measures: []olap.MeasureSpec{{Out: "n", Func: "COUNT", Col: ""}},
+		Dice:     &olap.DiceSpec{Func: "COUNT", Thresholds: map[string]float64{"p_brand": 1}},
+	}
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.DimCacheMisses == 0 {
+		t.Fatalf("first query should miss the build-side cache: %+v", st)
+	}
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	st2 := m.Stats()
+	if st2.DimCacheHits <= st.DimCacheHits {
+		t.Fatalf("second query did not reuse the build side: %+v → %+v", st, st2)
+	}
+	oracle, err := e.QueryStarFlow(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "cached build side", cached, oracle)
+	// Republish drops the cached build sides (version mismatch).
+	if _, err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	st3 := m.Stats()
+	if st3.DimCacheMisses <= st2.DimCacheMisses {
+		t.Fatalf("post-republish query did not rebuild the build side: %+v → %+v", st2, st3)
+	}
+}
+
+// TestQuickMatAggMatchesOracle is the acceptance quick-check: random
+// cube queries against a store trained on the same workload must be
+// byte-identical to QueryStarFlow, whether they were served from a
+// materialized aggregate or fell back — and a healthy share must
+// actually be served from aggregates.
+func TestQuickMatAggMatchesOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-check in -short mode")
+	}
+	for _, seed := range []int64{11, 4242} {
+		e, m := matAggEngine(t, 3, seed)
+		r := rand.New(rand.NewSource(seed * 17))
+		queries := make([]olap.CubeQuery, 0, 30)
+		for i := 0; i < 30; i++ {
+			queries = append(queries, randomQuery(r))
+		}
+		// Train: run the whole workload once, then materialize.
+		for _, q := range queries {
+			_, _ = e.Query(q) // invalid combinations simply fail; the log keeps the rest
+		}
+		if _, err := m.Refresh(e); err != nil {
+			t.Fatalf("seed %d: refresh: %v", seed, err)
+		}
+		for i, q := range queries {
+			fast, errF := e.Query(q)
+			oracle, errO := e.QueryStarFlow(q)
+			if (errF == nil) != (errO == nil) {
+				t.Fatalf("seed %d query %d: fast err=%v oracle err=%v (%s)", seed, i, errF, errO, queryString(q))
+			}
+			if errF != nil {
+				continue
+			}
+			assertIdentical(t, queryString(q), fast, oracle)
+		}
+		st := m.Stats()
+		if st.Hits+st.Rewrites == 0 {
+			t.Fatalf("seed %d: no query was served from a materialized aggregate: %+v", seed, st)
+		}
+	}
+}
+
+// TestMatAggConcurrentRefreshAndQueries exercises the locking
+// discipline under -race: queries, refreshes and warehouse republishes
+// all run concurrently, and every answer must match the oracle (the
+// regenerated data is deterministic, so there is exactly one correct
+// answer at every version).
+func TestMatAggConcurrentRefreshAndQueries(t *testing.T) {
+	p, _ := platformWith(t, 2, 42, tpch.RevenueRequirement())
+	base, err := p.OLAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := olap.NewMatAgg(8)
+	e := base.WithMatAgg(m)
+	q := olap.CubeQuery{
+		Fact:     "fact_table_revenue",
+		GroupBy:  []string{"p_brand"},
+		RollUp:   map[string]string{"Supplier": "Nation"},
+		Measures: []olap.MeasureSpec{{Out: "total", Func: "SUM", Col: "revenue"}, {Out: "n", Func: "COUNT", Col: ""}},
+	}
+	canonical, err := e.QueryStarFlow(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train(t, e, q)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // republisher
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if _, err := p.Run(); err != nil {
+				t.Errorf("republish: %v", err)
+				return
+			}
+		}
+		close(stop)
+	}()
+	go func() { // refresher
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := m.Refresh(e); err != nil {
+				t.Errorf("refresh: %v", err)
+				return
+			}
+		}
+	}()
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				res, err := e.Query(q)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				got, want := encodeResult(res), encodeResult(canonical)
+				if len(got) != len(want) {
+					errs <- "row count diverged"
+					return
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						errs <- "answer diverged from canonical (stale or torn aggregate?)"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

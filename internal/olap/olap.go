@@ -103,6 +103,15 @@ type Engine struct {
 	etl  *xlm.Design
 	db   *storage.DB
 	defs []sqlgen.TableDef
+	// mat, when set, is the materialized-aggregate store (plus the
+	// per-dimension build-side cache) consulted by the fast path; see
+	// matagg.go. The oracle never uses it.
+	mat *MatAgg
+	// rollupParents maps a level's key descriptor to its direct parent
+	// levels' key descriptors across every xMD hierarchy, precomputed
+	// once (the schema is immutable) for the query-log recorder's
+	// lattice derivation on the serving hot path.
+	rollupParents map[string][]string
 }
 
 // New builds an OLAP engine over the unified design and the database
@@ -115,7 +124,18 @@ func New(md *xmd.Schema, etl *xlm.Design, db *storage.DB) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("olap: deriving deployed tables: %w", err)
 	}
-	return &Engine{md: md, etl: etl, db: db, defs: defs}, nil
+	parents := map[string][]string{}
+	for _, d := range md.Dimensions {
+		for _, r := range d.Rollups {
+			from, okF := d.Level(r.From)
+			to, okT := d.Level(r.To)
+			if !okF || !okT || from.Key == "" || to.Key == "" {
+				continue
+			}
+			parents[from.Key] = append(parents[from.Key], to.Key)
+		}
+	}
+	return &Engine{md: md, etl: etl, db: db, defs: defs, rollupParents: parents}, nil
 }
 
 // tableOf returns the deployed definition of a table.
@@ -128,9 +148,25 @@ func (e *Engine) tableOf(name string) (*sqlgen.TableDef, error) {
 	return nil, fmt.Errorf("olap: table %q is not part of the deployed design", name)
 }
 
+// WithMatAgg returns a copy of the engine that records its query log
+// into — and answers eligible queries from — the given materialized
+// aggregate store (nil detaches). The store outlives engine rebuilds:
+// entries are keyed by DB version, so a warehouse republish makes
+// them unservable until the store's next Refresh.
+func (e *Engine) WithMatAgg(m *MatAgg) *Engine {
+	ne := *e
+	ne.mat = m
+	return &ne
+}
+
+// MatAgg returns the attached materialized-aggregate store, if any.
+func (e *Engine) MatAgg() *MatAgg { return e.mat }
+
 // Query answers the cube query on the vectorized fast path: star join
 // and hash aggregation directly over a storage snapshot, entirely in
-// memory. See QueryStarFlow for the engine-executed oracle.
+// memory — or, when a materialized aggregate of the right granularity
+// and version exists, by rewriting onto it (see matagg.go). See
+// QueryStarFlow for the engine-executed oracle.
 func (e *Engine) Query(q CubeQuery) (*Result, error) {
 	p, err := e.plan(q)
 	if err != nil {
@@ -140,7 +176,7 @@ func (e *Engine) Query(q CubeQuery) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.execFast(p, snap)
+	return e.answerPlanned(p, snap)
 }
 
 // QuerySnapshot answers the query on the fast path against an
@@ -152,6 +188,23 @@ func (e *Engine) QuerySnapshot(q CubeQuery, snap *storage.Snapshot) (*Result, er
 	p, err := e.plan(q)
 	if err != nil {
 		return nil, err
+	}
+	return e.answerPlanned(p, snap)
+}
+
+// answerPlanned records the planned query in the aggregate store's
+// log, serves it from the coarsest eligible materialized aggregate,
+// and otherwise falls back to the base-fact fast path.
+func (e *Engine) answerPlanned(p *starPlan, snap *storage.Snapshot) (*Result, error) {
+	if e.mat != nil {
+		e.mat.record(e, p)
+		res, ok, err := e.mat.answer(e, p, snap)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return res, nil
+		}
 	}
 	return e.execFast(p, snap)
 }

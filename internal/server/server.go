@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 
 	"quarry/internal/core"
 	"quarry/internal/olap"
@@ -41,6 +42,16 @@ type Server struct {
 	// cache holds OLAP results keyed by query + warehouse version; it
 	// is purged whenever /api/run reloads the warehouse.
 	cache *olap.ResultCache
+	// refreshes tracks the background materialized-aggregate refreshes
+	// kicked off by /api/run, so shutdown/tests can drain them.
+	refreshes sync.WaitGroup
+	// refreshMu/refreshActive/refreshAgain single-flight those
+	// refreshes: rapid consecutive runs coalesce into one in-flight
+	// refresh plus at most one follow-up (latest wins), instead of N
+	// concurrent full materialization passes racing to install.
+	refreshMu     sync.Mutex
+	refreshActive bool
+	refreshAgain  bool
 }
 
 // New wires the routes with default options.
@@ -79,6 +90,7 @@ func NewWithOptions(p *core.Platform, opts Options) *Server {
 	s.mux.HandleFunc("POST /api/run", s.handleRun)
 	s.mux.HandleFunc("GET /api/export/{notation}", s.handleExport)
 	s.mux.HandleFunc("POST /api/olap", s.handleOLAP)
+	s.mux.HandleFunc("GET /api/olap/stats", s.handleOLAPStats)
 	return s
 }
 
@@ -174,6 +186,69 @@ func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Quarry-Cache", "miss")
 	}
 	writeJSON(w, http.StatusOK, olapBody(res))
+}
+
+// olapStatsResponse is the admin view of the serving layer's caches.
+type olapStatsResponse struct {
+	// Result cache (query + version keyed LRU).
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
+	// Warehouse structural version (bumped once per ETL run commit).
+	WarehouseVersion uint64 `json:"warehouse_version"`
+	// Materialized-aggregate store; null when disabled.
+	MatAgg *olap.MatAggStats `json:"matagg,omitempty"`
+}
+
+// scheduleMatAggRefresh kicks a background aggregate refresh with
+// single-flight coalescing: if one is already running, it is flagged
+// to run once more when done (picking up the newest version) instead
+// of spawning a redundant concurrent materialization pass whose
+// entries the store's install guard would discard anyway.
+func (s *Server) scheduleMatAggRefresh() {
+	mat := s.p.MatAgg()
+	if mat == nil {
+		return
+	}
+	s.refreshMu.Lock()
+	if s.refreshActive {
+		s.refreshAgain = true
+		s.refreshMu.Unlock()
+		return
+	}
+	s.refreshActive = true
+	s.refreshMu.Unlock()
+	s.refreshes.Add(1)
+	go func() {
+		defer s.refreshes.Done()
+		for {
+			if oe, err := s.p.OLAP(); err == nil {
+				_, _ = mat.Refresh(oe) // failures are surfaced via /api/olap/stats
+			}
+			s.refreshMu.Lock()
+			if !s.refreshAgain {
+				s.refreshActive = false
+				s.refreshMu.Unlock()
+				return
+			}
+			s.refreshAgain = false
+			s.refreshMu.Unlock()
+		}
+	}()
+}
+
+func (s *Server) handleOLAPStats(w http.ResponseWriter, _ *http.Request) {
+	var out olapStatsResponse
+	out.CacheHits, out.CacheMisses = s.cache.Stats()
+	out.CacheEntries = s.cache.Len()
+	if db := s.p.DB(); db != nil {
+		out.WarehouseVersion = db.Version()
+	}
+	if mat := s.p.MatAgg(); mat != nil {
+		st := mat.Stats()
+		out.MatAgg = &st
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func olapBody(res *olap.Result) olapResponse {
@@ -511,6 +586,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	// The warehouse changed: cached OLAP results are stale.
 	s.cache.Purge()
+	// Re-materialize hot aggregates at the new version in the
+	// background. Until it completes, queries fall back to the
+	// base-fact path — the per-entry version check makes serving a
+	// stale aggregate impossible either way.
+	s.scheduleMatAggRefresh()
 	writeJSON(w, http.StatusOK, runResponse{
 		Loaded:        res.Loaded,
 		RowsProcessed: res.RowsProcessed(),

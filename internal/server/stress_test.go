@@ -10,13 +10,15 @@ import (
 	"testing"
 
 	"quarry/internal/core"
+	"quarry/internal/expr"
 	"quarry/internal/storage"
 	"quarry/internal/tpch"
 )
 
 // stressServer builds a server over a deployed warehouse with a small
-// query pool and cache, returning the platform too.
-func stressServer(t *testing.T, opts Options) (*httptest.Server, *core.Platform) {
+// query pool and cache, returning the server and platform too.
+// mataggTopK > 0 enables the materialized-aggregate subsystem.
+func stressServer(t *testing.T, opts Options, mataggTopK int) (*httptest.Server, *Server, *core.Platform) {
 	t.Helper()
 	o, err := tpch.Ontology()
 	if err != nil {
@@ -34,7 +36,7 @@ func stressServer(t *testing.T, opts Options) (*httptest.Server, *core.Platform)
 	if _, err := tpch.Generate(db, 2, 42); err != nil {
 		t.Fatal(err)
 	}
-	p, err := core.New(core.Config{Ontology: o, Mapping: m, Catalog: c, DB: db})
+	p, err := core.New(core.Config{Ontology: o, Mapping: m, Catalog: c, DB: db, MatAggTopK: mataggTopK})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,9 +46,13 @@ func stressServer(t *testing.T, opts Options) (*httptest.Server, *core.Platform)
 	if _, err := p.Run(); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(NewWithOptions(p, opts).Handler())
-	t.Cleanup(ts.Close)
-	return ts, p
+	srv := NewWithOptions(p, opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.refreshes.Wait() // drain background aggregate refreshes
+	})
+	return ts, srv, p
 }
 
 func postJSON(t testing.TB, url, body string) (*http.Response, []byte) {
@@ -68,14 +74,17 @@ const stressQuery = `{"fact":"fact_table_revenue","group_by":["p_brand"],` +
 	`"measures":[{"out":"total","func":"SUM","col":"revenue"},{"out":"n","func":"COUNT"}]}`
 
 // TestOLAPUnderConcurrentReloads hammers POST /api/olap from N
-// goroutines while POST /api/run reloads the warehouse concurrently.
-// The generator is deterministic, so a reload rebuilds identical
-// tables: every OLAP response must therefore equal the canonical
-// answer — a response computed from a half-loaded (torn) fact or
-// dimension table would differ. Run under -race this also checks the
-// locking discipline of the whole serving path.
+// goroutines while POST /api/run reloads the warehouse concurrently —
+// with the materialized-aggregate subsystem on, so every reload also
+// kicks a background aggregate refresh racing the traffic. The
+// generator is deterministic, so a reload rebuilds identical tables:
+// every OLAP response must therefore equal the canonical answer — a
+// response computed from a half-loaded (torn) fact or dimension table,
+// or served from an aggregate or cached build side of a mismatched
+// version mid-rebuild, would differ or crash under -race. Run under
+// -race this checks the locking discipline of the whole serving path.
 func TestOLAPUnderConcurrentReloads(t *testing.T) {
-	ts, _ := stressServer(t, Options{OLAPConcurrency: 4, OLAPCacheSize: -1})
+	ts, _, _ := stressServer(t, Options{OLAPConcurrency: 4, OLAPCacheSize: -1}, 4)
 
 	resp, body := postJSON(t, ts.URL+"/api/olap", stressQuery)
 	if resp.StatusCode != http.StatusOK {
@@ -152,7 +161,7 @@ func TestOLAPUnderConcurrentReloads(t *testing.T) {
 // TestOLAPCacheInvalidation: repeated queries hit the LRU cache, a
 // reload invalidates it, and the post-reload answer is served fresh.
 func TestOLAPCacheInvalidation(t *testing.T) {
-	ts, _ := stressServer(t, Options{OLAPCacheSize: 16})
+	ts, _, _ := stressServer(t, Options{OLAPCacheSize: 16}, 0)
 	resp1, body1 := postJSON(t, ts.URL+"/api/olap", stressQuery)
 	if resp1.StatusCode != http.StatusOK {
 		t.Fatalf("first query = %d: %s", resp1.StatusCode, body1)
@@ -183,7 +192,7 @@ func TestOLAPCacheInvalidation(t *testing.T) {
 // TestOLAPRollUpAndDiceOverHTTP exercises the new request fields
 // end-to-end, including the oracle switch.
 func TestOLAPRollUpAndDiceOverHTTP(t *testing.T) {
-	ts, _ := stressServer(t, Options{})
+	ts, _, _ := stressServer(t, Options{}, 0)
 	body := `{"fact":"fact_table_revenue",` +
 		`"roll_up":{"Supplier":"Region"},` +
 		`"measures":[{"out":"total","func":"SUM","col":"revenue"}]}`
@@ -235,5 +244,115 @@ func TestOLAPRollUpAndDiceOverHTTP(t *testing.T) {
 	respB, _ := postJSON(t, ts.URL+"/api/olap", badDice)
 	if respB.StatusCode != http.StatusUnprocessableEntity {
 		t.Fatalf("bad dice = %d, want 422", respB.StatusCode)
+	}
+}
+
+// olapStats fetches GET /api/olap/stats.
+func olapStats(t *testing.T, url string) olapStatsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/api/olap/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out olapStatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats = %d", resp.StatusCode)
+	}
+	return out
+}
+
+// TestOLAPStaleAggregateNeverServed changes the SOURCE data between
+// two warehouse loads, so unlike the deterministic-reload stress test
+// the pre-run and post-run answers genuinely differ — a stale
+// materialized aggregate (or a stale dimension build side) would
+// reproduce the OLD answer and is caught by content, not just by the
+// race detector.
+func TestOLAPStaleAggregateNeverServed(t *testing.T) {
+	// Result cache disabled so every request exercises the aggregate
+	// path rather than the LRU.
+	ts, _, p := stressServer(t, Options{OLAPCacheSize: -1}, 8)
+
+	// Warm the query log, materialize, and verify the next request is
+	// served from an aggregate (visible on the admin surface).
+	resp, before := postJSON(t, ts.URL+"/api/olap", stressQuery)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up query = %d: %s", resp.StatusCode, before)
+	}
+	oe, err := p.OLAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.MatAgg().Refresh(oe); err != nil {
+		t.Fatal(err)
+	}
+	resp, served := postJSON(t, ts.URL+"/api/olap", stressQuery)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("served query = %d: %s", resp.StatusCode, served)
+	}
+	if !bytes.Equal(before, served) {
+		t.Fatalf("aggregate-served answer differs from computed answer:\n%s\n%s", before, served)
+	}
+	st := olapStats(t, ts.URL)
+	if st.MatAgg == nil || st.MatAgg.Hits == 0 || st.MatAgg.Materialized == 0 {
+		t.Fatalf("query was not served from a materialized aggregate: %+v", st.MatAgg)
+	}
+
+	// Mutate the source: one more lineitem for the SPAIN supplier
+	// (supplier 0 is always SPAIN; part 0 / order 0 / partsupp(0,0)
+	// exist at every scale factor), with a price large enough that
+	// SUM(revenue) must visibly change after the next load.
+	li, ok := p.DB().Table("lineitem")
+	if !ok {
+		t.Fatal("lineitem source missing")
+	}
+	if err := li.Insert(storage.Row{
+		expr.Int(0), expr.Int(0), expr.Int(0), expr.Int(99),
+		expr.Float(1), expr.Float(5e6), expr.Float(0), expr.Float(0),
+		expr.Str("N"), expr.Str("1995-06-17"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if resp, body := postJSON(t, ts.URL+"/api/run", `{}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload = %d: %s", resp.StatusCode, body)
+	}
+
+	// The post-run answer must reflect the new data — whether it comes
+	// from the base-fact fallback (refresh still running) or from a
+	// re-materialized aggregate at the new version. Serving the old
+	// bytes would mean a stale aggregate or build side survived.
+	resp, after := postJSON(t, ts.URL+"/api/olap", stressQuery)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-reload query = %d: %s", resp.StatusCode, after)
+	}
+	if bytes.Equal(before, after) {
+		t.Fatalf("post-reload answer identical to pre-reload answer: stale aggregate served\n%s", after)
+	}
+	resp, oracle := postJSON(t, ts.URL+"/api/olap", stressQuery[:len(stressQuery)-1]+`,"oracle":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("oracle query = %d: %s", resp.StatusCode, oracle)
+	}
+	if !bytes.Equal(after, oracle) {
+		t.Fatalf("post-reload answer diverges from the oracle:\nfast:   %s\noracle: %s", after, oracle)
+	}
+
+	// After an explicit refresh at the new version, aggregates serve
+	// again — still the new answer.
+	if _, err := p.MatAgg().Refresh(oe); err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore := olapStats(t, ts.URL).MatAgg.Hits
+	resp, refreshed := postJSON(t, ts.URL+"/api/olap", stressQuery)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refreshed query = %d: %s", resp.StatusCode, refreshed)
+	}
+	if !bytes.Equal(refreshed, oracle) {
+		t.Fatalf("refreshed aggregate answer diverges from the oracle:\n%s\n%s", refreshed, oracle)
+	}
+	if got := olapStats(t, ts.URL).MatAgg.Hits; got <= hitsBefore {
+		t.Fatalf("refreshed aggregate was not served: hits %d → %d", hitsBefore, got)
 	}
 }

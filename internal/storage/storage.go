@@ -272,7 +272,26 @@ func (db *DB) Publish(t *Table) { db.PublishAll([]*Table{t}) }
 // with old dimensions. The version is bumped once per call, even for
 // an empty table list (append-only runs call it with no tables so
 // version-keyed caches still observe the change).
-func (db *DB) PublishAll(tables []*Table) {
+func (db *DB) PublishAll(tables []*Table) { db.CommitRun(tables, nil) }
+
+// AppendDelta is a staged append-mode load: rows destined for an
+// existing live table, buffered in a detached Delta table (same column
+// layout as Target, rows already validated against it) until the run
+// commits. Staging appends keeps failed runs from leaving a partial
+// append behind in the live table.
+type AppendDelta struct {
+	Target *Table
+	Delta  *Table
+}
+
+// CommitRun is the commit point of an ETL run: it publishes every
+// replace-mode table and merges every staged append delta into its
+// live target in one critical section, then bumps the version once. A
+// concurrent Snapshot therefore sees either none or all of the run's
+// loads — replace and append alike — and a run that fails before
+// CommitRun leaves every live table byte-identical to its pre-run
+// state.
+func (db *DB) CommitRun(tables []*Table, appends []AppendDelta) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	for _, t := range tables {
@@ -280,6 +299,19 @@ func (db *DB) PublishAll(tables []*Table) {
 			db.order = append(db.order, t.Name)
 		}
 		db.tables[t.Name] = t
+	}
+	for _, a := range appends {
+		a.Delta.mu.RLock()
+		rows := a.Delta.rows
+		a.Delta.mu.RUnlock()
+		if len(rows) == 0 {
+			continue
+		}
+		// Delta rows were validated against the delta's columns, which
+		// are a copy of the target's, so they merge without re-checking.
+		a.Target.mu.Lock()
+		a.Target.rows = append(a.Target.rows, rows...)
+		a.Target.mu.Unlock()
 	}
 	db.version++
 }

@@ -125,6 +125,23 @@ type DiceSpec = olap.DiceSpec
 // OLAPResult is an ordered, in-memory OLAP result set.
 type OLAPResult = olap.Result
 
+// MatAgg is the adaptive materialized-aggregate store: it observes the
+// query log, materializes the top-K hot (group-by set, measure set)
+// granularities into version-keyed snapshot-backed tables, and lets
+// the fast path rewrite covered queries onto the coarsest usable
+// aggregate — byte-identical to the oracle by construction. Enable it
+// per platform with Config.MatAggTopK (Platform.MatAgg exposes the
+// store; call Refresh after warehouse reloads) or attach an own store
+// with OLAPEngine.WithMatAgg.
+type MatAgg = olap.MatAgg
+
+// MatAggStats is the store's admin/stats view.
+type MatAggStats = olap.MatAggStats
+
+// NewMatAgg builds a materialized-aggregate store keeping up to topK
+// aggregates per refresh.
+func NewMatAgg(topK int) *MatAgg { return olap.NewMatAgg(topK) }
+
 // New builds a Platform for a custom domain.
 func New(cfg Config) (*Platform, error) { return core.New(cfg) }
 
