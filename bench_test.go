@@ -615,6 +615,46 @@ func BenchmarkOLAPQuery_FastPath(b *testing.B) {
 	}
 }
 
+// BenchmarkOLAPQuery_FastPath_Disk is the fast-path serving benchmark
+// over a disk-backed warehouse: the star join streams the fact table
+// through paged snapshot cursors (decoded pages served from the
+// buffer pool after the first touch) instead of resident row slices.
+// Ungated initially — it establishes the disk backend's serving
+// baseline.
+func BenchmarkOLAPQuery_FastPath_Disk(b *testing.B) {
+	db, err := quarry.OpenDB(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tpch.Generate(db, 5, 42); err != nil {
+		b.Fatal(err)
+	}
+	onto, _ := tpch.Ontology()
+	mapg, _ := tpch.Mapping()
+	cat, _ := tpch.Catalog(5)
+	p, err := quarry.New(quarry.Config{Ontology: onto, Mapping: mapg, Catalog: cat, DB: db})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.AddRequirement(quarry.RevenueRequirement()); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Run(); err != nil {
+		b.Fatal(err)
+	}
+	oe, err := p.OLAP()
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := benchCubeQuery()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := oe.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkOLAPQuery_Materialized measures the materialized-aggregate
 // path: the store is trained on the serving workload and refreshed
 // once, then every query is rewritten onto its aggregate (a

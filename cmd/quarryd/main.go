@@ -5,9 +5,15 @@
 // Usage:
 //
 //	quarryd [-addr :8080] [-sf 10] [-seed 42] [-store DIR]
+//	        [-data-dir DIR]
 //	        [-parallelism 0] [-batch-size 0]
 //	        [-olap-concurrency 0] [-olap-cache 256]
 //	        [-matagg] [-matagg-top-k 8]
+//
+// With -data-dir the warehouse lives in a paged on-disk store: the
+// first start generates and checkpoints the micro-TPC-H sources, a
+// restart recovers the last committed version — sources and any
+// deployed DW tables — and skips regeneration.
 package main
 
 import (
@@ -27,6 +33,7 @@ func main() {
 	sf := flag.Float64("sf", 10, "micro-TPC-H scale factor")
 	seed := flag.Int64("seed", 42, "data generator seed")
 	store := flag.String("store", "", "metadata repository directory (empty: in-memory)")
+	dataDir := flag.String("data-dir", "", "disk-backed warehouse directory (empty: in-memory); reopening recovers the committed tables and skips generation")
 	parallelism := flag.Int("parallelism", 0, "ETL engine worker pool size (0: GOMAXPROCS)")
 	batchSize := flag.Int("batch-size", 0, "ETL engine rows per batch (0: engine default)")
 	olapConc := flag.Int("olap-concurrency", 0, "max concurrent OLAP queries (0: 2×GOMAXPROCS)")
@@ -47,10 +54,32 @@ func main() {
 	if err != nil {
 		log.Fatalf("quarryd: %v", err)
 	}
-	db := storage.NewDB()
-	sizes, err := tpch.Generate(db, *sf, *seed)
-	if err != nil {
-		log.Fatalf("quarryd: %v", err)
+	var db *storage.DB
+	if *dataDir != "" {
+		if db, err = storage.Open(*dataDir); err != nil {
+			log.Fatalf("quarryd: %v", err)
+		}
+	} else {
+		db = storage.NewDB()
+	}
+	// A directory counts as recovered only when it holds committed
+	// DATA, not just schema: a crash during a previous start's
+	// generate/checkpoint window commits the (empty) tables before
+	// their rows, and trusting table names alone would then serve an
+	// empty warehouse forever. tpch.Generate replaces tables, so
+	// regenerating over a schema-only directory is safe.
+	if li, ok := db.Table("lineitem"); ok && li.NumRows() > 0 {
+		log.Printf("quarryd: recovered %d tables at version %d from %s; skipping generation (-sf/-seed ignored: the warehouse keeps the scale it was generated at)",
+			len(db.TableNames()), db.Version(), *dataDir)
+	} else {
+		if _, err := tpch.Generate(db, *sf, *seed); err != nil {
+			log.Fatalf("quarryd: %v", err)
+		}
+		// Commit the generated sources so a restart recovers them
+		// (no-op for the in-memory backend).
+		if err := db.Checkpoint(); err != nil {
+			log.Fatalf("quarryd: checkpointing %s: %v", *dataDir, err)
+		}
 	}
 	topK := 0
 	if *matagg {
@@ -68,7 +97,11 @@ func main() {
 		OLAPConcurrency: *olapConc,
 		OLAPCacheSize:   *olapCache,
 	})
-	log.Printf("quarryd: micro-TPC-H ready (%d lineitems); listening on %s", sizes.Lineitem, *addr)
+	var lineitems int64
+	if li, ok := db.Table("lineitem"); ok {
+		lineitems = li.NumRows()
+	}
+	log.Printf("quarryd: micro-TPC-H ready (%d lineitems); listening on %s", lineitems, *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatalf("quarryd: %v", err)
 	}

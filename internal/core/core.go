@@ -48,6 +48,13 @@ type Config struct {
 	// DB is the execution platform holding source data and receiving
 	// the deployed DW tables; optional (required only for Run).
 	DB *storage.DB
+	// StorageDir opens a paged, disk-backed execution platform rooted
+	// at the given directory (storage.Open) when DB is nil: warehouse
+	// tables survive process restarts, every ETL run commits
+	// crash-safely, and reopening recovers the last committed version.
+	// Ignored when DB is set; empty with a nil DB leaves the platform
+	// without an execution database.
+	StorageDir string
 	// StoreDir persists the metadata repository; empty keeps it in
 	// memory.
 	StoreDir string
@@ -110,6 +117,12 @@ func New(cfg Config) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
+	db := cfg.DB
+	if db == nil && cfg.StorageDir != "" {
+		if db, err = storage.Open(cfg.StorageDir); err != nil {
+			return nil, fmt.Errorf("core: opening warehouse at %s: %w", cfg.StorageDir, err)
+		}
+	}
 	store, err := repo.Open(cfg.StoreDir)
 	if err != nil {
 		return nil, err
@@ -122,7 +135,7 @@ func New(cfg Config) (*Platform, error) {
 		onto:       cfg.Ontology,
 		mapg:       cfg.Mapping,
 		cat:        cfg.Catalog,
-		db:         cfg.DB,
+		db:         db,
 		elic:       elicitor.New(cfg.Ontology, cfg.Mapping),
 		interp:     interp,
 		mdInt:      mdintegrator.New(cfg.MDCost, cfg.Resolver),

@@ -26,6 +26,16 @@
 // Both strategies produce byte-identical loaded tables, per-operation
 // row counts and Loaded totals. Row counts and per-operation durations
 // are recorded in either mode.
+//
+// Loads are transactional in both strategies: loaders stream into
+// detached staging tables (replace mode) or delta tables (append
+// mode), and the whole run is published in one storage.DB.CommitRun
+// critical section — concurrent snapshot readers see all of a run or
+// none of it, and a failed run leaves every live table byte-identical
+// to its pre-run state. Against a disk-backed database that same
+// commit is one crash-safe manifest rename, so durability rides on
+// the existing commit point: the engine reads sources through the
+// same ReadBatch cursors either way and needs no disk-specific code.
 package engine
 
 import (
@@ -142,7 +152,9 @@ func RunMaterializing(d *xlm.Design, db *storage.DB) (*Result, error) {
 	// Commit point: publish every staged load — replace tables and
 	// append deltas — in one critical section, mirroring the pipelined
 	// executor.
-	staged.commit(db)
+	if err := staged.commit(db); err != nil {
+		return nil, fmt.Errorf("engine: committing run: %w", err)
+	}
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -637,11 +637,14 @@ func (s *stagedLoads) addAppend(target, delta *storage.Table) {
 
 // commit publishes the run's loads atomically; it is the single
 // version bump every successful run causes (append-only runs included,
-// so version-keyed result caches always observe a load).
-func (s *stagedLoads) commit(db *storage.DB) {
+// so version-keyed result caches always observe a load). On a
+// disk-backed database it can fail — the crash-safe manifest commit
+// hit an I/O error — in which case no load of the run is visible and
+// no version was bumped.
+func (s *stagedLoads) commit(db *storage.DB) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	db.CommitRun(s.tables, s.appends)
+	return db.CommitRun(s.tables, s.appends)
 }
 
 // loaderOp creates-or-replaces (default) or appends to the target

@@ -696,7 +696,9 @@ func RunWithOptions(d *xlm.Design, db *storage.DB, opts Options) (*Result, error
 	// Commit point: publish every staged load — replace tables and
 	// append deltas — in one critical section, so concurrent snapshots
 	// see the whole run or none of it.
-	ex.staged.commit(db)
+	if err := ex.staged.commit(db); err != nil {
+		return nil, fmt.Errorf("engine: committing run: %w", err)
+	}
 	res := &Result{Loaded: ex.loaded, Elapsed: time.Since(start)}
 	for _, n := range order {
 		st := stats[n.Name]

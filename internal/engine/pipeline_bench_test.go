@@ -17,6 +17,13 @@ import (
 // materializing-vs-pipelined speedup is tracked on.
 func benchIntegratedDesign(b *testing.B, sf float64) (*xlm.Design, *storage.DB) {
 	b.Helper()
+	return benchIntegratedDesignIn(b, sf, storage.NewDB())
+}
+
+// benchIntegratedDesignIn generates the workload into a
+// caller-provided database (e.g. a disk-backed one).
+func benchIntegratedDesignIn(b *testing.B, sf float64, db *storage.DB) (*xlm.Design, *storage.DB) {
+	b.Helper()
 	o, err := tpch.Ontology()
 	if err != nil {
 		b.Fatal(err)
@@ -44,7 +51,6 @@ func benchIntegratedDesign(b *testing.B, sf float64) (*xlm.Design, *storage.DB) 
 			b.Fatal(err)
 		}
 	}
-	db := storage.NewDB()
 	if _, err := tpch.Generate(db, sf, 42); err != nil {
 		b.Fatal(err)
 	}
@@ -63,6 +69,28 @@ func BenchmarkEngineExec_Materializing(b *testing.B) {
 
 func BenchmarkEngineExec_Pipelined(b *testing.B) {
 	d, db := benchIntegratedDesign(b, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(d, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineExec_Disk is BenchmarkEngineExec_Pipelined against a
+// disk-backed warehouse: sources stream through paged cursors and
+// every run pays its crash-safe commit (segment writes + manifest
+// fsync/rename). The delta over the pipelined benchmark is the whole
+// price of durability.
+func BenchmarkEngineExec_Disk(b *testing.B) {
+	db, err := storage.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, _ := benchIntegratedDesignIn(b, 5, db)
+	if err := db.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(d, db); err != nil {

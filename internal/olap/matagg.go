@@ -44,6 +44,7 @@ package olap
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -66,7 +67,11 @@ const derivedWeight = 0.25
 // patternDecay ages every retained weight when a full pattern log
 // rejects a newcomer, so a persistently shifted workload is admitted
 // after a bounded number of rejections instead of being locked out by
-// stale accumulated weights.
+// stale accumulated weights. The decay is applied lazily: a rejection
+// bumps a global epoch instead of touching every entry, and weights
+// are normalized on access (see bumpLocked) — the saturated-log path
+// costs O(1) under the store mutex instead of the old O(cap)
+// coldest-scan plus full-map multiply.
 const patternDecay = 0.95
 
 // aggMeasure is one stored measure of a pattern, canonicalized.
@@ -93,7 +98,12 @@ type aggPattern struct {
 	fact     string
 	groupBy  []string // sorted, unique
 	measures []aggMeasure
-	weight   float64
+	// weight is stored normalized to the store epoch the pattern was
+	// last touched at; its value at the store's current epoch E is
+	// weight·patternDecay^(E−epoch). Compare weights only after
+	// normalizing to a common epoch.
+	weight float64
+	epoch  uint64
 }
 
 func patternKey(fact string, groupBy []string, measures []aggMeasure) string {
@@ -158,6 +168,20 @@ type MatAgg struct {
 	// gen counts wholesale invalidations; a Refresh started before an
 	// Invalidate must not install its (old-design) entries afterwards.
 	gen uint64
+	// epoch implements the lazy log decay: every saturated-log
+	// rejection increments it, which ages every pattern's effective
+	// weight by one patternDecay factor without touching the entries.
+	epoch uint64
+	// Running minimum over the log (the eviction candidate). minW —
+	// normalized to minEpoch — is EXACT when minExact, else only a
+	// lower bound on the true minimum (its pattern was bumped since
+	// the last full scan; bumps only raise weights, so the bound stays
+	// valid). Rejections compare against the bound in O(1); only a
+	// potential admission pays the O(cap) rescan.
+	minKey   string
+	minW     float64
+	minEpoch uint64
+	minExact bool
 }
 
 // NewMatAgg builds a store materializing up to topK aggregates per
@@ -185,6 +209,8 @@ func (m *MatAgg) Invalidate() {
 	m.patterns = map[string]*aggPattern{}
 	m.entries = map[string]*matEntry{}
 	m.gen++
+	m.epoch = 0
+	m.minKey, m.minW, m.minEpoch, m.minExact = "", 0, 0, false
 	m.mu.Unlock()
 	m.dims.purge()
 }
@@ -267,37 +293,116 @@ func (m *MatAgg) record(e *Engine, p *starPlan) {
 	}
 }
 
+// normLocked returns pat's weight normalized to the current epoch.
+func (m *MatAgg) normLocked(pat *aggPattern) float64 {
+	if pat.epoch == m.epoch {
+		return pat.weight
+	}
+	return pat.weight * math.Pow(patternDecay, float64(m.epoch-pat.epoch))
+}
+
+// minNowLocked returns the running-min weight normalized to the
+// current epoch (exact or lower bound per minExact).
+func (m *MatAgg) minNowLocked() float64 {
+	if m.minEpoch == m.epoch {
+		return m.minW
+	}
+	return m.minW * math.Pow(patternDecay, float64(m.epoch-m.minEpoch))
+}
+
+// dropPatternLocked removes a pattern from the log (Refresh drops
+// patterns that no longer plan). If it was the running-min candidate,
+// the stored bound stays valid (removal can only raise the true
+// minimum) but degrades to non-exact, so the next admission decision
+// rescans instead of "evicting" the missing key — which would have
+// let the log creep past maxPatterns.
+func (m *MatAgg) dropPatternLocked(key string) {
+	delete(m.patterns, key)
+	if key == m.minKey {
+		m.minExact = false
+	}
+}
+
+// rescanMinLocked recomputes the exact running minimum — the O(cap)
+// slow path, paid only when an admission decision needs exactness,
+// never on the rejection fast path. Ties break toward the highest
+// key, matching the old coldest-scan's eviction choice.
+func (m *MatAgg) rescanMinLocked() {
+	m.minKey, m.minW, m.minEpoch, m.minExact = "", 0, m.epoch, true
+	for _, pat := range m.patterns {
+		w := m.normLocked(pat)
+		if m.minKey == "" || w < m.minW || (w == m.minW && pat.key > m.minKey) {
+			m.minKey, m.minW = pat.key, w
+		}
+	}
+}
+
+// bumpLocked records weight w for a pattern, evicting the coldest
+// entry when a hotter newcomer hits a full log. The saturated-log hot
+// path — a colder newcomer bouncing off a full log, the steady state
+// of a workload with more distinct granularities than maxPatterns —
+// is O(1): the newcomer is compared against the running-min bound and
+// the decay is an epoch increment, so the serving lock is held for
+// constant work (the old implementation scanned and multiplied the
+// whole map on every such rejection).
 func (m *MatAgg) bumpLocked(fact string, groupBy []string, measures []aggMeasure, w float64) {
 	key := patternKey(fact, groupBy, measures)
 	if pat, ok := m.patterns[key]; ok {
-		pat.weight += w
+		pat.weight = m.normLocked(pat) + w
+		pat.epoch = m.epoch
+		if key == m.minKey {
+			// The coldest pattern warmed up: minW degrades to a lower
+			// bound until the next rescan.
+			m.minExact = false
+		}
 		return
 	}
-	if len(m.patterns) >= maxPatterns {
-		var coldest *aggPattern
-		for _, pat := range m.patterns {
-			if coldest == nil || pat.weight < coldest.weight || (pat.weight == coldest.weight && pat.key > coldest.key) {
-				coldest = pat
-			}
+	if len(m.patterns) < maxPatterns {
+		m.patterns[key] = &aggPattern{
+			key:      key,
+			fact:     fact,
+			groupBy:  append([]string(nil), groupBy...),
+			measures: append([]aggMeasure(nil), measures...),
+			weight:   w,
+			epoch:    m.epoch,
 		}
-		if coldest == nil || coldest.weight > w {
-			// Incoming pattern is colder than everything kept: reject,
-			// but age the log so repeated observations of a shifted
-			// workload eventually displace stale weights.
-			for _, pat := range m.patterns {
-				pat.weight *= patternDecay
-			}
+		if m.minKey == "" || w < m.minNowLocked() {
+			// Below the (lower-bound) minimum means below every kept
+			// weight, so the newcomer is the exact new minimum.
+			m.minKey, m.minW, m.minEpoch, m.minExact = key, w, m.epoch, true
+		}
+		return
+	}
+	if m.minKey == "" {
+		m.rescanMinLocked()
+	}
+	if m.minNowLocked() > w {
+		// Colder than everything kept (the bound under-estimates the
+		// true minimum, so bound > w suffices even when stale): reject,
+		// and age the whole log one decay step — lazily, via the epoch
+		// — so a persistently shifted workload is admitted after a
+		// bounded number of rejections. This is the O(1) hot path.
+		m.epoch++
+		return
+	}
+	if !m.minExact {
+		// The bound allows admission; get the exact minimum first.
+		m.rescanMinLocked()
+		if m.minNowLocked() > w {
+			m.epoch++
 			return
 		}
-		delete(m.patterns, coldest.key)
 	}
+	delete(m.patterns, m.minKey)
 	m.patterns[key] = &aggPattern{
 		key:      key,
 		fact:     fact,
 		groupBy:  append([]string(nil), groupBy...),
 		measures: append([]aggMeasure(nil), measures...),
 		weight:   w,
+		epoch:    m.epoch,
 	}
+	m.rescanMinLocked()
 }
 
 // rollupVariants derives the coarser lattice neighbours of a group-by
@@ -416,8 +521,10 @@ func (m *MatAgg) Refresh(e *Engine) (RefreshReport, error) {
 		return rep, nil
 	}
 	// Snapshot (pattern, weight) under the lock: weights keep being
-	// bumped by concurrent queries while we sort and build. Everything
-	// else on a pattern is immutable after creation.
+	// bumped by concurrent queries while we sort and build. Weights
+	// are normalized to a common epoch here — entries touched at
+	// different epochs are not directly comparable. Everything else on
+	// a pattern is immutable after creation.
 	type ranked struct {
 		pat    *aggPattern
 		weight float64
@@ -426,7 +533,7 @@ func (m *MatAgg) Refresh(e *Engine) (RefreshReport, error) {
 	startGen := m.gen
 	snapshot := make([]ranked, 0, len(m.patterns))
 	for _, pat := range m.patterns {
-		snapshot = append(snapshot, ranked{pat, pat.weight})
+		snapshot = append(snapshot, ranked{pat, m.normLocked(pat)})
 	}
 	topK := m.topK
 	m.mu.Unlock()
@@ -454,7 +561,7 @@ func (m *MatAgg) Refresh(e *Engine) (RefreshReport, error) {
 				firstErr = fmt.Errorf("matagg: pattern %s: %w", pat.key, err)
 			}
 			m.mu.Lock()
-			delete(m.patterns, pat.key)
+			m.dropPatternLocked(pat.key)
 			m.mu.Unlock()
 			continue
 		}

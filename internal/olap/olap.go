@@ -27,7 +27,24 @@
 // Both executors resolve the query through one shared planner
 // (planner.go), which is what makes them byte-identical by
 // construction: same join order, same row order into aggregation,
-// same kernels.
+// same kernels. That includes MIN/MAX over every ordered type —
+// strings lexicographically, bools false<true, via
+// expr.Value.Compare: the xLM validator accepts them like the fast
+// path does, so the oracle can always replay a servable query.
+//
+// A third answer source sits in front of both when enabled: the
+// adaptive materialized-aggregate store (matagg.go) observes the
+// query log, materializes the hottest granularities into detached
+// DB-version-keyed tables, and rewrites covered queries onto the
+// coarsest usable aggregate — still byte-identical, because rewrites
+// are pure projections or exactness-gated re-aggregations through
+// the same kernels. Every republish bumps the DB version and thereby
+// invalidates all of it implicitly.
+//
+// The layer reads the warehouse exclusively through
+// storage.Snapshot/TableView cursors, so it is oblivious to the
+// storage backend: in-memory and paged disk-backed warehouses serve
+// identically (the cursors page through the disk store's buffer pool).
 package olap
 
 import (

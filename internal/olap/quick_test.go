@@ -28,6 +28,12 @@ func randomQuery(r *rand.Rand) olap.CubeQuery {
 		{Out: "n_rev", Func: "COUNT", Col: "revenue"},
 		{Out: "sum_price", Func: "SUM", Col: "p_retailprice"},
 		{Out: "avg_bal", Func: "AVG", Col: "s_acctbal"},
+		// Ordered string MIN/MAX: the fast path always computed these;
+		// since the validator learned them too (internal/xlm/schema.go)
+		// the star-flow oracle accepts them as well, so the quick check
+		// pins both paths to identical lexicographic answers.
+		{Out: "min_type", Func: "MIN", Col: "p_type"},
+		{Out: "max_nation", Func: "MAX", Col: "n_name"},
 	}
 	filterPool := []string{
 		"",

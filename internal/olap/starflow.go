@@ -43,7 +43,9 @@ func (e *Engine) QueryStarFlow(q CubeQuery) (*Result, error) {
 		return nil, err
 	}
 	// Private scratch DB sharing frozen views of the deployed tables.
-	scratch := storage.NewDB()
+	// Always in-memory, even under QUARRY_STORAGE=disk: the scratch DB
+	// lives for one query and only re-reads frozen snapshot views.
+	scratch := storage.NewMemDB()
 	for _, name := range p.tables {
 		view, _ := snap.Table(name)
 		if err := scratch.Attach(view.Freeze()); err != nil {

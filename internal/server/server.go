@@ -302,7 +302,22 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	// Operational fingerprint of the warehouse: which backend it runs
+	// on ("disk" backends name their directory), and the committed
+	// version — the same version every OLAP result and materialized
+	// aggregate is keyed on, so operators can correlate cache
+	// behaviour with reloads.
+	resp := map[string]any{"status": "ok"}
+	if db := s.p.DB(); db != nil {
+		backend := "memory"
+		if dir := db.StorageDir(); dir != "" {
+			backend = "disk"
+			resp["storage_dir"] = dir
+		}
+		resp["storage"] = backend
+		resp["warehouse_version"] = db.Version()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleGraph(w http.ResponseWriter, _ *http.Request) {

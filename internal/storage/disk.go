@@ -1,0 +1,636 @@
+package storage
+
+// Disk backend: a paged columnar layout behind the existing
+// DB/Table/Snapshot API.
+//
+// Layout of a storage directory:
+//
+//	manifest.json   the committed catalog: for every table its column
+//	                definitions and ordered segment list (file name,
+//	                row count, page directory), plus the DB version
+//	seg-NNNNNNNN.qseg  immutable segment files (see page.go)
+//
+// A table's rows are the concatenation of its manifest segments
+// followed by its in-memory tail (rows inserted since the last
+// commit). Replace-mode publishes write whole new segments; appends
+// become delta segments — segments are never rewritten in place.
+//
+// Commit protocol (the crash-safety story):
+//
+//  1. write + fsync every new segment file (they are orphans until
+//     referenced — a crash here loses nothing), then fsync the
+//     directory so their entries are durable before the manifest can
+//     name them,
+//  2. write + fsync manifest.tmp with the complete new catalog,
+//  3. rename(manifest.tmp, manifest.json) and fsync the directory —
+//     the SINGLE atomic commit point,
+//  4. only then swap the in-memory pagers and delete segment files
+//     the new manifest no longer references (purging their decoded
+//     pages, which pin the dead segments' file descriptors, from the
+//     buffer pool).
+//
+// A crash anywhere before step 3 leaves manifest.json describing the
+// previous committed version; Open discards orphaned segments and
+// rehydrates that version. A failed commit inside a live process
+// likewise leaves the DB's in-memory state untouched, preserving
+// CommitRun's "failed runs leave live tables byte-identical"
+// contract. Snapshots taken before a commit keep reading their old
+// segments even after the files are unlinked: every segment holds its
+// file handle open for the segment object's lifetime.
+//
+// One process per directory: the store takes no lock file; opening
+// the same directory from two processes is unsupported.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const (
+	manifestName   = "manifest.json"
+	manifestTmp    = "manifest.tmp"
+	manifestFormat = 1
+	segPrefix      = "seg-"
+	segSuffix      = ".qseg"
+)
+
+// TestingCommitFault is a crash-injection hook for tests: when set,
+// it is consulted at the named commit stages ("segments": all segment
+// files written and synced, manifest untouched; "rename":
+// manifest.tmp written and synced, final rename pending). Returning a
+// non-nil error aborts the commit exactly as a crash at that point
+// would — new segment files are left behind as orphans for recovery
+// to collect, and the in-memory DB is not mutated. Never set outside
+// tests.
+var TestingCommitFault func(stage string) error
+
+// diskStore is the per-DB handle on a storage directory.
+type diskStore struct {
+	dir string
+	// commitMu serializes every commit (and therefore every catalog
+	// mutation of a disk-backed DB: all mutators commit). Holding it
+	// through the segment and manifest I/O keeps db.mu free for
+	// readers — a Snapshot never waits on a commit's fsyncs, only on
+	// the brief pointer-swap apply step. Lock order: commitMu before
+	// db.mu before Table.mu; nothing acquires commitMu while holding
+	// db.mu. nextSeg is guarded by commitMu.
+	commitMu sync.Mutex
+	nextSeg  uint64
+	cache    *pageCache
+}
+
+// segment is one immutable on-disk run of rows. The open file handle
+// lives as long as the segment object: readers holding a pager keep
+// their data readable even after a republish unlinks the file (the
+// runtime closes the descriptor when the segment is collected).
+type segment struct {
+	file  *os.File
+	name  string // base file name
+	dir   string // owning store's directory
+	cols  []Column
+	rows  int
+	pages []pageMeta
+	cache *pageCache
+}
+
+// pageMeta locates one page inside a segment.
+type pageMeta struct {
+	off   int64
+	size  int // padded size: a pageSize multiple
+	rows  int
+	first int // index of the page's first row within the segment
+}
+
+// page returns the decoded rows of page i, through the buffer pool.
+// Segment structure is validated at write/open time, so a decode
+// failure here means on-disk corruption — that is a panic, not an
+// error: the read API has no error channel and silently returning
+// fewer rows would corrupt results.
+func (s *segment) page(i int) []Row {
+	k := pageKey{seg: s, page: i}
+	if rows, ok := s.cache.get(k); ok {
+		return rows
+	}
+	buf := make([]byte, s.pages[i].size)
+	if _, err := s.file.ReadAt(buf, s.pages[i].off); err != nil {
+		panic(fmt.Sprintf("storage: segment %s page %d: %v", s.name, i, err))
+	}
+	rows, err := decodePage(s.cols, buf)
+	if err != nil {
+		panic(fmt.Sprintf("storage: segment %s page %d corrupt: %v", s.name, i, err))
+	}
+	if len(rows) != s.pages[i].rows {
+		panic(fmt.Sprintf("storage: segment %s page %d holds %d rows, manifest says %d",
+			s.name, i, len(rows), s.pages[i].rows))
+	}
+	s.cache.put(k, rows, s.pages[i].size)
+	return rows
+}
+
+// pageFor returns the index of the page containing segment-local row
+// r.
+func (s *segment) pageFor(r int) int {
+	return sort.Search(len(s.pages), func(i int) bool { return s.pages[i].first > r }) - 1
+}
+
+// pager is an immutable view over an ordered segment list. Appends
+// never mutate a pager — commits build an extended copy and swap it
+// under the table lock — so snapshots and frozen views capture a
+// pager pointer and are done.
+type pager struct {
+	segs   []*segment
+	starts []int // starts[i] = global index of segs[i]'s first row
+	rows   int
+}
+
+func newPager(segs []*segment) *pager {
+	p := &pager{segs: segs, starts: make([]int, len(segs))}
+	for i, s := range segs {
+		p.starts[i] = p.rows
+		p.rows += s.rows
+	}
+	return p
+}
+
+// extend returns a new pager appending seg (sharing the existing
+// segment prefix).
+func (p *pager) extend(seg *segment) *pager {
+	var segs []*segment
+	if p != nil {
+		segs = append(segs, p.segs...)
+	}
+	return newPager(append(segs, seg))
+}
+
+func (p *pager) numRows() int {
+	if p == nil {
+		return 0
+	}
+	return p.rows
+}
+
+// readBatch returns exactly min(max, rows-start) rows (callers step
+// cursors by a fixed batch size, so short reads are not an option).
+// A range satisfied by one decoded page is returned as a shared
+// subslice; ranges crossing page or segment boundaries are assembled
+// into a fresh slice.
+func (p *pager) readBatch(start, max int) []Row {
+	if start < 0 || p == nil || start >= p.rows || max <= 0 {
+		return nil
+	}
+	if start+max > p.rows {
+		max = p.rows - start
+	}
+	var out []Row
+	pos, remaining := start, max
+	for remaining > 0 {
+		si := sort.Search(len(p.starts), func(i int) bool { return p.starts[i] > pos }) - 1
+		seg := p.segs[si]
+		local := pos - p.starts[si]
+		pi := seg.pageFor(local)
+		rows := seg.page(pi)
+		ps := local - seg.pages[pi].first
+		n := len(rows) - ps
+		if n > remaining {
+			n = remaining
+		}
+		if out == nil && n == max {
+			return rows[ps : ps+n : ps+n]
+		}
+		if out == nil {
+			out = make([]Row, 0, max)
+		}
+		out = append(out, rows[ps:ps+n]...)
+		pos += n
+		remaining -= n
+	}
+	return out
+}
+
+// foreignTo reports whether any of the pager's segments belongs to a
+// store other than the one rooted at dir.
+func (p *pager) foreignTo(dir string) bool {
+	if p == nil {
+		return false
+	}
+	for _, s := range p.segs {
+		if s.dir != dir {
+			return true
+		}
+	}
+	return false
+}
+
+// referencedFiles lists the segment file names a pager references.
+func (p *pager) referencedFiles(into map[string]bool) {
+	if p == nil {
+		return
+	}
+	for _, s := range p.segs {
+		into[s.name] = true
+	}
+}
+
+// Manifest JSON schema (format 1). The manifest is the whole truth:
+// segment files carry no headers of their own.
+
+type manifest struct {
+	Format  int             `json:"format"`
+	Version uint64          `json:"version"`
+	Tables  []manifestTable `json:"tables"`
+}
+
+type manifestTable struct {
+	Name     string            `json:"name"`
+	Columns  []Column          `json:"columns"`
+	Segments []manifestSegment `json:"segments,omitempty"`
+}
+
+type manifestSegment struct {
+	File  string         `json:"file"`
+	Rows  int            `json:"rows"`
+	Pages []manifestPage `json:"pages"`
+}
+
+type manifestPage struct {
+	Off  int64 `json:"off"`
+	Size int   `json:"size"`
+	Rows int   `json:"rows"`
+}
+
+// writeSegment encodes rows into a fresh segment file and fsyncs it.
+func (st *diskStore) writeSegment(cols []Column, rows []Row) (*segment, error) {
+	id := st.nextSeg
+	st.nextSeg++
+	name := fmt.Sprintf("%s%08d%s", segPrefix, id, segSuffix)
+	f, err := os.OpenFile(filepath.Join(st.dir, name), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	seg := &segment{file: f, name: name, dir: st.dir, cols: cols, rows: len(rows), cache: st.cache}
+	var off int64
+	first := 0
+	for _, n := range splitPages(len(cols), rows) {
+		buf := encodePage(cols, rows[first:first+n])
+		if _, err := f.WriteAt(buf, off); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storage: writing %s: %w", name, err)
+		}
+		seg.pages = append(seg.pages, pageMeta{off: off, size: len(buf), rows: n, first: first})
+		off += int64(len(buf))
+		first += n
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: syncing %s: %w", name, err)
+	}
+	return seg, nil
+}
+
+// openSegment rehydrates a manifest-described segment.
+func (st *diskStore) openSegment(ms manifestSegment, cols []Column) (*segment, error) {
+	f, err := os.Open(filepath.Join(st.dir, ms.File))
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	seg := &segment{file: f, name: ms.File, dir: st.dir, cols: cols, rows: ms.Rows, cache: st.cache}
+	first, want := 0, int64(0)
+	for _, mp := range ms.Pages {
+		if mp.Off != want || mp.Size <= 0 || mp.Size%pageSize != 0 || mp.Rows <= 0 {
+			f.Close()
+			return nil, fmt.Errorf("segment %s has an inconsistent page directory", ms.File)
+		}
+		seg.pages = append(seg.pages, pageMeta{off: mp.Off, size: mp.Size, rows: mp.Rows, first: first})
+		first += mp.Rows
+		want += int64(mp.Size)
+	}
+	if first != ms.Rows {
+		f.Close()
+		return nil, fmt.Errorf("segment %s pages sum to %d rows, manifest says %d", ms.File, first, ms.Rows)
+	}
+	if info.Size() < want {
+		f.Close()
+		return nil, fmt.Errorf("segment %s truncated: %d bytes on disk, %d expected", ms.File, info.Size(), want)
+	}
+	return seg, nil
+}
+
+// fsyncDir makes a rename durable.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Open opens (or initialises) a disk-backed database rooted at dir.
+// Recovery is part of opening: the latest committed manifest is
+// rehydrated and every file it does not reference — segments written
+// by a run that crashed before its manifest rename, a stray
+// manifest.tmp — is deleted.
+func Open(dir string) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
+	}
+	st := &diskStore{dir: dir, cache: newPageCache(pageCacheBytes)}
+	db := &DB{tables: map[string]*Table{}, store: st}
+	referenced := map[string]bool{}
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	switch {
+	case err == nil:
+		var man manifest
+		if err := json.Unmarshal(data, &man); err != nil {
+			return nil, fmt.Errorf("storage: %s corrupt: %w", manifestName, err)
+		}
+		if man.Format != manifestFormat {
+			return nil, fmt.Errorf("storage: %s has format %d, this build reads format %d",
+				manifestName, man.Format, manifestFormat)
+		}
+		db.version = man.Version
+		for _, mt := range man.Tables {
+			t, err := newTable(mt.Name, mt.Columns)
+			if err != nil {
+				return nil, fmt.Errorf("storage: manifest table %q: %w", mt.Name, err)
+			}
+			var segs []*segment
+			for _, ms := range mt.Segments {
+				seg, err := st.openSegment(ms, t.Columns)
+				if err != nil {
+					return nil, fmt.Errorf("storage: table %q: %w", mt.Name, err)
+				}
+				segs = append(segs, seg)
+				referenced[ms.File] = true
+				if id, ok := segID(ms.File); ok && id >= st.nextSeg {
+					st.nextSeg = id + 1
+				}
+			}
+			if len(segs) > 0 {
+				t.pg = newPager(segs)
+			}
+			db.tables[mt.Name] = t
+			db.order = append(db.order, mt.Name)
+		}
+	case os.IsNotExist(err):
+		// Fresh directory (or a crash before the very first commit).
+	default:
+		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
+	}
+	st.gc(referenced)
+	return db, nil
+}
+
+// segID parses the numeric id out of a segment file name.
+func segID(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	var id uint64
+	if _, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), "%d", &id); err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// gc deletes every segment file not in referenced, plus any stale
+// manifest.tmp, and purges dead segments' pages (which pin open file
+// descriptors) from the buffer pool. Errors are ignored: a leftover
+// orphan is collected by the next gc, and never read (the manifest
+// does not name it).
+func (st *diskStore) gc(referenced map[string]bool) {
+	st.cache.purge(func(s *segment) bool {
+		return s.dir != st.dir || referenced[s.name]
+	})
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == manifestTmp {
+			os.Remove(filepath.Join(st.dir, name))
+			continue
+		}
+		if _, ok := segID(name); ok && !referenced[name] {
+			os.Remove(filepath.Join(st.dir, name))
+		}
+	}
+}
+
+// commitDisk persists the tentative catalog (order + tables, which
+// may include tables not yet registered in db.tables) at manifest
+// version v, appending extra[t] (staged append-delta rows) after t's
+// unpersisted tail. Once the manifest rename lands it takes db.mu
+// just long enough to swap the affected tables' pagers, drop their
+// persisted tail prefixes and run the caller's apply step (catalog
+// map/order/version changes); all segment and manifest I/O happens
+// WITHOUT db.mu, so concurrent snapshots and version reads never
+// wait on a commit's fsyncs. On failure the in-memory DB is
+// untouched and the half-written segment files are removed (unless
+// TestingCommitFault simulated a crash, in which case they are left
+// for Open's recovery to collect). Callers hold st.commitMu — which
+// is what keeps the tentative catalog stable while unlocked — and
+// must NOT hold db.mu.
+func (db *DB) commitDisk(v uint64, order []string, tables map[string]*Table, extra map[*Table][]Row, apply func()) error {
+	st := db.store
+	type pend struct {
+		t     *Table
+		tailN int
+		newPg *pager
+	}
+	var pends []pend
+	var newSegs []*segment
+	cleanup := func() {
+		for _, s := range newSegs {
+			s.file.Close()
+			os.Remove(filepath.Join(st.dir, s.name))
+		}
+	}
+	fault := func(stage string) error {
+		if TestingCommitFault == nil {
+			return nil
+		}
+		return TestingCommitFault(stage)
+	}
+	man := manifest{Format: manifestFormat, Version: v}
+	for _, name := range order {
+		t := tables[name]
+		t.mu.RLock()
+		pg := t.pg
+		tail := t.rows[:len(t.rows):len(t.rows)]
+		t.mu.RUnlock()
+		rows := tail
+		// A pager holding another store's segments (a frozen view from
+		// a different disk-backed DB, attached here) cannot be
+		// referenced by this directory's manifest — the files live
+		// elsewhere, and recovery would fail (or, on a name collision,
+		// silently read the wrong bytes). Materialize such tables into
+		// local segments instead.
+		if pg.foreignTo(st.dir) {
+			all := make([]Row, 0, pg.rows+len(tail))
+			for start := 0; start < pg.rows; {
+				batch := pg.readBatch(start, 4096)
+				all = append(all, batch...)
+				start += len(batch)
+			}
+			rows = append(all, tail...)
+			pg = nil
+		}
+		if ex := extra[t]; len(ex) > 0 {
+			merged := make([]Row, 0, len(rows)+len(ex))
+			merged = append(merged, rows...)
+			merged = append(merged, ex...)
+			rows = merged
+		}
+		newPg := pg
+		if len(rows) > 0 {
+			seg, err := st.writeSegment(t.Columns, rows)
+			if err != nil {
+				cleanup()
+				return err
+			}
+			newSegs = append(newSegs, seg)
+			newPg = pg.extend(seg)
+		}
+		pends = append(pends, pend{t: t, tailN: len(tail), newPg: newPg})
+		mt := manifestTable{Name: name, Columns: t.Columns}
+		if newPg != nil {
+			for _, s := range newPg.segs {
+				ms := manifestSegment{File: s.name, Rows: s.rows}
+				for _, p := range s.pages {
+					ms.Pages = append(ms.Pages, manifestPage{Off: p.off, Size: p.size, Rows: p.rows})
+				}
+				mt.Segments = append(mt.Segments, ms)
+			}
+		}
+		man.Tables = append(man.Tables, mt)
+	}
+	if err := fault("segments"); err != nil {
+		return err
+	}
+	// Make the new segments' DIRECTORY ENTRIES durable before the
+	// manifest can name them: f.Sync persists a file's data and inode
+	// but not its entry in the directory, so without this a power
+	// loss could persist the renamed manifest while the segment files
+	// it references are gone — an unrecoverable catalog instead of a
+	// clean previous-version recovery.
+	if len(newSegs) > 0 {
+		if err := fsyncDir(st.dir); err != nil {
+			cleanup()
+			return fmt.Errorf("storage: syncing %s: %w", st.dir, err)
+		}
+	}
+	data, err := json.MarshalIndent(&man, "", "  ")
+	if err != nil {
+		cleanup()
+		return err
+	}
+	tmp := filepath.Join(st.dir, manifestTmp)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		cleanup()
+		return err
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		cleanup()
+		return fmt.Errorf("storage: writing %s: %w", manifestTmp, err)
+	}
+	if err := fault("rename"); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(st.dir, manifestName)); err != nil {
+		cleanup()
+		return err
+	}
+	// The rename IS the commit: from here on manifest.json names the
+	// new catalog, so the in-memory state must follow no matter what —
+	// returning an error now would roll back a run that recovery
+	// would resurrect. A directory-fsync failure only weakens the
+	// rename's durability (a crash may recover the PREVIOUS version,
+	// which is indistinguishable from crashing a moment earlier); the
+	// next successful commit re-syncs the directory.
+	_ = fsyncDir(st.dir)
+	// Committed. Swap pagers, drop persisted tails and apply the
+	// caller's catalog changes under db.mu, then collect
+	// no-longer-referenced segments.
+	referenced := map[string]bool{}
+	db.mu.Lock()
+	for _, p := range pends {
+		p.t.mu.Lock()
+		p.t.pg = p.newPg
+		p.t.rows = p.t.rows[p.tailN:]
+		p.t.mu.Unlock()
+		p.newPg.referencedFiles(referenced)
+	}
+	if apply != nil {
+		apply()
+	}
+	db.mu.Unlock()
+	st.gc(referenced)
+	return nil
+}
+
+// catalogWith builds the tentative (order, tables) catalog of the
+// current DB plus the given additions (same-name additions replace).
+// Callers hold st.commitMu, which freezes the catalog against every
+// other mutator; the read lock below only orders the reads against a
+// concurrent commit's apply step.
+func (db *DB) catalogWith(add []*Table) ([]string, map[string]*Table) {
+	db.mu.RLock()
+	tables := make(map[string]*Table, len(db.tables)+len(add))
+	for n, t := range db.tables {
+		tables[n] = t
+	}
+	order := append([]string(nil), db.order...)
+	db.mu.RUnlock()
+	for _, t := range add {
+		if _, ok := tables[t.Name]; !ok {
+			order = append(order, t.Name)
+		}
+		tables[t.Name] = t
+	}
+	return order, tables
+}
+
+// Checkpoint persists every table's unpersisted tail rows and commits
+// a fresh manifest at the current version. It is a no-op for
+// in-memory databases. Rows loaded through an ETL run are committed
+// by the run itself (CommitRun); Checkpoint covers rows inserted
+// directly — e.g. a generated source dataset — before any run has
+// happened.
+func (db *DB) Checkpoint() error {
+	st := db.store
+	if st == nil {
+		return nil
+	}
+	st.commitMu.Lock()
+	defer st.commitMu.Unlock()
+	order, tables := db.catalogWith(nil)
+	return db.commitDisk(db.Version(), order, tables, nil, nil)
+}
+
+// StorageDir reports the backing directory of a disk-backed database
+// ("" for in-memory).
+func (db *DB) StorageDir() string {
+	if db.store == nil {
+		return ""
+	}
+	return db.store.dir
+}

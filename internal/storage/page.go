@@ -1,0 +1,304 @@
+package storage
+
+// Paged columnar encoding for the disk backend (see disk.go for the
+// segment/manifest machinery and docs/ARCHITECTURE.md for the format
+// spec).
+//
+// A segment file is an array of fixed-size pages. Each page holds a
+// run of whole rows laid out column-by-column:
+//
+//	page  := u32 rowCount, chunk[0], ..., chunk[ncols-1], padding
+//	chunk := u32 chunkLen, presence bitmap (ceil(rowCount/8) bytes),
+//	         values of the present (non-NULL) rows in row order
+//
+// Values encode by column type: int as 8-byte little-endian two's
+// complement, float as the 8-byte little-endian IEEE-754 bit pattern
+// (NaNs, infinities and -0 round-trip exactly), bool as one byte,
+// string as u32 length + UTF-8 bytes. A page is padded with zeros to
+// pageSize; a single row larger than one page gets an oversize page
+// padded to the next pageSize multiple, so every page offset stays
+// pageSize-aligned (mmap-friendly). Because the engine's type checker
+// normalises values on the way into a table (ints widen to float in
+// float columns), decoding reproduces the stored expr.Values
+// byte-identically — the disk backend shares the in-memory backend's
+// byte-identity oracle.
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"quarry/internal/expr"
+)
+
+// pageSize is the fixed page capacity (and alignment) of segment
+// files.
+const pageSize = 64 << 10
+
+// pageCacheBytes bounds the decoded pages kept resident per store
+// (the "buffer pool"); a variable so tests can shrink it to force
+// eviction. Entries are charged their on-disk padded size — a proxy
+// for decoded size that, unlike a page count, keeps oversize pages
+// (single huge rows) from blowing the budget: a warehouse larger than
+// the pool streams instead of residing.
+var pageCacheBytes = 256 << 20
+
+// encodedRowSize returns the value bytes one row contributes to a
+// page (excluding its per-column presence bits).
+func encodedRowSize(r Row) int {
+	n := 0
+	for _, v := range r {
+		if v.IsNull() {
+			continue
+		}
+		switch v.Kind() {
+		case expr.KindInt, expr.KindFloat:
+			n += 8
+		case expr.KindBool:
+			n++
+		case expr.KindString:
+			n += 4 + len(v.AsString())
+		}
+	}
+	return n
+}
+
+// pageOverhead is the fixed cost of a page holding n rows of ncols
+// columns: the row-count word plus each chunk's length word and
+// presence bitmap.
+func pageOverhead(ncols, n int) int {
+	return 4 + ncols*(4+(n+7)/8)
+}
+
+// splitPages partitions rows into page-sized runs: each run's encoded
+// size fits pageSize except when a single row alone exceeds it (an
+// oversize page). Returns the row count of each page.
+func splitPages(ncols int, rows []Row) []int {
+	var counts []int
+	n, bytes := 0, 0
+	for _, r := range rows {
+		rs := encodedRowSize(r)
+		if n > 0 && pageOverhead(ncols, n+1)+bytes+rs > pageSize {
+			counts = append(counts, n)
+			n, bytes = 0, 0
+		}
+		n++
+		bytes += rs
+	}
+	if n > 0 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// encodePage renders one page (padded to a pageSize multiple).
+func encodePage(cols []Column, rows []Row) []byte {
+	buf := make([]byte, 0, pageSize)
+	var u32 [4]byte
+	putU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		buf = append(buf, u32[:]...)
+	}
+	putU32(uint32(len(rows)))
+	var u64 [8]byte
+	for ci := range cols {
+		chunkAt := len(buf)
+		putU32(0) // chunk length, patched below
+		bitmapAt := len(buf)
+		buf = append(buf, make([]byte, (len(rows)+7)/8)...)
+		for ri, r := range rows {
+			v := r[ci]
+			if v.IsNull() {
+				continue
+			}
+			buf[bitmapAt+ri/8] |= 1 << (ri % 8)
+			switch v.Kind() {
+			case expr.KindInt:
+				binary.LittleEndian.PutUint64(u64[:], uint64(v.AsInt()))
+				buf = append(buf, u64[:]...)
+			case expr.KindFloat:
+				f, _ := v.AsFloat()
+				binary.LittleEndian.PutUint64(u64[:], math.Float64bits(f))
+				buf = append(buf, u64[:]...)
+			case expr.KindBool:
+				b := byte(0)
+				if v.AsBool() {
+					b = 1
+				}
+				buf = append(buf, b)
+			case expr.KindString:
+				s := v.AsString()
+				putU32(uint32(len(s)))
+				buf = append(buf, s...)
+			}
+		}
+		binary.LittleEndian.PutUint32(buf[chunkAt:], uint32(len(buf)-chunkAt-4))
+	}
+	if pad := len(buf) % pageSize; pad != 0 {
+		buf = append(buf, make([]byte, pageSize-pad)...)
+	}
+	return buf
+}
+
+// decodePage reconstructs a page's rows.
+func decodePage(cols []Column, buf []byte) ([]Row, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("page shorter than header")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	pos := 4
+	rows := make([]Row, n)
+	backing := make([]expr.Value, n*len(cols))
+	for i := range rows {
+		rows[i] = backing[i*len(cols) : (i+1)*len(cols)]
+	}
+	for ci, c := range cols {
+		if pos+4 > len(buf) {
+			return nil, fmt.Errorf("column %q chunk header truncated", c.Name)
+		}
+		chunkLen := int(binary.LittleEndian.Uint32(buf[pos:]))
+		pos += 4
+		if pos+chunkLen > len(buf) {
+			return nil, fmt.Errorf("column %q chunk truncated", c.Name)
+		}
+		chunk := buf[pos : pos+chunkLen]
+		pos += chunkLen
+		bm := (n + 7) / 8
+		if len(chunk) < bm {
+			return nil, fmt.Errorf("column %q bitmap truncated", c.Name)
+		}
+		vp := bm
+		for ri := 0; ri < n; ri++ {
+			if chunk[ri/8]&(1<<(ri%8)) == 0 {
+				continue // NULL: the zero Value
+			}
+			switch c.Type {
+			case "int":
+				if vp+8 > len(chunk) {
+					return nil, fmt.Errorf("column %q int value truncated", c.Name)
+				}
+				rows[ri][ci] = expr.Int(int64(binary.LittleEndian.Uint64(chunk[vp:])))
+				vp += 8
+			case "float":
+				if vp+8 > len(chunk) {
+					return nil, fmt.Errorf("column %q float value truncated", c.Name)
+				}
+				rows[ri][ci] = expr.Float(math.Float64frombits(binary.LittleEndian.Uint64(chunk[vp:])))
+				vp += 8
+			case "bool":
+				if vp+1 > len(chunk) {
+					return nil, fmt.Errorf("column %q bool value truncated", c.Name)
+				}
+				rows[ri][ci] = expr.Bool(chunk[vp] != 0)
+				vp++
+			case "string":
+				if vp+4 > len(chunk) {
+					return nil, fmt.Errorf("column %q string length truncated", c.Name)
+				}
+				sl := int(binary.LittleEndian.Uint32(chunk[vp:]))
+				vp += 4
+				if vp+sl > len(chunk) {
+					return nil, fmt.Errorf("column %q string value truncated", c.Name)
+				}
+				rows[ri][ci] = expr.Str(string(chunk[vp : vp+sl]))
+				vp += sl
+			default:
+				return nil, fmt.Errorf("column %q has unknown type %q", c.Name, c.Type)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// pageKey identifies a decoded page in the buffer pool. Keying on the
+// segment pointer (not its file name) means a dropped segment's
+// entries can never be confused with a later segment reusing the id.
+type pageKey struct {
+	seg  *segment
+	page int
+}
+
+type pageEntry struct {
+	key  pageKey
+	rows []Row
+	size int // charged bytes (the page's on-disk padded size)
+}
+
+// pageCache is the store's buffer pool: an LRU of decoded pages under
+// a byte budget. Decoded pages are immutable and shared — an evicted
+// page's rows stay valid for whoever still holds them.
+type pageCache struct {
+	mu   sync.Mutex
+	cap  int // byte budget
+	used int
+	m    map[pageKey]*list.Element
+	lru  *list.List // front = most recently used
+}
+
+func newPageCache(capacityBytes int) *pageCache {
+	if capacityBytes < pageSize {
+		capacityBytes = pageSize
+	}
+	return &pageCache{cap: capacityBytes, m: map[pageKey]*list.Element{}, lru: list.New()}
+}
+
+func (c *pageCache) get(k pageKey) ([]Row, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[k]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*pageEntry).rows, true
+}
+
+func (c *pageCache) put(k pageKey, rows []Row, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		c.lru.MoveToFront(el)
+		ent := el.Value.(*pageEntry)
+		c.used += size - ent.size
+		ent.rows, ent.size = rows, size
+	} else {
+		c.m[k] = c.lru.PushFront(&pageEntry{key: k, rows: rows, size: size})
+		c.used += size
+	}
+	// Evict from the cold end until within budget; the most recent
+	// entry always stays (an oversize page larger than the whole
+	// budget would otherwise thrash on every touch).
+	for c.used > c.cap && c.lru.Len() > 1 {
+		el := c.lru.Back()
+		c.lru.Remove(el)
+		ent := el.Value.(*pageEntry)
+		delete(c.m, ent.key)
+		c.used -= ent.size
+	}
+}
+
+// purge drops every entry whose segment fails keep. Cached entries
+// pin their segment object — and with it the segment's open file
+// descriptor — so after a republish unlinks old segments their pages
+// must leave the pool: under the byte budget nothing would ever evict
+// them, and a long-running replace-heavy server would accumulate
+// dead fds until EMFILE. (A snapshot still reading a dead segment
+// re-caches its pages; the next commit's purge drops them again —
+// bounded churn, no leak.)
+func (c *pageCache) purge(keep func(*segment) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		ent := el.Value.(*pageEntry)
+		if keep(ent.key.seg) {
+			continue
+		}
+		c.lru.Remove(el)
+		delete(c.m, ent.key)
+		c.used -= ent.size
+	}
+}

@@ -10,7 +10,12 @@ import "fmt"
 // replace-mode loads swap whole table objects in the DB map (the
 // snapshot keeps the old object alive), and append-mode loads only add
 // rows past the clamped prefix (appends never move existing rows, so
-// the captured slice view stays valid).
+// the captured slice view stays valid). Disk-backed tables snapshot
+// the same way: the captured pager is immutable (commits install a
+// new pager object rather than mutating the old one), its segment
+// files stay readable through their open handles even after a
+// republish unlinks them, and the in-memory tail is clamped exactly
+// like a memory table's rows.
 
 // TableView is one table of a Snapshot: an immutable, lock-free view
 // of the rows that existed when the snapshot was taken. Callers must
@@ -19,7 +24,8 @@ type TableView struct {
 	name string
 	cols []Column
 	by   map[string]int
-	rows []Row
+	pg   *pager // captured paged base (disk-backed tables)
+	rows []Row  // captured in-memory tail
 }
 
 // Name returns the table name.
@@ -36,27 +42,23 @@ func (v *TableView) ColumnIndex(name string) (int, bool) {
 }
 
 // NumRows reports the snapshotted row count.
-func (v *TableView) NumRows() int64 { return int64(len(v.rows)) }
+func (v *TableView) NumRows() int64 { return int64(v.pg.numRows() + len(v.rows)) }
 
-// ReadBatch returns up to max rows starting at position start, or nil
-// once start is past the end. Unlike Table.ReadBatch it takes no lock:
-// the view is immutable.
+// ReadBatch returns exactly min(max, NumRows-start) rows starting at
+// position start, or nil once start is past the end. Unlike
+// Table.ReadBatch it takes no lock: the view is immutable. On
+// disk-backed views this is the paged cursor the engine and the OLAP
+// fast path stream over.
 func (v *TableView) ReadBatch(start, max int) []Row {
-	if start < 0 || start >= len(v.rows) || max <= 0 {
-		return nil
-	}
-	end := start + max
-	if end > len(v.rows) {
-		end = len(v.rows)
-	}
-	return v.rows[start:end:end]
+	return combinedRead(v.pg, v.rows, start, max)
 }
 
 // Freeze materialises the view as a standalone read-only Table sharing
 // the snapshotted rows (no copy). Appending to a frozen table never
-// disturbs the shared backing array (the row slice is capacity-capped),
-// but frozen tables are meant for read-only use, e.g. attaching a
-// consistent source set to a scratch DB for engine execution.
+// disturbs the shared backing array (the row slice is capacity-capped
+// and the pager immutable), but frozen tables are meant for read-only
+// use, e.g. attaching a consistent source set to a scratch DB for
+// engine execution.
 func (v *TableView) Freeze() *Table {
 	by := make(map[string]int, len(v.by))
 	for k, i := range v.by {
@@ -66,6 +68,7 @@ func (v *TableView) Freeze() *Table {
 		Name:    v.name,
 		Columns: append([]Column(nil), v.cols...),
 		by:      by,
+		pg:      v.pg,
 		rows:    v.rows,
 	}
 }
@@ -92,9 +95,10 @@ func (db *DB) Snapshot(names ...string) (*Snapshot, error) {
 			return nil, fmt.Errorf("storage: snapshot: table %q does not exist", name)
 		}
 		t.mu.RLock()
+		pg := t.pg
 		rows := t.rows[:len(t.rows):len(t.rows)]
 		t.mu.RUnlock()
-		s.views[name] = &TableView{name: name, cols: t.Columns, by: t.by, rows: rows}
+		s.views[name] = &TableView{name: name, cols: t.Columns, by: t.by, pg: pg, rows: rows}
 	}
 	return s, nil
 }

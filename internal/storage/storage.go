@@ -5,13 +5,40 @@
 // demonstration (the Design Deployer additionally emits real
 // PostgreSQL DDL text via internal/sqlgen).
 //
-// The store is a typed, in-memory, mutex-guarded table heap: exactly
-// what the engine and the benchmarks need, with none of the server
-// machinery that would be irrelevant to the reproduction.
+// Two backends share one API:
+//
+//   - In-memory (NewDB/NewMemDB): a typed, mutex-guarded table heap —
+//     the default, and the byte-identity oracle the disk backend is
+//     tested against.
+//   - Disk-backed (Open): tables live in a paged columnar layout on
+//     disk — immutable fixed-page segment files named by a manifest —
+//     and survive process restarts. Readers pull pages on demand
+//     through a bounded buffer pool, so a warehouse larger than
+//     memory streams instead of residing. See disk.go and
+//     docs/ARCHITECTURE.md for the format and the crash-safety
+//     protocol.
+//
+// The concurrency contract is identical in both modes. Writers stage
+// and commit: replace-mode loads build detached tables
+// (NewStagingTable) and an ETL run's loads — replace tables and
+// append deltas alike — are published in ONE critical section
+// (CommitRun), which on disk is also exactly one manifest fsync+
+// rename. Readers take Snapshots: immutable, lock-free views that
+// stay stable across concurrent publishes. A run that fails before
+// its commit leaves every live table byte-identical to its pre-run
+// state — in memory because nothing was merged, on disk because the
+// previous manifest still names the previous segments (recovery at
+// Open discards whatever the failed run wrote).
+//
+// Setting QUARRY_STORAGE=disk redirects every NewDB call to a
+// disk-backed database in a fresh temporary directory — the CI lever
+// that runs the whole test suite against the disk backend.
 package storage
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -20,20 +47,24 @@ import (
 
 // Column is a typed column of a table.
 type Column struct {
-	Name string
-	Type string // "int", "float", "string", "bool"
+	Name string `json:"name"`
+	Type string `json:"type"` // "int", "float", "string", "bool"
 }
 
 // Row is one tuple; positions match the table's columns.
 type Row []expr.Value
 
-// Table is a typed row heap.
+// Table is a typed row heap. In-memory tables hold all rows in the
+// tail slice; disk-backed tables hold committed rows in an immutable
+// pager (swapped copy-on-write at commit points) with only
+// not-yet-committed rows in the tail.
 type Table struct {
 	Name    string
 	Columns []Column
 
 	mu   sync.RWMutex
-	rows []Row
+	pg   *pager // committed on-disk rows; nil for pure in-memory tables
+	rows []Row  // in-memory tail, appended after the pager's rows
 	by   map[string]int
 }
 
@@ -142,45 +173,77 @@ func (t *Table) InsertAll(rows []Row) error {
 	return nil
 }
 
+// capture returns the table's current (pager, tail) pair under one
+// lock acquisition: a consistent row source, since commits swap both
+// together.
+func (t *Table) capture() (*pager, []Row) {
+	t.mu.RLock()
+	pg, tail := t.pg, t.rows[:len(t.rows):len(t.rows)]
+	t.mu.RUnlock()
+	return pg, tail
+}
+
 // NumRows reports the row count.
 func (t *Table) NumRows() int64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return int64(len(t.rows))
+	pg, tail := t.capture()
+	return int64(pg.numRows() + len(tail))
 }
 
 // Scan calls fn for every row. The row slice must not be retained or
-// mutated. Scanning holds a read lock; fn must not write to the same
-// table.
+// mutated. Scanning observes the rows present when it starts; fn must
+// not write to the same table.
 func (t *Table) Scan(fn func(Row) error) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for _, r := range t.rows {
-		if err := fn(r); err != nil {
-			return err
+	pg, tail := t.capture()
+	for start := 0; ; {
+		batch := combinedRead(pg, tail, start, 1024)
+		if batch == nil {
+			return nil
 		}
+		for _, r := range batch {
+			if err := fn(r); err != nil {
+				return err
+			}
+		}
+		start += len(batch)
 	}
-	return nil
 }
 
-// ReadBatch returns up to max rows starting at position start, or nil
-// once start is past the end. The returned slice is a shared,
-// immutable view: callers must not mutate it or the rows it holds.
-// (Appends past the view never move existing rows, so the view stays
-// valid while the table grows.) Cursor-style batch reads amortise one
-// lock acquisition over max rows, where Scan pays one callback per
-// row under a lock held for the whole table.
+// ReadBatch returns exactly min(max, NumRows-start) rows starting at
+// position start, or nil once start is past the end. The returned
+// slice is a shared, immutable view: callers must not mutate it or
+// the rows it holds. (Appends past the view never move existing rows,
+// so the view stays valid while the table grows.) Cursor-style batch
+// reads amortise one lock acquisition over max rows, where Scan pays
+// one callback per row; on disk-backed tables they are the paged
+// cursor — each call touches only the pages covering its range,
+// decoded through the buffer pool.
 func (t *Table) ReadBatch(start, max int) []Row {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if start < 0 || start >= len(t.rows) || max <= 0 {
+	pg, tail := t.capture()
+	return combinedRead(pg, tail, start, max)
+}
+
+// combinedRead reads the [start, start+max) row range of a paged base
+// followed by an in-memory tail, clamping to the total count.
+func combinedRead(pg *pager, tail []Row, start, max int) []Row {
+	base := pg.numRows()
+	total := base + len(tail)
+	if start < 0 || start >= total || max <= 0 {
 		return nil
 	}
-	end := start + max
-	if end > len(t.rows) {
-		end = len(t.rows)
+	if start+max > total {
+		max = total - start
 	}
-	return t.rows[start:end:end]
+	if start >= base {
+		s := start - base
+		return tail[s : s+max : s+max]
+	}
+	if start+max <= base {
+		return pg.readBatch(start, max)
+	}
+	out := make([]Row, 0, max)
+	out = append(out, pg.readBatch(start, base-start)...)
+	out = append(out, tail[:max-(base-start)]...)
+	return out
 }
 
 // AppendBatch validates and appends a batch of rows under a single
@@ -194,27 +257,36 @@ func (t *Table) AppendBatch(rows []Row) error {
 
 // Rows returns a copy of all rows; for tests and small results.
 func (t *Table) Rows() []Row {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]Row, len(t.rows))
-	for i, r := range t.rows {
-		out[i] = append(Row(nil), r...)
+	pg, tail := t.capture()
+	out := make([]Row, 0, pg.numRows()+len(tail))
+	for start := 0; ; {
+		batch := combinedRead(pg, tail, start, 1024)
+		if batch == nil {
+			return out
+		}
+		for _, r := range batch {
+			out = append(out, append(Row(nil), r...))
+		}
+		start += len(batch)
 	}
-	return out
 }
 
-// Truncate deletes all rows.
+// Truncate deletes all rows. On disk-backed tables the truncation is
+// made durable by the next commit (Checkpoint or an ETL run).
 func (t *Table) Truncate() {
 	t.mu.Lock()
+	t.pg = nil
 	t.rows = nil
 	t.mu.Unlock()
 }
 
-// DB is a named collection of tables.
+// DB is a named collection of tables, optionally backed by a paged
+// on-disk store (Open).
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 	order  []string
+	store  *diskStore // nil for in-memory databases
 	// version counts structural changes (create/replace/drop/attach);
 	// result caches key on it to detect reloads of the warehouse.
 	version uint64
@@ -222,17 +294,49 @@ type DB struct {
 
 // Version reports the structural version: it increases whenever a
 // table is created, replaced, dropped or attached, and once per ETL
-// run commit (PublishAll — which append-only runs also call), so
+// run commit (CommitRun — which append-only runs also reach), so
 // version-keyed caches observe every load. Direct row appends outside
-// an engine run do not bump it.
+// an engine run do not bump it. For disk-backed databases the version
+// is committed in the manifest and survives restarts.
 func (db *DB) Version() uint64 {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.version
 }
 
-// NewDB creates an empty database.
+// NewDB creates an execution database: in-memory by default, or
+// disk-backed in a fresh temporary directory when the QUARRY_STORAGE
+// environment variable is "disk" (the CI matrix lever that runs every
+// test that constructs a DB against the disk backend; it panics on
+// setup failure so a misconfigured matrix leg cannot silently test
+// the wrong backend). The leg is meant for ephemeral runners: the
+// per-DB directories — grouped under <tmp>/quarry-disk-tests so one
+// `rm -rf` clears them — are not removed (there is no DB close
+// lifecycle to hang cleanup on). Production disk databases name
+// their directory explicitly via Open.
 func NewDB() *DB {
+	if os.Getenv("QUARRY_STORAGE") == "disk" {
+		root := filepath.Join(os.TempDir(), "quarry-disk-tests")
+		if err := os.MkdirAll(root, 0o755); err != nil {
+			panic(fmt.Sprintf("storage: QUARRY_STORAGE=disk: %v", err))
+		}
+		dir, err := os.MkdirTemp(root, "db-")
+		if err != nil {
+			panic(fmt.Sprintf("storage: QUARRY_STORAGE=disk: %v", err))
+		}
+		db, err := Open(dir)
+		if err != nil {
+			panic(fmt.Sprintf("storage: QUARRY_STORAGE=disk: %v", err))
+		}
+		return db
+	}
+	return NewMemDB()
+}
+
+// NewMemDB creates an empty in-memory database regardless of
+// QUARRY_STORAGE — for scratch work that must stay off disk (the OLAP
+// oracle's per-query scratch databases, tests of the memory backend).
+func NewMemDB() *DB {
 	return &DB{tables: map[string]*Table{}}
 }
 
@@ -242,21 +346,38 @@ func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	install := func() {
+		db.tables[name] = t
+		db.order = append(db.order, name)
+		db.version++
+	}
+	if st := db.store; st != nil {
+		st.commitMu.Lock()
+		defer st.commitMu.Unlock()
+		if _, dup := db.Table(name); dup {
+			return nil, fmt.Errorf("storage: table %q already exists", name)
+		}
+		order, tables := db.catalogWith([]*Table{t})
+		if err := db.commitDisk(db.Version()+1, order, tables, nil, install); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, dup := db.tables[name]; dup {
 		return nil, fmt.Errorf("storage: table %q already exists", name)
 	}
-	db.tables[name] = t
-	db.order = append(db.order, name)
-	db.version++
+	install()
 	return t, nil
 }
 
 // NewStagingTable creates a detached table registered in no database:
 // loaders build replace-mode loads in one, then swap the finished
 // table in atomically with Publish, so concurrent readers never
-// observe a half-loaded table.
+// observe a half-loaded table. Staging tables are always in-memory;
+// publishing into a disk-backed database writes their rows out as
+// fresh segments at the commit.
 func NewStagingTable(name string, cols []Column) (*Table, error) {
 	return newTable(name, cols)
 }
@@ -264,7 +385,7 @@ func NewStagingTable(name string, cols []Column) (*Table, error) {
 // Publish atomically registers the table under its name, replacing
 // any previous version. Snapshots and readers holding the previous
 // table object keep their stable view.
-func (db *DB) Publish(t *Table) { db.PublishAll([]*Table{t}) }
+func (db *DB) Publish(t *Table) error { return db.PublishAll([]*Table{t}) }
 
 // PublishAll registers every table in one critical section — the
 // commit point of an ETL run: a concurrent Snapshot sees either none
@@ -272,7 +393,7 @@ func (db *DB) Publish(t *Table) { db.PublishAll([]*Table{t}) }
 // with old dimensions. The version is bumped once per call, even for
 // an empty table list (append-only runs call it with no tables so
 // version-keyed caches still observe the change).
-func (db *DB) PublishAll(tables []*Table) { db.CommitRun(tables, nil) }
+func (db *DB) PublishAll(tables []*Table) error { return db.CommitRun(tables, nil) }
 
 // AppendDelta is a staged append-mode load: rows destined for an
 // existing live table, buffered in a detached Delta table (same column
@@ -288,10 +409,43 @@ type AppendDelta struct {
 // replace-mode table and merges every staged append delta into its
 // live target in one critical section, then bumps the version once. A
 // concurrent Snapshot therefore sees either none or all of the run's
-// loads — replace and append alike — and a run that fails before
-// CommitRun leaves every live table byte-identical to its pre-run
-// state.
-func (db *DB) CommitRun(tables []*Table, appends []AppendDelta) {
+// loads — replace and append alike. On a disk-backed database the
+// same call writes the staged tables and deltas as new segments and
+// commits them with one manifest fsync+rename; an error (or a crash)
+// anywhere before that rename leaves both the live in-memory tables
+// and the on-disk warehouse byte-identical to their pre-run state,
+// with no version bump.
+func (db *DB) CommitRun(tables []*Table, appends []AppendDelta) error {
+	if st := db.store; st != nil {
+		st.commitMu.Lock()
+		defer st.commitMu.Unlock()
+		order, catalog := db.catalogWith(tables)
+		var extra map[*Table][]Row
+		for _, a := range appends {
+			a.Delta.mu.RLock()
+			rows := a.Delta.rows[:len(a.Delta.rows):len(a.Delta.rows)]
+			a.Delta.mu.RUnlock()
+			// A target replaced by this same run's staged tables keeps
+			// the memory backend's semantics: the delta lands in the
+			// dead object, invisible either way.
+			if len(rows) == 0 || catalog[a.Target.Name] != a.Target {
+				continue
+			}
+			if extra == nil {
+				extra = map[*Table][]Row{}
+			}
+			extra[a.Target] = append(extra[a.Target], rows...)
+		}
+		return db.commitDisk(db.Version()+1, order, catalog, extra, func() {
+			for _, t := range tables {
+				if _, exists := db.tables[t.Name]; !exists {
+					db.order = append(db.order, t.Name)
+				}
+				db.tables[t.Name] = t
+			}
+			db.version++
+		})
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	for _, t := range tables {
@@ -314,24 +468,38 @@ func (db *DB) CommitRun(tables []*Table, appends []AppendDelta) {
 		a.Target.mu.Unlock()
 	}
 	db.version++
+	return nil
 }
 
 // Attach registers an existing table object under its own name without
 // copying rows; it fails if the name is taken. Scratch databases use it
 // to share source tables (typically frozen snapshot views) with a main
-// database while keeping their own writes private.
+// database while keeping their own writes private. Attaching to a
+// disk-backed database persists the table like any other.
 func (db *DB) Attach(t *Table) error {
 	if t == nil {
 		return fmt.Errorf("storage: cannot attach nil table")
+	}
+	install := func() {
+		db.tables[t.Name] = t
+		db.order = append(db.order, t.Name)
+		db.version++
+	}
+	if st := db.store; st != nil {
+		st.commitMu.Lock()
+		defer st.commitMu.Unlock()
+		if _, dup := db.Table(t.Name); dup {
+			return fmt.Errorf("storage: table %q already exists", t.Name)
+		}
+		order, tables := db.catalogWith([]*Table{t})
+		return db.commitDisk(db.Version()+1, order, tables, nil, install)
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, dup := db.tables[t.Name]; dup {
 		return fmt.Errorf("storage: table %q already exists", t.Name)
 	}
-	db.tables[t.Name] = t
-	db.order = append(db.order, t.Name)
-	db.version++
+	install()
 	return nil
 }
 
@@ -342,31 +510,66 @@ func (db *DB) CreateOrReplaceTable(name string, cols []Column) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	install := func() {
+		if _, exists := db.tables[name]; !exists {
+			db.order = append(db.order, name)
+		}
+		db.tables[name] = t
+		db.version++
+	}
+	if st := db.store; st != nil {
+		st.commitMu.Lock()
+		defer st.commitMu.Unlock()
+		order, tables := db.catalogWith([]*Table{t})
+		if err := db.commitDisk(db.Version()+1, order, tables, nil, install); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, exists := db.tables[name]; !exists {
-		db.order = append(db.order, name)
-	}
-	db.tables[name] = t
-	db.version++
+	install()
 	return t, nil
 }
 
 // Drop removes a table.
 func (db *DB) Drop(name string) error {
+	remove := func() {
+		delete(db.tables, name)
+		for i, n := range db.order {
+			if n == name {
+				db.order = append(db.order[:i], db.order[i+1:]...)
+				break
+			}
+		}
+		db.version++
+	}
+	if st := db.store; st != nil {
+		st.commitMu.Lock()
+		defer st.commitMu.Unlock()
+		db.mu.RLock()
+		_, ok := db.tables[name]
+		order := make([]string, 0, len(db.order))
+		tables := make(map[string]*Table, len(db.tables))
+		for _, n := range db.order {
+			if n == name {
+				continue
+			}
+			order = append(order, n)
+			tables[n] = db.tables[n]
+		}
+		db.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("storage: table %q does not exist", name)
+		}
+		return db.commitDisk(db.Version()+1, order, tables, nil, remove)
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, ok := db.tables[name]; !ok {
 		return fmt.Errorf("storage: table %q does not exist", name)
 	}
-	delete(db.tables, name)
-	for i, n := range db.order {
-		if n == name {
-			db.order = append(db.order[:i], db.order[i+1:]...)
-			break
-		}
-	}
-	db.version++
+	remove()
 	return nil
 }
 

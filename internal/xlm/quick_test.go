@@ -131,6 +131,52 @@ func TestQuickDesignXMLRoundTrip(t *testing.T) {
 	}
 }
 
+// Property: MIN/MAX aggregate over any column type the engine can
+// order — strings (lexicographic) and bools (false<true) included —
+// and infer the column's own type; SUM/AVG stay numeric-only. This
+// pins the validator to the OLAP fast path's semantics (ROADMAP
+// "oracle/fast-path parity").
+func TestQuickStringMinMaxValidates(t *testing.T) {
+	aggDesign := func(fn, col string) *Design {
+		d := NewDesign("agg")
+		d.AddNode(&Node{Name: "DS", Type: OpDatastore,
+			Fields: []Field{{Name: "k", Type: "int"}, {Name: "g", Type: "string"}, {Name: "v", Type: "float"}, {Name: "ok", Type: "bool"}},
+			Params: map[string]string{"table": "t"}})
+		d.AddNode(&Node{Name: "AGG", Type: OpAggregation,
+			Params: map[string]string{"group": "k", "aggregates": "out:" + fn + ":" + col}})
+		d.AddNode(&Node{Name: "LOAD", Type: OpLoader, Params: map[string]string{"table": "o"}})
+		d.AddEdge("DS", "AGG")
+		d.AddEdge("AGG", "LOAD")
+		return d
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fn := []string{"MIN", "MAX"}[r.Intn(2)]
+		col := []string{"g", "v", "k", "ok"}[r.Intn(4)]
+		d := aggDesign(fn, col)
+		if err := d.Validate(); err != nil {
+			t.Logf("seed %d: %s(%s) rejected: %v", seed, fn, col, err)
+			return false
+		}
+		n, _ := d.Node("AGG")
+		wantType := map[string]string{"g": "string", "v": "float", "k": "int", "ok": "bool"}[col]
+		for _, fld := range n.Fields {
+			if fld.Name == "out" {
+				return fld.Type == wantType
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+	// SUM over a string column must still be rejected.
+	d := aggDesign("SUM", "g")
+	if err := d.Validate(); err == nil {
+		t.Fatal("SUM over string column validated")
+	}
+}
+
 // Property: TopoSort is a valid linearisation and Clone is
 // independent of the original.
 func TestQuickTopoAndClone(t *testing.T) {

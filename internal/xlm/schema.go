@@ -195,7 +195,16 @@ func (d *Design) inferNode(n *Node, inputs []*Node) ([]Field, error) {
 				if !ok {
 					return nil, fmt.Errorf("xlm: aggregation %q aggregates missing column %q", n.Name, a.Col)
 				}
-				if f.Type != "int" && f.Type != "float" {
+				switch {
+				case f.Type == "int" || f.Type == "float":
+				case (a.Func == "MIN" || a.Func == "MAX") && (f.Type == "string" || f.Type == "bool"):
+					// MIN/MAX over any ordered type: strings compare
+					// lexicographically, bools false<true
+					// (expr.Value.Compare), computed by the engine kernels
+					// and accepted by the OLAP fast path — the validator
+					// agrees, keeping star-flow oracle and fast path in
+					// parity (ROADMAP "oracle/fast-path parity").
+				default:
 					return nil, fmt.Errorf("xlm: aggregation %q: %s over non-numeric column %q", n.Name, a.Func, a.Col)
 				}
 				if a.Func == "AVG" {

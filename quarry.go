@@ -29,6 +29,15 @@
 // Config.Engine, or per run with Platform.RunWith. Results are
 // identical for every setting; only wall-clock time changes.
 //
+// The execution database comes in two flavours behind one API: the
+// default in-memory store, and a paged, disk-backed store (OpenDB or
+// Config.StorageDir) whose tables survive process restarts — segment
+// files of fixed 64 KiB columnar pages named by a manifest, with
+// every ETL run committed by a single atomic manifest rename and
+// recovery discarding whatever a crashed run left behind. Both
+// backends answer every query byte-identically; see
+// docs/ARCHITECTURE.md for the storage-format spec.
+//
 // Quickstart:
 //
 //	p, db, err := quarry.NewTPCHPlatform(10, 42)  // micro-TPC-H, SF 10
@@ -91,6 +100,19 @@ type Catalog = sources.Catalog
 
 // DB is the embedded execution database.
 type DB = storage.DB
+
+// NewMemDB creates an empty in-memory execution database — the
+// default backend, and the byte-identity oracle the disk backend is
+// verified against.
+func NewMemDB() *DB { return storage.NewMemDB() }
+
+// OpenDB opens (or initialises) a paged, disk-backed execution
+// database rooted at dir. Tables survive process restarts; every ETL
+// run commits atomically (one manifest fsync+rename) and reopening
+// recovers the last committed version, discarding segments a crashed
+// run left behind. Pass the result via Config.DB — or let the
+// platform open it for you with Config.StorageDir.
+func OpenDB(dir string) (*DB, error) { return storage.Open(dir) }
 
 // Elicitor is the Requirements Elicitor backend.
 type Elicitor = elicitor.Elicitor
