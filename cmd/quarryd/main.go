@@ -5,7 +5,7 @@
 // Usage:
 //
 //	quarryd [-addr :8080] [-sf 10] [-seed 42] [-store DIR]
-//	        [-data-dir DIR]
+//	        [-data-dir DIR] [-compact]
 //	        [-parallelism 0] [-batch-size 0]
 //	        [-olap-concurrency 0] [-olap-cache 256]
 //	        [-matagg] [-matagg-top-k 8]
@@ -13,7 +13,10 @@
 // With -data-dir the warehouse lives in a paged on-disk store: the
 // first start generates and checkpoints the micro-TPC-H sources, a
 // restart recovers the last committed version — sources and any
-// deployed DW tables — and skips regeneration.
+// deployed DW tables — and skips regeneration. -compact folds each
+// recovered table into a single freshly encoded segment before
+// serving, which also rewrites legacy format-1 directories into the
+// compressed format-2 encodings.
 package main
 
 import (
@@ -34,6 +37,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "data generator seed")
 	store := flag.String("store", "", "metadata repository directory (empty: in-memory)")
 	dataDir := flag.String("data-dir", "", "disk-backed warehouse directory (empty: in-memory); reopening recovers the committed tables and skips generation")
+	compact := flag.Bool("compact", false, "compact the recovered warehouse before serving (merges delta segments; rewrites legacy format-1 segments into compressed format 2)")
 	parallelism := flag.Int("parallelism", 0, "ETL engine worker pool size (0: GOMAXPROCS)")
 	batchSize := flag.Int("batch-size", 0, "ETL engine rows per batch (0: engine default)")
 	olapConc := flag.Int("olap-concurrency", 0, "max concurrent OLAP queries (0: 2×GOMAXPROCS)")
@@ -71,6 +75,11 @@ func main() {
 	if li, ok := db.Table("lineitem"); ok && li.NumRows() > 0 {
 		log.Printf("quarryd: recovered %d tables at version %d from %s; skipping generation (-sf/-seed ignored: the warehouse keeps the scale it was generated at)",
 			len(db.TableNames()), db.Version(), *dataDir)
+		if *compact {
+			if err := db.Compact(); err != nil {
+				log.Fatalf("quarryd: compacting %s: %v", *dataDir, err)
+			}
+		}
 	} else {
 		if _, err := tpch.Generate(db, *sf, *seed); err != nil {
 			log.Fatalf("quarryd: %v", err)
@@ -100,6 +109,14 @@ func main() {
 	var lineitems int64
 	if li, ok := db.Table("lineitem"); ok {
 		lineitems = li.NumRows()
+	}
+	if stats := db.DiskStats(); stats != nil {
+		segs, bytes := 0, int64(0)
+		for _, st := range stats {
+			segs += st.Segments
+			bytes += st.Bytes
+		}
+		log.Printf("quarryd: disk footprint: %d tables, %d segments, %d bytes", len(stats), segs, bytes)
 	}
 	log.Printf("quarryd: micro-TPC-H ready (%d lineitems); listening on %s", lineitems, *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {

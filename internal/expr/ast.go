@@ -229,6 +229,57 @@ func And(preds ...Node) Node {
 	return out
 }
 
+// Comparison destructures a node of the form `column OP literal` (or
+// `literal OP column`, with the operator flipped accordingly) into
+// its parts. op is spelled "=", "!=", "<", "<=", ">" or ">=". ok is
+// false for any other node shape — callers use this to recognise
+// filter conjuncts that can be pushed down as storage prune
+// predicates.
+func Comparison(n Node) (col string, op string, lit Value, ok bool) {
+	b, isBin := n.(*Binary)
+	if !isBin {
+		return "", "", Value{}, false
+	}
+	switch b.Op {
+	case tokEq:
+		op = "="
+	case tokNeq:
+		op = "!="
+	case tokLt:
+		op = "<"
+	case tokLe:
+		op = "<="
+	case tokGt:
+		op = ">"
+	case tokGe:
+		op = ">="
+	default:
+		return "", "", Value{}, false
+	}
+	if id, okL := b.L.(*Ident); okL {
+		if l, okR := b.R.(*Literal); okR {
+			return id.Name, op, l.Val, true
+		}
+		return "", "", Value{}, false
+	}
+	id, okR := b.R.(*Ident)
+	l, okL := b.L.(*Literal)
+	if !okR || !okL {
+		return "", "", Value{}, false
+	}
+	switch op { // literal on the left: flip the ordering
+	case "<":
+		op = ">"
+	case "<=":
+		op = ">="
+	case ">":
+		op = "<"
+	case ">=":
+		op = "<="
+	}
+	return id.Name, op, l.Val, true
+}
+
 // Eq builds the comparison `left = right-literal`, a convenience used
 // by generators.
 func Eq(name string, v Value) Node {

@@ -59,6 +59,11 @@ func dimKey(sj *starJoin, nrows int64) string {
 	b.WriteString(sj.refCol)
 	b.WriteByte(0)
 	b.WriteString(strings.Join(sj.buildCols, ","))
+	// Pushed-down prune predicates change which dimension rows enter
+	// the build (harmlessly for results, but two queries with
+	// different pushdowns must not share a build side keyed alike).
+	b.WriteByte(0)
+	b.WriteString(sj.predKey)
 	return b.String()
 }
 

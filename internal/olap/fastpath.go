@@ -35,15 +35,11 @@ func viewRemap(view *storage.TableView, cols []string) ([]int, error) {
 	return idx, nil
 }
 
-// readBatch returns up to max remapped rows starting at start, nil at
-// the end.
-func readBatch(view *storage.TableView, remap []int, start, max int) [][]expr.Value {
-	rows := view.ReadBatch(start, max)
-	if rows == nil {
-		return nil
-	}
-	out := make([][]expr.Value, len(rows))
-	for i, r := range rows {
+// remapRows projects a storage batch onto the planned column order
+// (remap nil passes rows through without copying values).
+func remapRows(batch []storage.Row, remap []int) [][]expr.Value {
+	out := make([][]expr.Value, len(batch))
+	for i, r := range batch {
 		if remap == nil {
 			out[i] = r
 			continue
@@ -104,12 +100,17 @@ func (e *Engine) execFast(p *starPlan, snap *storage.Snapshot) (*Result, error) 
 		if err != nil {
 			return nil, err
 		}
-		for start := 0; ; start += fastBatchSize {
-			rows := readBatch(view, remap, start, fastBatchSize)
-			if rows == nil {
+		// The build scan pushes this dimension's filter conjuncts into
+		// the cursor: pruned pages hold only rows the post-join filter
+		// would reject, so dropping them from the (inner) join's build
+		// side removes no surviving row.
+		bcur := view.Cursor(sj.preds)
+		for {
+			batch := bcur.Next(fastBatchSize)
+			if batch == nil {
 				break
 			}
-			hj.Build(rows)
+			hj.Build(remapRows(batch, remap))
 		}
 		if cache != nil {
 			cache.put(snap.Version(), key, hj)
@@ -151,13 +152,28 @@ func (e *Engine) execFast(p *starPlan, snap *storage.Snapshot) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
+	// String group keys aggregate as dictionary codes, decoded on the
+	// surviving groups at emit (never when dicing — the dice reads
+	// detail rows directly).
+	var coder *groupCoder
+	if p.dice == nil && len(p.codedGroup) > 0 {
+		coder = newGroupCoder(p)
+	}
+	// Rows are safe to mutate in place only when this query allocated
+	// them: the probe step builds fresh joined rows, and a remap copies
+	// — otherwise they alias page-cache or table memory.
+	rowsOwned := len(p.joins) > 0 || factRemap != nil
 	// Probe phase: stream fact batches through the joins and filter.
+	// The cursor skips fact pages that the pushed-down conjuncts'
+	// zone maps prove empty of qualifying rows.
 	var detail [][]expr.Value // buffered only when dicing
-	for start := 0; ; start += fastBatchSize {
-		cur := readBatch(factView, factRemap, start, fastBatchSize)
-		if cur == nil {
+	factCur := factView.Cursor(p.factPreds)
+	for {
+		batch := factCur.Next(fastBatchSize)
+		if batch == nil {
 			break
 		}
+		cur := remapRows(batch, factRemap)
 		for _, hj := range joins {
 			cur = hj.Probe(nil, cur)
 		}
@@ -170,6 +186,9 @@ func (e *Engine) execFast(p *starPlan, snap *storage.Snapshot) (*Result, error) 
 		if p.dice != nil {
 			detail = append(detail, cur...)
 			continue
+		}
+		if coder != nil {
+			cur = coder.encode(cur, rowsOwned)
 		}
 		if err := agg.Add(cur); err != nil {
 			return nil, err
@@ -185,6 +204,9 @@ func (e *Engine) execFast(p *starPlan, snap *storage.Snapshot) (*Result, error) 
 		}
 	}
 	rows := agg.Result()
+	if coder != nil {
+		coder.decode(rows)
+	}
 	sortIdx := make([]int, len(p.groupBy))
 	for i := range sortIdx {
 		sortIdx[i] = i

@@ -3,10 +3,12 @@ package olap
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"quarry/internal/expr"
 	"quarry/internal/sqlgen"
+	"quarry/internal/storage"
 	"quarry/internal/xlm"
 )
 
@@ -32,6 +34,15 @@ type starJoin struct {
 	buildCols []string
 	// probeIdx is the position of fkCol in the probe-side layout.
 	probeIdx int
+	// preds are the filter conjuncts on this dimension's buildCols,
+	// pushed into the build-side scan as zone-map prune predicates.
+	// Pruned dimension rows only suppress joined rows the filter would
+	// reject anyway (the join is inner, and a conjunct false or NULL
+	// on the dimension's values makes the whole conjunction fail), so
+	// results are unchanged. predKey fingerprints them for the
+	// dimension build cache.
+	preds   []storage.PrunePredicate
+	predKey string
 }
 
 // dicePlan is the resolved diamond dice.
@@ -57,6 +68,16 @@ type starPlan struct {
 	filter   expr.Node
 	dice     *dicePlan
 	tables   []string // fact + joined dimension table names
+	// factPreds are the filter conjuncts on fact columns, pushed into
+	// the fact scan as zone-map prune predicates. The full filter is
+	// still evaluated after the joins — pushdown only skips pages no
+	// qualifying row can live in.
+	factPreds []storage.PrunePredicate
+	// codedGroup lists the group-by positions (indexes into groupBy)
+	// whose column is string-typed and not consumed by any aggregate:
+	// the fast path aggregates those on dictionary codes
+	// (groupcode.go) instead of materialised strings.
+	codedGroup []int
 }
 
 // resolveGroupBy expands the query's explicit group-by columns with
@@ -288,7 +309,110 @@ func (e *Engine) plan(q CubeQuery) (*starPlan, error) {
 			p.dice.caratIdx = p.index[p.dice.caratCol]
 		}
 	}
+	// Column types by name, scoped to the tables that physically hold
+	// each layout column (fact columns first, mirroring p.index).
+	colType := map[string]string{}
+	factCol := map[string]bool{}
+	for _, c := range fact.Columns {
+		factCol[c.Name] = true
+		colType[c.Name] = c.Type
+	}
+	owner := map[string]*starJoin{}
+	for _, j := range p.joins {
+		for _, bc := range j.buildCols {
+			owner[bc] = j
+			for _, c := range j.def.Columns {
+				if c.Name == bc {
+					if _, dup := colType[bc]; !dup {
+						colType[bc] = c.Type
+					}
+					break
+				}
+			}
+		}
+	}
+	// Filter pushdown: conjuncts of the shape `col OP literal` become
+	// prune predicates on the table that physically holds the column.
+	if p.filter != nil {
+		for _, conj := range expr.Conjuncts(p.filter) {
+			col, op, lit, ok := expr.Comparison(conj)
+			if !ok || !pushable(op, colType[col], lit) {
+				continue
+			}
+			pp := storage.PrunePredicate{Col: col, Op: op, Val: lit}
+			if factCol[col] {
+				p.factPreds = append(p.factPreds, pp)
+			} else if j := owner[col]; j != nil {
+				j.preds = append(j.preds, pp)
+			}
+		}
+		for _, j := range p.joins {
+			j.predKey = predFingerprint(j.preds)
+		}
+	}
+	// String group keys aggregate as dictionary codes — except columns
+	// an aggregate also consumes (their measure values must stay
+	// strings at the shared layout position).
+	usedByAgg := map[int]bool{}
+	for _, ai := range p.aggIdx {
+		if ai >= 0 {
+			usedByAgg[ai] = true
+		}
+	}
+	for i, g := range p.groupBy {
+		if colType[g] == "string" && !usedByAgg[p.groupIdx[i]] {
+			p.codedGroup = append(p.codedGroup, i)
+		}
+	}
 	return p, nil
+}
+
+// pushable reports whether a `col OP literal` conjunct is safe to
+// evaluate against zone maps. Equality tests never error at
+// evaluation time; ordering comparisons are pushed only when the
+// literal's kind is comparable with the column's (numeric with
+// numeric, otherwise the same kind) — a mismatched ordering
+// comparison errors at evaluation, and pruning must not mask that
+// error by skipping the pages that would raise it. A NULL literal
+// makes every operator evaluate to NULL (no error), so it is always
+// safe.
+func pushable(op, colType string, lit expr.Value) bool {
+	if colType == "" {
+		return false
+	}
+	if lit.IsNull() || op == "=" || op == "!=" {
+		return true
+	}
+	k, err := expr.ParseKind(colType)
+	if err != nil {
+		return false
+	}
+	switch k {
+	case expr.KindInt, expr.KindFloat:
+		return lit.IsNumeric()
+	default:
+		return lit.Kind() == k
+	}
+}
+
+// predFingerprint canonically encodes a predicate list for cache
+// keys.
+func predFingerprint(preds []storage.PrunePredicate) string {
+	if len(preds) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, p := range preds {
+		b.WriteString(p.Col)
+		b.WriteByte(1)
+		b.WriteString(p.Op)
+		b.WriteByte(1)
+		b.WriteString(strconv.Itoa(int(p.Val.Kind())))
+		b.WriteByte(1)
+		b.WriteString(p.Val.String())
+		b.WriteByte(0)
+	}
+	return b.String()
 }
 
 // resultColumns is the output schema: group columns then measure

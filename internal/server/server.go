@@ -316,6 +316,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		}
 		resp["storage"] = backend
 		resp["warehouse_version"] = db.Version()
+		// Disk footprint: per-table segment counts and bytes, plus the
+		// totals — the numbers an operator watches to see compaction
+		// keeping segment counts bounded and the format-2 encodings
+		// holding the on-disk size down.
+		if stats := db.DiskStats(); stats != nil {
+			segs, bytes := 0, int64(0)
+			for _, st := range stats {
+				segs += st.Segments
+				bytes += st.Bytes
+			}
+			resp["disk_tables"] = stats
+			resp["disk_segments"] = segs
+			resp["disk_bytes"] = bytes
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

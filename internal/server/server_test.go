@@ -133,6 +133,60 @@ func TestHealthAndExploration(t *testing.T) {
 	get(t, ts, "/api/elicitor/suggest", http.StatusBadRequest)
 }
 
+// TestHealthReportsDiskFootprint: against a disk-backed warehouse,
+// /api/health exposes per-table segment counts and bytes plus the
+// totals — the compaction and compression observability surface.
+func TestHealthReportsDiskFootprint(t *testing.T) {
+	o, _ := tpch.Ontology()
+	m, _ := tpch.Mapping()
+	c, _ := tpch.Catalog(1)
+	db, err := storage.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tpch.Generate(db, 1, 42); err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.New(core.Config{Ontology: o, Mapping: m, Catalog: c, DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddRequirement(tpch.RevenueRequirement()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(p).Handler())
+	t.Cleanup(ts.Close)
+
+	var health struct {
+		Storage      string `json:"storage"`
+		DiskSegments int64  `json:"disk_segments"`
+		DiskBytes    int64  `json:"disk_bytes"`
+		DiskTables   map[string]struct {
+			Segments int64 `json:"segments"`
+			Bytes    int64 `json:"bytes"`
+		} `json:"disk_tables"`
+	}
+	if err := json.Unmarshal(get(t, ts, "/api/health", http.StatusOK), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Storage != "disk" {
+		t.Fatalf("storage = %q, want disk", health.Storage)
+	}
+	if health.DiskSegments <= 0 || health.DiskBytes <= 0 {
+		t.Fatalf("disk totals empty: %d segments, %d bytes", health.DiskSegments, health.DiskBytes)
+	}
+	fact, ok := health.DiskTables["fact_table_revenue"]
+	if !ok {
+		t.Fatal("disk_tables lacks fact_table_revenue")
+	}
+	if fact.Segments <= 0 || fact.Bytes <= 0 {
+		t.Fatalf("fact table stats empty: %+v", fact)
+	}
+}
+
 func TestRequirementLifecycleOverHTTP(t *testing.T) {
 	ts := newTestServer(t)
 	revenueXML, err := xrq.Marshal(tpch.RevenueRequirement())

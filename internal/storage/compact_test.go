@@ -1,0 +1,250 @@
+package storage
+
+// Compaction suite: the commit-point segment merge must bound
+// per-table segment counts, preserve content bit-exactly at the same
+// version, leave pre-compaction snapshots readable, and — under crash
+// injection — recover the pre-compaction catalog with the half-written
+// merge collected as orphans.
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"quarry/internal/expr"
+)
+
+// appendMixed commits n rows onto the live table via an append delta.
+func appendMixed(t *testing.T, db *DB, base, n int) {
+	t.Helper()
+	live, ok := db.Table("t")
+	if !ok {
+		t.Fatal("table t missing")
+	}
+	delta, err := NewStagingTable("t", mixedCols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := delta.Insert(mixedRow(base + i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CommitRun(nil, []AppendDelta{{Target: live, Delta: delta}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutoCompactionBoundsSegments: with QUARRY_COMPACT_SEGMENTS=2,
+// repeated append commits must never leave more than 2 segments, and
+// the compacted table stays byte-identical to the append history.
+func TestAutoCompactionBoundsSegments(t *testing.T) {
+	t.Setenv("QUARRY_COMPACT_SEGMENTS", "2")
+	dir := t.TempDir()
+	db := openDisk(t, dir)
+	tbl, err := db.CreateTable("t", mixedCols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillMixed(t, tbl, 100)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	var want []Row
+	for i := 0; i < 100; i++ {
+		want = append(want, mixedRow(i))
+	}
+	for round := 0; round < 6; round++ {
+		base := 1000 * (round + 1)
+		appendMixed(t, db, base, 50)
+		for i := 0; i < 50; i++ {
+			want = append(want, mixedRow(base+i))
+		}
+		st := db.DiskStats()["t"]
+		if st.Segments > 2 {
+			t.Fatalf("round %d: %d segments on disk, threshold is 2", round, st.Segments)
+		}
+	}
+	live, _ := db.Table("t")
+	if !reflect.DeepEqual(live.Rows(), want) {
+		t.Fatal("compacted table content diverged from append history")
+	}
+	re := openDisk(t, dir)
+	rt, _ := re.Table("t")
+	if !reflect.DeepEqual(rt.Rows(), want) {
+		t.Fatal("reopened compacted table content diverged")
+	}
+	if got := countSegs(t, dir); got > 2 {
+		t.Fatalf("%d segment files on disk after compaction, want ≤ 2", got)
+	}
+}
+
+// TestExplicitCompact: DB.Compact folds every table to one segment at
+// the SAME version (content is unchanged — caches keyed on version
+// must stay valid), and a snapshot taken before the compaction keeps
+// reading its old segments.
+func TestExplicitCompact(t *testing.T) {
+	t.Setenv("QUARRY_COMPACT_SEGMENTS", "0") // no auto-compaction
+	dir := t.TempDir()
+	db := openDisk(t, dir)
+	tbl, err := db.CreateTable("t", mixedCols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillMixed(t, tbl, 200)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		appendMixed(t, db, 10000*(round+1), 80)
+	}
+	if st := db.DiskStats()["t"]; st.Segments != 5 {
+		t.Fatalf("seeded %d segments, want 5", st.Segments)
+	}
+	live, _ := db.Table("t")
+	want := live.Rows()
+	v := db.Version()
+
+	snap, err := db.Snapshot("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Version() != v {
+		t.Fatalf("Compact bumped version %d → %d; content did not change", v, db.Version())
+	}
+	if st := db.DiskStats()["t"]; st.Segments != 1 {
+		t.Fatalf("%d segments after Compact, want 1", st.Segments)
+	}
+	if !reflect.DeepEqual(live.Rows(), want) {
+		t.Fatal("Compact changed table content")
+	}
+	// The pre-compaction snapshot still reads (its segments' handles
+	// outlive the unlink).
+	view, _ := snap.Table("t")
+	got := collect(view.Cursor(nil))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("pre-compaction snapshot unreadable after Compact")
+	}
+	re := openDisk(t, dir)
+	rt, _ := re.Table("t")
+	if !reflect.DeepEqual(rt.Rows(), want) {
+		t.Fatal("reopened table content diverged after Compact")
+	}
+	if got := countSegs(t, dir); got != 1 {
+		t.Fatalf("%d segment files after Compact, want 1 (old ones not collected)", got)
+	}
+}
+
+// TestCompactRewritesLegacyFormat: Compact must rewrite even a
+// single-segment table when that segment predates format 2, so a
+// migrated warehouse picks up encodings and zone maps.
+func TestCompactRewritesLegacyFormat(t *testing.T) {
+	t.Setenv("QUARRY_COMPACT_SEGMENTS", "0")
+	dir := t.TempDir()
+	rows := writeV1Store(t, dir, 300)
+	db := openDisk(t, dir)
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("t")
+	if !reflect.DeepEqual(tbl.Rows(), rows) {
+		t.Fatal("Compact of a v1 store changed content")
+	}
+	re := openDisk(t, dir)
+	rt, _ := re.Table("t")
+	if !reflect.DeepEqual(rt.Rows(), rows) {
+		t.Fatal("reopened rewritten store diverged")
+	}
+	// The rewritten segment is format 2: its manifest pages carry zone
+	// maps, so a prune-capable cursor now skips.
+	snap, err := re.Snapshot("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, _ := snap.Table("t")
+	cur := view.Cursor([]PrunePredicate{{Col: "i", Op: ">", Val: expr.Int(1 << 40)}})
+	if got := collect(cur); len(got) != 0 {
+		t.Fatalf("impossible predicate returned %d rows", len(got))
+	}
+	if _, skipped := cur.Stats(); skipped == 0 {
+		t.Fatal("rewritten segment still has no zone maps (nothing skipped)")
+	}
+}
+
+// TestCrashDuringCompaction kills a compacting commit at both fault
+// stages; recovery must restore the pre-compaction catalog — same
+// version, same rows, same segment files — with the half-written
+// merged segment collected as an orphan.
+func TestCrashDuringCompaction(t *testing.T) {
+	for _, stage := range []string{"segments", "rename"} {
+		t.Run(stage, func(t *testing.T) {
+			t.Setenv("QUARRY_COMPACT_SEGMENTS", "0")
+			dir := t.TempDir()
+			rows, _ := seedCommitted(t, dir, 400)
+			db := openDisk(t, dir)
+			for round := 0; round < 3; round++ {
+				base := 20000 * (round + 1)
+				appendMixed(t, db, base, 60)
+				for i := 0; i < 60; i++ {
+					rows = append(rows, mixedRow(base+i))
+				}
+			}
+			v := db.Version()
+			segs := countSegs(t, dir)
+			if segs != 4 {
+				t.Fatalf("seeded %d segments, want 4", segs)
+			}
+			crashAt(t, stage)
+			if err := db.Compact(); !errors.Is(err, errCrash) {
+				t.Fatalf("Compact error = %v, want injected crash", err)
+			}
+			// Live DB untouched.
+			if db.Version() != v {
+				t.Fatalf("failed Compact bumped version to %d", db.Version())
+			}
+			live, _ := db.Table("t")
+			if !reflect.DeepEqual(live.Rows(), rows) {
+				t.Fatal("failed Compact mutated the live table")
+			}
+			TestingCommitFault = nil
+			assertRecovered(t, dir, rows, v, segs)
+		})
+	}
+}
+
+// TestCrashDuringAutoCompactingAppend: an append that trips the
+// auto-compaction threshold and then crashes must leave the
+// pre-append state recoverable (neither the delta nor the merge
+// survives).
+func TestCrashDuringAutoCompactingAppend(t *testing.T) {
+	for _, stage := range []string{"segments", "rename"} {
+		t.Run(stage, func(t *testing.T) {
+			t.Setenv("QUARRY_COMPACT_SEGMENTS", "1")
+			dir := t.TempDir()
+			rows, v := seedCommitted(t, dir, 300)
+			db := openDisk(t, dir)
+			segs := countSegs(t, dir)
+
+			live, _ := db.Table("t")
+			delta, _ := NewStagingTable("t", mixedCols)
+			for i := 0; i < 50; i++ {
+				if err := delta.Insert(mixedRow(30000 + i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			crashAt(t, stage)
+			err := db.CommitRun(nil, []AppendDelta{{Target: live, Delta: delta}})
+			if !errors.Is(err, errCrash) {
+				t.Fatalf("CommitRun error = %v, want injected crash", err)
+			}
+			if live.NumRows() != 300 {
+				t.Fatalf("failed compacting append visible: %d rows", live.NumRows())
+			}
+			TestingCommitFault = nil
+			assertRecovered(t, dir, rows, v, segs)
+		})
+	}
+}

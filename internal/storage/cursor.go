@@ -1,0 +1,197 @@
+package storage
+
+// Zone-map pruning cursors: a Cursor streams a TableView's rows in
+// position order like ReadBatch, but takes a set of pushed-down
+// filter conjuncts (column OP literal) and skips — without decoding —
+// every page whose zone map proves no row in it can satisfy them all.
+//
+// Pruning is strictly conservative: a page is skipped only when the
+// predicate can match NONE of its rows under the evaluator's own
+// semantics (expr.Value.Compare / Equal — the zone bounds were
+// computed with the same Compare, so float-vs-int coercion agrees),
+// and pages with no zone map (format-1 segments, the in-memory tail)
+// are never skipped. Callers therefore still evaluate the full filter
+// on every returned row; the cursor only removes pages that could not
+// have contributed. Unlike ReadBatch, Next may return short batches
+// (it never stitches across page boundaries) — callers loop until
+// nil.
+
+import (
+	"sync/atomic"
+
+	"quarry/internal/expr"
+)
+
+// zoneMapPruning globally gates page skipping; on by default.
+// Disabling it (SetZoneMapPruning) turns every Cursor into a plain
+// full scan — the A/B lever for benchmarks and the prune-vs-full-scan
+// property tests.
+var zoneMapPruning atomic.Bool
+
+func init() { zoneMapPruning.Store(true) }
+
+// SetZoneMapPruning toggles zone-map page pruning globally, returning
+// the previous setting. Pruning never changes results — only how many
+// pages are decoded — so the toggle exists for benchmarks and tests.
+func SetZoneMapPruning(on bool) bool { return zoneMapPruning.Swap(on) }
+
+// PrunePredicate is one pushed-down conjunct of the form
+// `column OP literal`. Op is spelled "=", "!=", "<", "<=", ">" or
+// ">=". The predicate must be a conjunct of the caller's filter:
+// the cursor skips pages where it can never hold.
+type PrunePredicate struct {
+	Col string
+	Op  string
+	Val expr.Value
+}
+
+// canMatch reports whether any row of a page with this zone entry
+// could satisfy p. nrows is the page's row count. Unknown operators
+// and incomparable bounds answer true (never skip on uncertainty).
+func (z *zone) canMatch(nrows int, p *PrunePredicate) bool {
+	if nrows-z.nulls <= 0 {
+		// Every value is NULL: `NULL OP literal` is NULL, which no
+		// EvalBool accepts.
+		return false
+	}
+	if p.Val.IsNull() {
+		// `col OP NULL` is NULL for every row, comparable or not.
+		return false
+	}
+	if !z.hasBounds {
+		return true
+	}
+	cmin, errMin := z.min.Compare(p.Val)
+	cmax, errMax := z.max.Compare(p.Val)
+	if errMin != nil || errMax != nil {
+		// Incomparable kinds (e.g. string column, int literal). For
+		// "=" Equal is false for every row — skip; for "!=" it is
+		// true for every present row — keep; ordering comparisons
+		// error at evaluation time, and pruning must not hide that.
+		return p.Op != "="
+	}
+	switch p.Op {
+	case "=":
+		return cmin <= 0 && cmax >= 0
+	case "!=":
+		// Skip only when every present value IS the literal.
+		return !(cmin == 0 && cmax == 0)
+	case "<":
+		return cmin < 0
+	case "<=":
+		return cmin <= 0
+	case ">":
+		return cmax > 0
+	case ">=":
+		return cmax >= 0
+	}
+	return true
+}
+
+// resolvedPred is a predicate bound to its physical column index.
+type resolvedPred struct {
+	ci int
+	p  PrunePredicate
+}
+
+// Cursor streams a TableView's rows in position order, skipping
+// prunable pages. Not safe for concurrent use.
+type Cursor struct {
+	view  *TableView
+	preds []resolvedPred
+
+	seg  int // current segment index in view.pg
+	page int // current page within the segment
+	off  int // rows of the current page already returned
+	tail int // rows of the in-memory tail already returned
+
+	pagesRead    int
+	pagesSkipped int
+}
+
+// Cursor returns a pruning cursor over the view. Predicates naming
+// columns the view lacks are ignored (they can never skip a page).
+func (v *TableView) Cursor(preds []PrunePredicate) *Cursor {
+	c := &Cursor{view: v}
+	for _, p := range preds {
+		if ci, ok := v.by[p.Col]; ok {
+			c.preds = append(c.preds, resolvedPred{ci: ci, p: p})
+		}
+	}
+	return c
+}
+
+// skip reports whether the page's zone map proves no row satisfies
+// every predicate.
+func (c *Cursor) skip(pm *pageMeta) bool {
+	if len(c.preds) == 0 || pm.zones == nil || !zoneMapPruning.Load() {
+		return false
+	}
+	for i := range c.preds {
+		rp := &c.preds[i]
+		if rp.ci >= len(pm.zones) {
+			continue
+		}
+		if !pm.zones[rp.ci].canMatch(pm.rows, &rp.p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Next returns the next batch of at most max rows, or nil at the end.
+// Batches may be shorter than max (page remainders are returned as
+// shared subslices, never reassembled); the tail is returned last and
+// is never pruned. The returned slice is an immutable shared view.
+func (c *Cursor) Next(max int) []Row {
+	if max <= 0 {
+		return nil
+	}
+	if pg := c.view.pg; pg != nil {
+		for c.seg < len(pg.segs) {
+			s := pg.segs[c.seg]
+			if c.page >= len(s.pages) {
+				c.seg++
+				c.page, c.off = 0, 0
+				continue
+			}
+			pm := &s.pages[c.page]
+			if c.off == 0 && c.skip(pm) {
+				c.pagesSkipped++
+				c.page++
+				continue
+			}
+			if c.off == 0 {
+				c.pagesRead++
+			}
+			rows := s.page(c.page)
+			n := len(rows) - c.off
+			if n > max {
+				n = max
+			}
+			out := rows[c.off : c.off+n : c.off+n]
+			c.off += n
+			if c.off >= len(rows) {
+				c.page++
+				c.off = 0
+			}
+			return out
+		}
+	}
+	if c.tail < len(c.view.rows) {
+		n := len(c.view.rows) - c.tail
+		if n > max {
+			n = max
+		}
+		out := c.view.rows[c.tail : c.tail+n : c.tail+n]
+		c.tail += n
+		return out
+	}
+	return nil
+}
+
+// Stats reports how many pages the cursor decoded and how many its
+// zone maps pruned (so far).
+func (c *Cursor) Stats() (pagesRead, pagesSkipped int) {
+	return c.pagesRead, c.pagesSkipped
+}

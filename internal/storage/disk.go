@@ -46,18 +46,48 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+
+	"quarry/internal/expr"
 )
 
 const (
-	manifestName   = "manifest.json"
-	manifestTmp    = "manifest.tmp"
-	manifestFormat = 1
-	segPrefix      = "seg-"
-	segSuffix      = ".qseg"
+	manifestName = "manifest.json"
+	manifestTmp  = "manifest.tmp"
+	// manifestFormatV1 is the legacy raw-page format (fixed 64 KiB
+	// pages, untagged raw chunks, no zone maps); this build still reads
+	// it. manifestFormatV2 adds per-chunk compressed encodings, 4 KiB
+	// page blocks and zone maps (see page.go/encoding.go) and is what
+	// every commit writes.
+	manifestFormatV1 = 1
+	manifestFormatV2 = 2
+	segPrefix        = "seg-"
+	segSuffix        = ".qseg"
 )
+
+// mmapEnabled gates the mmap page source (QUARRY_MMAP=off falls back
+// to pread); evaluated once at startup.
+var mmapEnabled = os.Getenv("QUARRY_MMAP") != "off"
+
+// compactThreshold reads QUARRY_COMPACT_SEGMENTS: when a commit would
+// leave a table with more than this many segments, the commit folds
+// the table's existing segments into its new one (0 disables
+// auto-compaction; default 16).
+func compactThreshold() int {
+	s := os.Getenv("QUARRY_COMPACT_SEGMENTS")
+	if s == "" {
+		return 16
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 16
+	}
+	return n
+}
 
 // TestingCommitFault is a crash-injection hook for tests: when set,
 // it is consulted at the named commit stages ("segments": all segment
@@ -82,6 +112,9 @@ type diskStore struct {
 	commitMu sync.Mutex
 	nextSeg  uint64
 	cache    *pageCache
+	// compactSegs is the auto-compaction threshold (see
+	// compactThreshold); guarded by nothing — set once at Open.
+	compactSegs int
 }
 
 // segment is one immutable on-disk run of rows. The open file handle
@@ -89,21 +122,52 @@ type diskStore struct {
 // their data readable even after a republish unlinks the file (the
 // runtime closes the descriptor when the segment is collected).
 type segment struct {
-	file  *os.File
-	name  string // base file name
-	dir   string // owning store's directory
-	cols  []Column
-	rows  int
-	pages []pageMeta
-	cache *pageCache
+	file   *os.File
+	name   string // base file name
+	dir    string // owning store's directory
+	format int    // page format (manifestFormatV1 or V2)
+	cols   []Column
+	rows   int
+	pages  []pageMeta
+	cache  *pageCache
+	data   []byte // mmap of the whole file, nil when unavailable
 }
 
 // pageMeta locates one page inside a segment.
 type pageMeta struct {
 	off   int64
-	size  int // padded size: a pageSize multiple
+	size  int // padded size: a pageSize (v1) or pageBlock (v2) multiple
 	rows  int
-	first int // index of the page's first row within the segment
+	first int    // index of the page's first row within the segment
+	raw   int    // raw encoded size: the buffer-pool charge (0 in v1)
+	zones []zone // per-column zone map (nil in v1: never prune)
+}
+
+// charge is the buffer-pool cost of the decoded page: its raw encoded
+// size when known (compressed on-disk sizes badly undercount decoded
+// memory), else its on-disk size (v1 pages, where the two coincide).
+func (p *pageMeta) charge() int {
+	if p.raw > 0 {
+		return p.raw
+	}
+	return p.size
+}
+
+// tryMmap maps the segment file read-only as the page source; on any
+// failure the segment falls back to pread. Decoded pages copy every
+// value out of the buffer, so nothing aliases the mapping; it is
+// unmapped when the segment object is collected.
+func (s *segment) tryMmap() {
+	if !mmapEnabled || len(s.pages) == 0 {
+		return
+	}
+	last := s.pages[len(s.pages)-1]
+	data := sysMmap(s.file, last.off+int64(last.size))
+	if data == nil {
+		return
+	}
+	s.data = data
+	runtime.SetFinalizer(s, func(fs *segment) { sysMunmap(fs.data) })
 }
 
 // page returns the decoded rows of page i, through the buffer pool.
@@ -116,19 +180,25 @@ func (s *segment) page(i int) []Row {
 	if rows, ok := s.cache.get(k); ok {
 		return rows
 	}
-	buf := make([]byte, s.pages[i].size)
-	if _, err := s.file.ReadAt(buf, s.pages[i].off); err != nil {
-		panic(fmt.Sprintf("storage: segment %s page %d: %v", s.name, i, err))
+	pm := &s.pages[i]
+	var buf []byte
+	if s.data != nil {
+		buf = s.data[pm.off : pm.off+int64(pm.size)]
+	} else {
+		buf = make([]byte, pm.size)
+		if _, err := s.file.ReadAt(buf, pm.off); err != nil {
+			panic(fmt.Sprintf("storage: segment %s page %d: %v", s.name, i, err))
+		}
 	}
-	rows, err := decodePage(s.cols, buf)
+	rows, err := decodePage(s.format, s.cols, buf)
 	if err != nil {
 		panic(fmt.Sprintf("storage: segment %s page %d corrupt: %v", s.name, i, err))
 	}
-	if len(rows) != s.pages[i].rows {
+	if len(rows) != pm.rows {
 		panic(fmt.Sprintf("storage: segment %s page %d holds %d rows, manifest says %d",
-			s.name, i, len(rows), s.pages[i].rows))
+			s.name, i, len(rows), pm.rows))
 	}
-	s.cache.put(k, rows, s.pages[i].size)
+	s.cache.put(k, rows, pm.charge())
 	return rows
 }
 
@@ -236,8 +306,39 @@ func (p *pager) referencedFiles(into map[string]bool) {
 	}
 }
 
-// Manifest JSON schema (format 1). The manifest is the whole truth:
-// segment files carry no headers of their own.
+// readAll materialises every row of the pager, in order.
+func (p *pager) readAll(into []Row) []Row {
+	if p == nil {
+		return into
+	}
+	for start := 0; start < p.rows; {
+		batch := p.readBatch(start, 4096)
+		into = append(into, batch...)
+		start += len(batch)
+	}
+	return into
+}
+
+// needsRewrite reports whether any segment predates the current page
+// format — compaction re-encodes such tables even when they are a
+// single segment.
+func (p *pager) needsRewrite() bool {
+	if p == nil {
+		return false
+	}
+	for _, s := range p.segs {
+		if s.format != manifestFormatV2 {
+			return true
+		}
+	}
+	return false
+}
+
+// Manifest JSON schema. The manifest is the whole truth: segment
+// files carry no headers of their own. Format-1 manifests (no
+// per-segment format, no zone maps) are still read; every commit
+// writes format 2, tagging retained legacy segments "format": 1 so a
+// mixed catalog decodes each segment correctly.
 
 type manifest struct {
 	Format  int             `json:"format"`
@@ -252,18 +353,114 @@ type manifestTable struct {
 }
 
 type manifestSegment struct {
-	File  string         `json:"file"`
-	Rows  int            `json:"rows"`
-	Pages []manifestPage `json:"pages"`
+	File string `json:"file"`
+	Rows int    `json:"rows"`
+	// Format is the segment's page format; 0 (absent, in pre-v2
+	// manifests) inherits the manifest's format.
+	Format int            `json:"format,omitempty"`
+	Pages  []manifestPage `json:"pages"`
 }
 
 type manifestPage struct {
 	Off  int64 `json:"off"`
 	Size int   `json:"size"`
 	Rows int   `json:"rows"`
+	// Raw is the page's raw (uncompressed) encoded size — the buffer
+	// pool's charge for the decoded page. Zones is the page's
+	// per-column zone map. Both absent in format-1 manifests.
+	Raw   int            `json:"raw,omitempty"`
+	Zones []manifestZone `json:"zones,omitempty"`
 }
 
-// writeSegment encodes rows into a fresh segment file and fsyncs it.
+// manifestZone serialises one zone entry. Min/Max absent means no
+// bounds (all-NULL column, non-finite floats, over-long strings).
+type manifestZone struct {
+	Nulls int            `json:"nulls,omitempty"`
+	Min   *manifestValue `json:"min,omitempty"`
+	Max   *manifestValue `json:"max,omitempty"`
+}
+
+// manifestValue is a typed scalar in the manifest: exactly one field
+// set. (Bounds holding NaN or Inf are never written — such chunks get
+// no bounds — so JSON number encoding is always valid, and Go's
+// shortest-round-trip float formatting keeps it exact.)
+type manifestValue struct {
+	I *int64   `json:"i,omitempty"`
+	F *float64 `json:"f,omitempty"`
+	S *string  `json:"s,omitempty"`
+	B *bool    `json:"b,omitempty"`
+}
+
+func valueToManifest(v expr.Value) *manifestValue {
+	switch v.Kind() {
+	case expr.KindInt:
+		i := v.AsInt()
+		return &manifestValue{I: &i}
+	case expr.KindFloat:
+		f, _ := v.AsFloat()
+		return &manifestValue{F: &f}
+	case expr.KindString:
+		s := v.AsString()
+		return &manifestValue{S: &s}
+	case expr.KindBool:
+		b := v.AsBool()
+		return &manifestValue{B: &b}
+	}
+	return nil
+}
+
+func manifestToValue(mv *manifestValue) expr.Value {
+	switch {
+	case mv == nil:
+		return expr.Value{}
+	case mv.I != nil:
+		return expr.Int(*mv.I)
+	case mv.F != nil:
+		return expr.Float(*mv.F)
+	case mv.S != nil:
+		return expr.Str(*mv.S)
+	case mv.B != nil:
+		return expr.Bool(*mv.B)
+	}
+	return expr.Value{}
+}
+
+func zonesToManifest(zs []zone) []manifestZone {
+	if len(zs) == 0 {
+		return nil
+	}
+	out := make([]manifestZone, len(zs))
+	for i, z := range zs {
+		out[i] = manifestZone{Nulls: z.nulls}
+		if z.hasBounds {
+			out[i].Min = valueToManifest(z.min)
+			out[i].Max = valueToManifest(z.max)
+		}
+	}
+	return out
+}
+
+// zonesFromManifest rehydrates a page's zone map; a malformed entry
+// (wrong arity) yields nil — the page is simply never pruned.
+func zonesFromManifest(ms []manifestZone, ncols int) []zone {
+	if len(ms) != ncols {
+		return nil
+	}
+	out := make([]zone, ncols)
+	for i, mz := range ms {
+		z := zone{nulls: mz.Nulls}
+		if mz.Min != nil && mz.Max != nil {
+			z.min = manifestToValue(mz.Min)
+			z.max = manifestToValue(mz.Max)
+			z.hasBounds = !z.min.IsNull() && !z.max.IsNull()
+		}
+		out[i] = z
+	}
+	return out
+}
+
+// writeSegment encodes rows into a fresh segment file (format 2,
+// per-chunk encodings chosen by the stats pass) and fsyncs it.
 func (st *diskStore) writeSegment(cols []Column, rows []Row) (*segment, error) {
 	id := st.nextSeg
 	st.nextSeg++
@@ -272,28 +469,32 @@ func (st *diskStore) writeSegment(cols []Column, rows []Row) (*segment, error) {
 	if err != nil {
 		return nil, err
 	}
-	seg := &segment{file: f, name: name, dir: st.dir, cols: cols, rows: len(rows), cache: st.cache}
+	seg := &segment{file: f, name: name, dir: st.dir, format: manifestFormatV2,
+		cols: cols, rows: len(rows), cache: st.cache}
 	var off int64
 	first := 0
 	for _, n := range splitPages(len(cols), rows) {
-		buf := encodePage(cols, rows[first:first+n])
-		if _, err := f.WriteAt(buf, off); err != nil {
+		ep := encodePage(cols, rows[first:first+n])
+		if _, err := f.WriteAt(ep.buf, off); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("storage: writing %s: %w", name, err)
 		}
-		seg.pages = append(seg.pages, pageMeta{off: off, size: len(buf), rows: n, first: first})
-		off += int64(len(buf))
+		seg.pages = append(seg.pages, pageMeta{off: off, size: len(ep.buf), rows: n,
+			first: first, raw: ep.raw, zones: ep.zones})
+		off += int64(len(ep.buf))
 		first += n
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("storage: syncing %s: %w", name, err)
 	}
+	seg.tryMmap()
 	return seg, nil
 }
 
-// openSegment rehydrates a manifest-described segment.
-func (st *diskStore) openSegment(ms manifestSegment, cols []Column) (*segment, error) {
+// openSegment rehydrates a manifest-described segment of the given
+// page format.
+func (st *diskStore) openSegment(ms manifestSegment, cols []Column, format int) (*segment, error) {
 	f, err := os.Open(filepath.Join(st.dir, ms.File))
 	if err != nil {
 		return nil, err
@@ -303,14 +504,20 @@ func (st *diskStore) openSegment(ms manifestSegment, cols []Column) (*segment, e
 		f.Close()
 		return nil, err
 	}
-	seg := &segment{file: f, name: ms.File, dir: st.dir, cols: cols, rows: ms.Rows, cache: st.cache}
+	align := pageSize
+	if format >= manifestFormatV2 {
+		align = pageBlock
+	}
+	seg := &segment{file: f, name: ms.File, dir: st.dir, format: format,
+		cols: cols, rows: ms.Rows, cache: st.cache}
 	first, want := 0, int64(0)
 	for _, mp := range ms.Pages {
-		if mp.Off != want || mp.Size <= 0 || mp.Size%pageSize != 0 || mp.Rows <= 0 {
+		if mp.Off != want || mp.Size <= 0 || mp.Size%align != 0 || mp.Rows <= 0 {
 			f.Close()
 			return nil, fmt.Errorf("segment %s has an inconsistent page directory", ms.File)
 		}
-		seg.pages = append(seg.pages, pageMeta{off: mp.Off, size: mp.Size, rows: mp.Rows, first: first})
+		seg.pages = append(seg.pages, pageMeta{off: mp.Off, size: mp.Size, rows: mp.Rows,
+			first: first, raw: mp.Raw, zones: zonesFromManifest(mp.Zones, len(cols))})
 		first += mp.Rows
 		want += int64(mp.Size)
 	}
@@ -322,6 +529,7 @@ func (st *diskStore) openSegment(ms manifestSegment, cols []Column) (*segment, e
 		f.Close()
 		return nil, fmt.Errorf("segment %s truncated: %d bytes on disk, %d expected", ms.File, info.Size(), want)
 	}
+	seg.tryMmap()
 	return seg, nil
 }
 
@@ -344,7 +552,7 @@ func Open(dir string) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
 	}
-	st := &diskStore{dir: dir, cache: newPageCache(pageCacheBytes)}
+	st := &diskStore{dir: dir, cache: newPageCache(pageCacheBytes), compactSegs: compactThreshold()}
 	db := &DB{tables: map[string]*Table{}, store: st}
 	referenced := map[string]bool{}
 	data, err := os.ReadFile(filepath.Join(dir, manifestName))
@@ -354,9 +562,9 @@ func Open(dir string) (*DB, error) {
 		if err := json.Unmarshal(data, &man); err != nil {
 			return nil, fmt.Errorf("storage: %s corrupt: %w", manifestName, err)
 		}
-		if man.Format != manifestFormat {
-			return nil, fmt.Errorf("storage: %s has format %d, this build reads format %d",
-				manifestName, man.Format, manifestFormat)
+		if man.Format != manifestFormatV1 && man.Format != manifestFormatV2 {
+			return nil, fmt.Errorf("storage: %s has format %d; this build reads formats %d and %d",
+				manifestName, man.Format, manifestFormatV1, manifestFormatV2)
 		}
 		db.version = man.Version
 		for _, mt := range man.Tables {
@@ -366,7 +574,15 @@ func Open(dir string) (*DB, error) {
 			}
 			var segs []*segment
 			for _, ms := range mt.Segments {
-				seg, err := st.openSegment(ms, t.Columns)
+				format := ms.Format
+				if format == 0 {
+					format = man.Format
+				}
+				if format != manifestFormatV1 && format != manifestFormatV2 {
+					return nil, fmt.Errorf("storage: table %q: segment %s has unknown format %d",
+						mt.Name, ms.File, format)
+				}
+				seg, err := st.openSegment(ms, t.Columns, format)
 				if err != nil {
 					return nil, fmt.Errorf("storage: table %q: %w", mt.Name, err)
 				}
@@ -442,7 +658,16 @@ func (st *diskStore) gc(referenced map[string]bool) {
 // for Open's recovery to collect). Callers hold st.commitMu — which
 // is what keeps the tentative catalog stable while unlocked — and
 // must NOT hold db.mu.
-func (db *DB) commitDisk(v uint64, order []string, tables map[string]*Table, extra map[*Table][]Row, apply func()) error {
+//
+// Compaction rides the same commit point: a table named in compact
+// (or one that auto-compaction's segment-count threshold trips on)
+// has its committed segments folded together with its tail into ONE
+// freshly encoded segment — same rows, same order, re-run encoding
+// selection — referenced by the same atomic manifest rename. A crash
+// anywhere before the rename recovers the pre-compaction segment
+// list; the old segments are deleted only after the rename (readers
+// holding pre-compaction snapshots keep their open handles).
+func (db *DB) commitDisk(v uint64, order []string, tables map[string]*Table, extra map[*Table][]Row, compact map[string]bool, apply func()) error {
 	st := db.store
 	type pend struct {
 		t     *Table
@@ -463,7 +688,7 @@ func (db *DB) commitDisk(v uint64, order []string, tables map[string]*Table, ext
 		}
 		return TestingCommitFault(stage)
 	}
-	man := manifest{Format: manifestFormat, Version: v}
+	man := manifest{Format: manifestFormatV2, Version: v}
 	for _, name := range order {
 		t := tables[name]
 		t.mu.RLock()
@@ -478,13 +703,7 @@ func (db *DB) commitDisk(v uint64, order []string, tables map[string]*Table, ext
 		// silently read the wrong bytes). Materialize such tables into
 		// local segments instead.
 		if pg.foreignTo(st.dir) {
-			all := make([]Row, 0, pg.rows+len(tail))
-			for start := 0; start < pg.rows; {
-				batch := pg.readBatch(start, 4096)
-				all = append(all, batch...)
-				start += len(batch)
-			}
-			rows = append(all, tail...)
+			rows = append(pg.readAll(make([]Row, 0, pg.rows+len(tail))), tail...)
 			pg = nil
 		}
 		if ex := extra[t]; len(ex) > 0 {
@@ -492,6 +711,20 @@ func (db *DB) commitDisk(v uint64, order []string, tables map[string]*Table, ext
 			merged = append(merged, rows...)
 			merged = append(merged, ex...)
 			rows = merged
+		}
+		// Compaction decision: forced by the caller, or the committed
+		// catalog would exceed the per-table segment bound.
+		doCompact := compact[name]
+		if !doCompact && st.compactSegs > 0 && pg != nil {
+			segs := len(pg.segs)
+			if len(rows) > 0 {
+				segs++
+			}
+			doCompact = segs > st.compactSegs
+		}
+		if doCompact && pg != nil && (len(pg.segs) > 1 || len(rows) > 0 || pg.needsRewrite()) {
+			rows = append(pg.readAll(make([]Row, 0, pg.rows+len(rows))), rows...)
+			pg = nil
 		}
 		newPg := pg
 		if len(rows) > 0 {
@@ -507,9 +740,10 @@ func (db *DB) commitDisk(v uint64, order []string, tables map[string]*Table, ext
 		mt := manifestTable{Name: name, Columns: t.Columns}
 		if newPg != nil {
 			for _, s := range newPg.segs {
-				ms := manifestSegment{File: s.name, Rows: s.rows}
+				ms := manifestSegment{File: s.name, Rows: s.rows, Format: s.format}
 				for _, p := range s.pages {
-					ms.Pages = append(ms.Pages, manifestPage{Off: p.off, Size: p.size, Rows: p.rows})
+					ms.Pages = append(ms.Pages, manifestPage{Off: p.off, Size: p.size,
+						Rows: p.rows, Raw: p.raw, Zones: zonesToManifest(p.zones)})
 				}
 				mt.Segments = append(mt.Segments, ms)
 			}
@@ -623,7 +857,74 @@ func (db *DB) Checkpoint() error {
 	st.commitMu.Lock()
 	defer st.commitMu.Unlock()
 	order, tables := db.catalogWith(nil)
-	return db.commitDisk(db.Version(), order, tables, nil, nil)
+	return db.commitDisk(db.Version(), order, tables, nil, nil, nil)
+}
+
+// Compact folds every disk table's segments (and any unpersisted tail
+// rows) into a single freshly encoded segment per table, re-running
+// encoding selection over the merged data, through the same atomic
+// manifest commit as every other mutation. The DB version does not
+// change — the content is byte-identical, so version-keyed caches
+// stay valid — and snapshots taken before the call keep reading their
+// old segments through their open handles. Tables already compact
+// (one current-format segment, no tail) are left untouched. A no-op
+// for in-memory databases.
+//
+// Commits also compact automatically whenever a table would exceed
+// the QUARRY_COMPACT_SEGMENTS bound (default 16); Compact is the
+// explicit, compact-everything form.
+func (db *DB) Compact() error {
+	st := db.store
+	if st == nil {
+		return nil
+	}
+	st.commitMu.Lock()
+	defer st.commitMu.Unlock()
+	order, tables := db.catalogWith(nil)
+	force := make(map[string]bool, len(order))
+	for _, name := range order {
+		force[name] = true
+	}
+	return db.commitDisk(db.Version(), order, tables, nil, force, nil)
+}
+
+// TableDiskStats is one table's committed on-disk footprint.
+type TableDiskStats struct {
+	Segments int   `json:"segments"`
+	Pages    int   `json:"pages"`
+	Bytes    int64 `json:"bytes"`
+}
+
+// DiskStats reports each table's segment count, page count and byte
+// size (committed segments only — unpersisted tail rows have no disk
+// footprint). Nil for in-memory databases.
+func (db *DB) DiskStats() map[string]TableDiskStats {
+	if db.store == nil {
+		return nil
+	}
+	db.mu.RLock()
+	tables := make(map[string]*Table, len(db.tables))
+	for n, t := range db.tables {
+		tables[n] = t
+	}
+	db.mu.RUnlock()
+	out := make(map[string]TableDiskStats, len(tables))
+	for name, t := range tables {
+		pg, _ := t.capture()
+		var s TableDiskStats
+		if pg != nil {
+			for _, seg := range pg.segs {
+				s.Segments++
+				s.Pages += len(seg.pages)
+				if n := len(seg.pages); n > 0 {
+					last := seg.pages[n-1]
+					s.Bytes += last.off + int64(last.size)
+				}
+			}
+		}
+		out[name] = s
+	}
+	return out
 }
 
 // StorageDir reports the backing directory of a disk-backed database

@@ -40,16 +40,30 @@ func TestPageRoundTrip(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		rows = append(rows, mixedRow(i))
 	}
-	buf := encodePage(mixedCols, rows)
-	if len(buf)%pageSize != 0 {
-		t.Fatalf("page not padded to pageSize multiple: %d", len(buf))
+	ep := encodePage(mixedCols, rows)
+	if len(ep.buf)%pageBlock != 0 {
+		t.Fatalf("page not padded to pageBlock multiple: %d", len(ep.buf))
 	}
-	got, err := decodePage(mixedCols, buf)
+	if len(ep.zones) != len(mixedCols) {
+		t.Fatalf("page has %d zone entries, want %d", len(ep.zones), len(mixedCols))
+	}
+	if ep.raw <= 0 {
+		t.Fatalf("page raw size %d, want > 0", ep.raw)
+	}
+	got, err := decodePage(manifestFormatV2, mixedCols, ep.buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(got, rows) {
 		t.Fatal("decoded page differs from input")
+	}
+	// The float column holds +Inf rows: its zone entry must carry no
+	// bounds (Compare treats NaN/Inf unsafely for pruning).
+	if ep.zones[1].hasBounds {
+		t.Fatal("float column with +Inf rows still has zone bounds")
+	}
+	if !ep.zones[0].hasBounds {
+		t.Fatal("int column lost its zone bounds")
 	}
 }
 
@@ -65,11 +79,11 @@ func TestSplitPagesOversizeRow(t *testing.T) {
 		t.Fatalf("splitPages = %v, want [1 1 1]", counts)
 	}
 	for i, n := range counts {
-		buf := encodePage(cols, rows[i:i+n])
-		if len(buf)%pageSize != 0 {
-			t.Fatalf("oversize page %d not padded to multiple: %d", i, len(buf))
+		ep := encodePage(cols, rows[i:i+n])
+		if len(ep.buf)%pageBlock != 0 {
+			t.Fatalf("oversize page %d not padded to multiple: %d", i, len(ep.buf))
 		}
-		got, err := decodePage(cols, buf)
+		got, err := decodePage(manifestFormatV2, cols, ep.buf)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,167 @@
+package storage
+
+// Format-negotiation suite: this build writes format 2 but must keep
+// reading format-1 directories byte-identically, reject formats it
+// does not know with a clean error, and decode mixed catalogs (legacy
+// segments retained beside fresh appends) per segment.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// writeV1Store hand-builds a format-1 directory — one table "t" of n
+// mixedRow rows in a single fixed-64KiB raw page — exactly as the
+// previous release laid it out, and returns the rows as the oracle.
+func writeV1Store(t *testing.T, dir string, n int) []Row {
+	t.Helper()
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = mixedRow(i)
+	}
+	// v1 page: u32 rowCount, then per column u32 chunkLen + bare raw
+	// body (presence bitmap + present values), zero-padded to pageSize.
+	var buf []byte
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(n))
+	buf = append(buf, u32[:]...)
+	for ci := range mixedCols {
+		at := len(buf)
+		buf = append(buf, 0, 0, 0, 0)
+		buf = appendRawBody(buf, rows, ci)
+		binary.LittleEndian.PutUint32(buf[at:], uint32(len(buf)-at-4))
+	}
+	if len(buf) > pageSize {
+		t.Fatalf("test page overflows a v1 page: %d bytes", len(buf))
+	}
+	buf = append(buf, make([]byte, pageSize-len(buf))...)
+	segName := segPrefix + "00000000" + segSuffix
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	man := manifest{Format: manifestFormatV1, Version: 3, Tables: []manifestTable{{
+		Name: "t", Columns: mixedCols,
+		Segments: []manifestSegment{{File: segName, Rows: n,
+			Pages: []manifestPage{{Off: 0, Size: pageSize, Rows: n}}}},
+	}}}
+	data, err := json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestV1ReadCompat: a legacy directory opens, reads byte-identically,
+// and accepts a new append — whose commit writes a format-2 manifest
+// tagging the retained legacy segment format 1 (the mixed catalog).
+func TestV1ReadCompat(t *testing.T) {
+	t.Setenv("QUARRY_COMPACT_SEGMENTS", "0")
+	dir := t.TempDir()
+	rows := writeV1Store(t, dir, 300)
+
+	db := openDisk(t, dir)
+	if db.Version() != 3 {
+		t.Fatalf("version %d, want 3", db.Version())
+	}
+	tbl, ok := db.Table("t")
+	if !ok {
+		t.Fatal("table t missing from v1 store")
+	}
+	if !reflect.DeepEqual(tbl.Rows(), rows) {
+		t.Fatal("v1 rows differ after open")
+	}
+
+	// Append through the modern commit path: the new manifest is
+	// format 2 overall, the old segment stays format 1 on disk.
+	appendMixed(t, db, 5000, 40)
+	want := append(append([]Row{}, rows...), func() []Row {
+		var r []Row
+		for i := 0; i < 40; i++ {
+			r = append(r, mixedRow(5000+i))
+		}
+		return r
+	}()...)
+	re := openDisk(t, dir)
+	rt, _ := re.Table("t")
+	if !reflect.DeepEqual(rt.Rows(), want) {
+		t.Fatal("mixed v1+v2 catalog rows differ after reopen")
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		t.Fatal(err)
+	}
+	if man.Format != manifestFormatV2 {
+		t.Fatalf("post-append manifest format %d, want %d", man.Format, manifestFormatV2)
+	}
+	segs := man.Tables[0].Segments
+	if len(segs) != 2 || segs[0].Format != manifestFormatV1 || segs[1].Format != manifestFormatV2 {
+		t.Fatalf("mixed catalog not tagged per segment: %+v", segs)
+	}
+}
+
+// TestUnknownFormatRejected: a manifest (or segment) from a future
+// format must fail Open with an error naming the readable formats —
+// not a decode panic halfway into a query.
+func TestUnknownFormatRejected(t *testing.T) {
+	t.Run("manifest", func(t *testing.T) {
+		dir := t.TempDir()
+		writeV1Store(t, dir, 10)
+		mangle(t, dir, func(man *manifest) { man.Format = 3 })
+		_, err := Open(dir)
+		if err == nil {
+			t.Fatal("Open accepted format 3")
+		}
+		if !strings.Contains(err.Error(), "format 3") {
+			t.Fatalf("error %q does not name the offending format", err)
+		}
+	})
+	t.Run("segment", func(t *testing.T) {
+		dir := t.TempDir()
+		writeV1Store(t, dir, 10)
+		mangle(t, dir, func(man *manifest) {
+			man.Format = manifestFormatV2
+			man.Tables[0].Segments[0].Format = 9
+		})
+		if _, err := Open(dir); err == nil {
+			t.Fatal("Open accepted a segment of format 9")
+		}
+	})
+}
+
+// mangle rewrites the committed manifest through f.
+func mangle(t *testing.T, dir string, f func(*manifest)) {
+	t.Helper()
+	path := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		t.Fatal(err)
+	}
+	f(&man)
+	out, err := json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

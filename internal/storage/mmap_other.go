@@ -1,0 +1,11 @@
+//go:build !unix
+
+package storage
+
+import "os"
+
+// Non-unix platforms read segment pages with pread only.
+
+func sysMmap(f *os.File, size int64) []byte { return nil }
+
+func sysMunmap(data []byte) {}

@@ -4,22 +4,32 @@ package storage
 // segment/manifest machinery and docs/ARCHITECTURE.md for the format
 // spec).
 //
-// A segment file is an array of fixed-size pages. Each page holds a
-// run of whole rows laid out column-by-column:
+// A segment file is an array of pages. Each page holds a run of whole
+// rows laid out column-by-column. Two page formats exist, selected by
+// the manifest's format field:
 //
-//	page  := u32 rowCount, chunk[0], ..., chunk[ncols-1], padding
-//	chunk := u32 chunkLen, presence bitmap (ceil(rowCount/8) bytes),
-//	         values of the present (non-NULL) rows in row order
+//	format 1 (read-only legacy):
+//	  page  := u32 rowCount, chunk[0], ..., chunk[ncols-1], padding
+//	  chunk := u32 chunkLen, presence bitmap, raw values of the
+//	           present rows in row order
+//	  pages are zero-padded to the fixed pageSize (64 KiB)
 //
-// Values encode by column type: int as 8-byte little-endian two's
+//	format 2 (written by this build):
+//	  page  := u32 rowCount, chunk[0], ..., chunk[ncols-1], padding
+//	  chunk := u32 chunkLen, u8 encoding tag, body (see encoding.go:
+//	           raw, dictionary, run-length or bit-packed)
+//	  pages are variable-size, zero-padded to a pageBlock (4 KiB)
+//	  multiple so compression actually shrinks the file while offsets
+//	  stay block-aligned (mmap-friendly)
+//
+// Raw values encode by column type: int as 8-byte little-endian two's
 // complement, float as the 8-byte little-endian IEEE-754 bit pattern
 // (NaNs, infinities and -0 round-trip exactly), bool as one byte,
-// string as u32 length + UTF-8 bytes. A page is padded with zeros to
-// pageSize; a single row larger than one page gets an oversize page
-// padded to the next pageSize multiple, so every page offset stays
-// pageSize-aligned (mmap-friendly). Because the engine's type checker
-// normalises values on the way into a table (ints widen to float in
-// float columns), decoding reproduces the stored expr.Values
+// string as u32 length + UTF-8 bytes. Pages are still split by their
+// RAW encoded size (splitPages), so a decoded page costs ~pageSize of
+// memory no matter how well it compressed. Because the engine's type
+// checker normalises values on the way into a table (ints widen to
+// float in float columns), decoding reproduces the stored expr.Values
 // byte-identically — the disk backend shares the in-memory backend's
 // byte-identity oracle.
 
@@ -27,15 +37,19 @@ import (
 	"container/list"
 	"encoding/binary"
 	"fmt"
-	"math"
 	"sync"
 
 	"quarry/internal/expr"
 )
 
-// pageSize is the fixed page capacity (and alignment) of segment
-// files.
+// pageSize is the decoded page capacity: splitPages bounds each
+// page's RAW encoding to it, and format-1 files use it as the fixed
+// on-disk page size and alignment.
 const pageSize = 64 << 10
+
+// pageBlock is the on-disk alignment of format-2 pages: each encoded
+// page is zero-padded to a pageBlock multiple.
+const pageBlock = 4096
 
 // pageCacheBytes bounds the decoded pages kept resident per store
 // (the "buffer pool"); a variable so tests can shrink it to force
@@ -93,57 +107,64 @@ func splitPages(ncols int, rows []Row) []int {
 	return counts
 }
 
-// encodePage renders one page (padded to a pageSize multiple).
-func encodePage(cols []Column, rows []Row) []byte {
-	buf := make([]byte, 0, pageSize)
-	var u32 [4]byte
-	putU32 := func(v uint32) {
-		binary.LittleEndian.PutUint32(u32[:], v)
-		buf = append(buf, u32[:]...)
-	}
-	putU32(uint32(len(rows)))
-	var u64 [8]byte
-	for ci := range cols {
-		chunkAt := len(buf)
-		putU32(0) // chunk length, patched below
-		bitmapAt := len(buf)
-		buf = append(buf, make([]byte, (len(rows)+7)/8)...)
-		for ri, r := range rows {
-			v := r[ci]
-			if v.IsNull() {
-				continue
-			}
-			buf[bitmapAt+ri/8] |= 1 << (ri % 8)
-			switch v.Kind() {
-			case expr.KindInt:
-				binary.LittleEndian.PutUint64(u64[:], uint64(v.AsInt()))
-				buf = append(buf, u64[:]...)
-			case expr.KindFloat:
-				f, _ := v.AsFloat()
-				binary.LittleEndian.PutUint64(u64[:], math.Float64bits(f))
-				buf = append(buf, u64[:]...)
-			case expr.KindBool:
-				b := byte(0)
-				if v.AsBool() {
-					b = 1
-				}
-				buf = append(buf, b)
-			case expr.KindString:
-				s := v.AsString()
-				putU32(uint32(len(s)))
-				buf = append(buf, s...)
-			}
-		}
-		binary.LittleEndian.PutUint32(buf[chunkAt:], uint32(len(buf)-chunkAt-4))
-	}
-	if pad := len(buf) % pageSize; pad != 0 {
-		buf = append(buf, make([]byte, pageSize-pad)...)
-	}
-	return buf
+// encodedPage is one rendered format-2 page plus the write-time
+// metadata the manifest's page directory records alongside it.
+type encodedPage struct {
+	buf   []byte // padded to a pageBlock multiple
+	zones []zone // one per column
+	raw   int    // raw (format-1) encoded size: the decoded-memory proxy
 }
 
-// decodePage reconstructs a page's rows.
-func decodePage(cols []Column, buf []byte) ([]Row, error) {
+// TestingForceRaw disables compressed encodings (every chunk encodes
+// raw) so tests and benchmarks can measure compression win. Never set
+// outside tests.
+var TestingForceRaw bool
+
+// encodePage renders one page in format 2, choosing each column
+// chunk's encoding by a stats pass and deriving the page's zone map
+// from the same pass.
+func encodePage(cols []Column, rows []Row) encodedPage {
+	ep := encodedPage{
+		buf:   make([]byte, 0, pageBlock),
+		zones: make([]zone, len(cols)),
+		raw:   pageOverhead(len(cols), len(rows)),
+	}
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(rows)))
+	ep.buf = append(ep.buf, u32[:]...)
+	for ci, c := range cols {
+		st := analyzeChunk(rows, ci, c.Type)
+		ep.zones[ci] = st.zone
+		ep.raw += st.rawBytes
+		enc := encRaw
+		if !TestingForceRaw {
+			enc = chooseEncoding(c.Type, st)
+		}
+		chunkAt := len(ep.buf)
+		ep.buf = append(ep.buf, 0, 0, 0, 0) // chunk length, patched below
+		ep.buf = append(ep.buf, byte(enc))
+		switch enc {
+		case encRaw:
+			ep.buf = appendRawBody(ep.buf, rows, ci)
+		case encDict:
+			ep.buf = appendDictBody(ep.buf, rows, ci, st)
+		case encRLE:
+			ep.buf = appendRLEBody(ep.buf, rows, ci)
+		case encBitPack:
+			ep.buf = appendBitPackBody(ep.buf, rows, ci, st)
+		}
+		binary.LittleEndian.PutUint32(ep.buf[chunkAt:], uint32(len(ep.buf)-chunkAt-4))
+	}
+	if pad := len(ep.buf) % pageBlock; pad != 0 {
+		ep.buf = append(ep.buf, make([]byte, pageBlock-pad)...)
+	}
+	return ep
+}
+
+// decodePage reconstructs a page's rows. format selects the chunk
+// framing: format-1 chunks are a bare raw body, format-2 chunks carry
+// a leading encoding tag.
+func decodePage(format int, cols []Column, buf []byte) ([]Row, error) {
 	if len(buf) < 4 {
 		return nil, fmt.Errorf("page shorter than header")
 	}
@@ -160,53 +181,34 @@ func decodePage(cols []Column, buf []byte) ([]Row, error) {
 		}
 		chunkLen := int(binary.LittleEndian.Uint32(buf[pos:]))
 		pos += 4
-		if pos+chunkLen > len(buf) {
+		if chunkLen < 0 || pos+chunkLen > len(buf) {
 			return nil, fmt.Errorf("column %q chunk truncated", c.Name)
 		}
 		chunk := buf[pos : pos+chunkLen]
 		pos += chunkLen
-		bm := (n + 7) / 8
-		if len(chunk) < bm {
-			return nil, fmt.Errorf("column %q bitmap truncated", c.Name)
+		enc := encRaw
+		if format >= manifestFormatV2 {
+			if len(chunk) < 1 {
+				return nil, fmt.Errorf("column %q chunk missing encoding tag", c.Name)
+			}
+			enc = int(chunk[0])
+			chunk = chunk[1:]
 		}
-		vp := bm
-		for ri := 0; ri < n; ri++ {
-			if chunk[ri/8]&(1<<(ri%8)) == 0 {
-				continue // NULL: the zero Value
-			}
-			switch c.Type {
-			case "int":
-				if vp+8 > len(chunk) {
-					return nil, fmt.Errorf("column %q int value truncated", c.Name)
-				}
-				rows[ri][ci] = expr.Int(int64(binary.LittleEndian.Uint64(chunk[vp:])))
-				vp += 8
-			case "float":
-				if vp+8 > len(chunk) {
-					return nil, fmt.Errorf("column %q float value truncated", c.Name)
-				}
-				rows[ri][ci] = expr.Float(math.Float64frombits(binary.LittleEndian.Uint64(chunk[vp:])))
-				vp += 8
-			case "bool":
-				if vp+1 > len(chunk) {
-					return nil, fmt.Errorf("column %q bool value truncated", c.Name)
-				}
-				rows[ri][ci] = expr.Bool(chunk[vp] != 0)
-				vp++
-			case "string":
-				if vp+4 > len(chunk) {
-					return nil, fmt.Errorf("column %q string length truncated", c.Name)
-				}
-				sl := int(binary.LittleEndian.Uint32(chunk[vp:]))
-				vp += 4
-				if vp+sl > len(chunk) {
-					return nil, fmt.Errorf("column %q string value truncated", c.Name)
-				}
-				rows[ri][ci] = expr.Str(string(chunk[vp : vp+sl]))
-				vp += sl
-			default:
-				return nil, fmt.Errorf("column %q has unknown type %q", c.Name, c.Type)
-			}
+		var err error
+		switch enc {
+		case encRaw:
+			err = decodeRawBody(chunk, n, c.Type, rows, ci)
+		case encDict:
+			err = decodeDictBody(chunk, n, c.Type, rows, ci)
+		case encRLE:
+			err = decodeRLEBody(chunk, n, c.Type, rows, ci)
+		case encBitPack:
+			err = decodeBitPackBody(chunk, n, c.Type, rows, ci)
+		default:
+			err = fmt.Errorf("unknown encoding tag %d", enc)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("column %q: %w", c.Name, err)
 		}
 	}
 	return rows, nil

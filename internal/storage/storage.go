@@ -358,7 +358,7 @@ func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
 			return nil, fmt.Errorf("storage: table %q already exists", name)
 		}
 		order, tables := db.catalogWith([]*Table{t})
-		if err := db.commitDisk(db.Version()+1, order, tables, nil, install); err != nil {
+		if err := db.commitDisk(db.Version()+1, order, tables, nil, nil, install); err != nil {
 			return nil, err
 		}
 		return t, nil
@@ -436,7 +436,7 @@ func (db *DB) CommitRun(tables []*Table, appends []AppendDelta) error {
 			}
 			extra[a.Target] = append(extra[a.Target], rows...)
 		}
-		return db.commitDisk(db.Version()+1, order, catalog, extra, func() {
+		return db.commitDisk(db.Version()+1, order, catalog, extra, nil, func() {
 			for _, t := range tables {
 				if _, exists := db.tables[t.Name]; !exists {
 					db.order = append(db.order, t.Name)
@@ -492,7 +492,7 @@ func (db *DB) Attach(t *Table) error {
 			return fmt.Errorf("storage: table %q already exists", t.Name)
 		}
 		order, tables := db.catalogWith([]*Table{t})
-		return db.commitDisk(db.Version()+1, order, tables, nil, install)
+		return db.commitDisk(db.Version()+1, order, tables, nil, nil, install)
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -521,7 +521,7 @@ func (db *DB) CreateOrReplaceTable(name string, cols []Column) (*Table, error) {
 		st.commitMu.Lock()
 		defer st.commitMu.Unlock()
 		order, tables := db.catalogWith([]*Table{t})
-		if err := db.commitDisk(db.Version()+1, order, tables, nil, install); err != nil {
+		if err := db.commitDisk(db.Version()+1, order, tables, nil, nil, install); err != nil {
 			return nil, err
 		}
 		return t, nil
@@ -562,7 +562,7 @@ func (db *DB) Drop(name string) error {
 		if !ok {
 			return fmt.Errorf("storage: table %q does not exist", name)
 		}
-		return db.commitDisk(db.Version()+1, order, tables, nil, remove)
+		return db.commitDisk(db.Version()+1, order, tables, nil, nil, remove)
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
