@@ -6,6 +6,12 @@
 //	quarry demo [-sf 10]                  DW design: Figure 3 end-to-end
 //	quarry evolve [-sf 10]                accommodating a design to changes
 //	quarry export [-sf 10] [-out DIR]     deployment artifacts (DDL, .ktr)
+//	quarry xrq [-name revenue]            print a built-in requirement as xRQ XML
+//
+// The xrq subcommand emits the canonical xRQ document for one of the
+// built-in micro-TPC-H requirements — exactly the body that quarryd's
+// POST /api/requirements expects — so scripts can drive a running
+// server without hand-writing XML.
 package main
 
 import (
@@ -38,6 +44,8 @@ func main() {
 		err = cmdExport(os.Args[2:])
 	case "olap":
 		err = cmdOLAP(os.Args[2:])
+	case "xrq":
+		err = cmdXRQ(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -49,7 +57,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: quarry <elicit|demo|evolve|export|olap> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: quarry <elicit|demo|evolve|export|olap|xrq> [flags]")
 }
 
 // cmdOLAP: consume the deployed DW — build it for the revenue
@@ -309,5 +317,30 @@ func cmdExport(args []string) error {
 	for _, f := range facts {
 		fmt.Printf("\n-- sample star query for %s:\n%s\n", f, dep.StarQueries[f])
 	}
+	return nil
+}
+
+// cmdXRQ: print a built-in requirement as its canonical xRQ document —
+// the exact body quarryd's POST /api/requirements accepts. This is the
+// scripting bridge between the CLI and the HTTP service: pipe it into
+// curl to register a requirement on a running primary.
+func cmdXRQ(args []string) error {
+	fs := flag.NewFlagSet("xrq", flag.ExitOnError)
+	name := fs.String("name", "revenue", "built-in requirement: revenue or netprofit")
+	fs.Parse(args)
+	var req *quarry.Requirement
+	switch *name {
+	case "revenue":
+		req = quarry.RevenueRequirement()
+	case "netprofit":
+		req = quarry.NetProfitRequirement()
+	default:
+		return fmt.Errorf("unknown requirement %q (want revenue or netprofit)", *name)
+	}
+	text, err := quarry.MarshalRequirement(req)
+	if err != nil {
+		return err
+	}
+	fmt.Println(text)
 	return nil
 }

@@ -9,6 +9,7 @@
 //	        [-parallelism 0] [-batch-size 0]
 //	        [-olap-concurrency 0] [-olap-cache 256]
 //	        [-matagg] [-matagg-top-k 8]
+//	        [-replica-of URL] [-replica-dir DIR] [-replica-interval 1s]
 //
 // With -data-dir the warehouse lives in a paged on-disk store: the
 // first start generates and checkpoints the micro-TPC-H sources, a
@@ -17,18 +18,35 @@
 // recovered table into a single freshly encoded segment before
 // serving, which also rewrites legacy format-1 directories into the
 // compressed format-2 encodings.
+//
+// With -replica-of the node starts as a read replica of the named
+// primary: it ships committed segments from the primary into its own
+// -data-dir (required), replays the primary's requirement designs to
+// rebuild the unified OLAP view locally, serves /api/olap from its
+// own snapshot/materialized-aggregate/result-cache stack, rejects
+// every write with 403, and reports replication lag in /api/health.
+// -replica-dir switches the DATA transport from the primary's HTTP
+// replication endpoints to direct reads of a shared directory (the
+// primary's -data-dir over a shared filesystem); requirement designs
+// still replay over HTTP from -replica-of. -replica-interval sets
+// the poll cadence for tailing the primary's commits.
 package main
 
 import (
+	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"time"
 
 	"quarry/internal/core"
 	"quarry/internal/engine"
+	"quarry/internal/replication"
 	"quarry/internal/server"
 	"quarry/internal/storage"
 	"quarry/internal/tpch"
+	"quarry/internal/xrq"
 )
 
 func main() {
@@ -44,7 +62,18 @@ func main() {
 	olapCache := flag.Int("olap-cache", 256, "OLAP result cache capacity (negative disables)")
 	matagg := flag.Bool("matagg", true, "materialize hot OLAP aggregates (adaptive, version-keyed)")
 	mataggTopK := flag.Int("matagg-top-k", 8, "materialized aggregates kept per refresh")
+	replicaOf := flag.String("replica-of", "", "primary base URL (e.g. http://primary:8080); start as a read replica of it")
+	replicaDir := flag.String("replica-dir", "", "with -replica-of: ship segments by reading this shared directory (the primary's -data-dir) instead of the primary's HTTP replication endpoints")
+	replicaInterval := flag.Duration("replica-interval", time.Second, "with -replica-of: how often to poll the primary for new commits")
 	flag.Parse()
+
+	if *replicaOf != "" {
+		runReplica(*addr, *dataDir, *replicaOf, *replicaDir, *replicaInterval, replicaConfig{
+			store: *store, sf: *sf, parallelism: *parallelism, batchSize: *batchSize,
+			olapConc: *olapConc, olapCache: *olapCache, matagg: *matagg, mataggTopK: *mataggTopK,
+		})
+		return
+	}
 
 	onto, err := tpch.Ontology()
 	if err != nil {
@@ -122,4 +151,159 @@ func main() {
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatalf("quarryd: %v", err)
 	}
+}
+
+// replicaConfig carries the serving knobs a replica shares with a
+// primary (engine sizing, OLAP concurrency/cache, matagg).
+type replicaConfig struct {
+	store       string
+	sf          float64
+	parallelism int
+	batchSize   int
+	olapConc    int
+	olapCache   int
+	matagg      bool
+	mataggTopK  int
+}
+
+// runReplica starts quarryd as a read replica: ship the primary's
+// committed segments into dataDir, replay its requirement designs to
+// rebuild the unified OLAP view, and serve reads from the local
+// snapshot stack. The node never generates data, never deploys, and
+// never runs ETL — every byte of warehouse state arrives through the
+// manifest-shipping protocol, and every write endpoint answers 403.
+func runReplica(addr, dataDir, primary, sharedDir string, interval time.Duration, cfg replicaConfig) {
+	if dataDir == "" {
+		log.Fatalf("quarryd: -replica-of requires -data-dir (replicas keep a local disk copy of the shipped segments)")
+	}
+	db, err := storage.Open(dataDir)
+	if err != nil {
+		log.Fatalf("quarryd: %v", err)
+	}
+	var src replication.Source
+	if sharedDir != "" {
+		src = &replication.DirSource{Dir: sharedDir}
+	} else {
+		src = &replication.HTTPSource{Base: primary}
+	}
+	syncer, err := replication.NewSyncer(db, src, primary)
+	if err != nil {
+		log.Fatalf("quarryd: %v", err)
+	}
+	ctx := context.Background()
+	// Converge on the primary's current state before serving: first the
+	// data (segments + manifest), then the designs. Both retry until the
+	// primary is reachable — a replica is typically started while the
+	// primary is still warming up.
+	for {
+		if _, err := syncer.Sync(ctx); err != nil {
+			log.Printf("quarryd: initial sync from %s: %v (retrying)", primary, err)
+			time.Sleep(interval)
+			continue
+		}
+		break
+	}
+	onto, err := tpch.Ontology()
+	if err != nil {
+		log.Fatalf("quarryd: %v", err)
+	}
+	mapg, err := tpch.Mapping()
+	if err != nil {
+		log.Fatalf("quarryd: %v", err)
+	}
+	cat, err := tpch.Catalog(cfg.sf)
+	if err != nil {
+		log.Fatalf("quarryd: %v", err)
+	}
+	topK := 0
+	if cfg.matagg {
+		topK = cfg.mataggTopK
+	}
+	p, err := core.New(core.Config{
+		Ontology: onto, Mapping: mapg, Catalog: cat, DB: db, StoreDir: cfg.store,
+		Engine:     engine.Options{Parallelism: cfg.parallelism, BatchSize: cfg.batchSize},
+		MatAggTopK: topK,
+	})
+	if err != nil {
+		log.Fatalf("quarryd: %v", err)
+	}
+	for {
+		if err := reconcileDesigns(ctx, p, primary); err != nil {
+			log.Printf("quarryd: replaying designs from %s: %v (retrying)", primary, err)
+			time.Sleep(interval)
+			continue
+		}
+		break
+	}
+	srv := server.NewWithOptions(p, server.Options{
+		OLAPConcurrency: cfg.olapConc,
+		OLAPCacheSize:   cfg.olapCache,
+		ReadOnly:        true,
+		ReplicaStatus:   syncer.Status,
+	})
+	srv.WarehouseChanged()
+	go syncer.Tail(ctx, interval, func(rep replication.Report) {
+		log.Printf("quarryd: synced to version %d (%d segments, %d bytes)",
+			rep.ToVersion, rep.Segments, rep.Bytes)
+		// Designs can change alongside data (a republish follows a
+		// requirement change), so re-reconcile before invalidating the
+		// serving caches at the new version.
+		if err := reconcileDesigns(ctx, p, primary); err != nil {
+			log.Printf("quarryd: replaying designs from %s: %v", primary, err)
+		}
+		srv.WarehouseChanged()
+	})
+	st := syncer.Status()
+	log.Printf("quarryd: replica of %s ready at version %d (converged=%v); listening on %s",
+		primary, st.LocalVersion, st.Converged, addr)
+	if err := http.ListenAndServe(addr, srv.Handler()); err != nil {
+		log.Fatalf("quarryd: %v", err)
+	}
+}
+
+// reconcileDesigns makes the local requirement set equal to the
+// primary's: fetch the primary's requirements (canonical xRQ, in
+// registration order), add the missing, change the differing, and
+// remove the ones the primary no longer has. Both sides' XML comes
+// from xrq.Marshal, so string equality is design equality.
+func reconcileDesigns(ctx context.Context, p *core.Platform, primary string) error {
+	remote, err := replication.FetchRequirements(ctx, primary, nil)
+	if err != nil {
+		return err
+	}
+	localXML := make(map[string]string)
+	for _, r := range p.Requirements() {
+		s, err := xrq.Marshal(r)
+		if err != nil {
+			return err
+		}
+		localXML[r.ID] = s
+	}
+	remoteIDs := make(map[string]bool, len(remote))
+	for _, rr := range remote {
+		remoteIDs[rr.ID] = true
+		cur, have := localXML[rr.ID]
+		if have && cur == rr.XML {
+			continue
+		}
+		req, err := xrq.Unmarshal(rr.XML)
+		if err != nil {
+			return fmt.Errorf("requirement %s: %w", rr.ID, err)
+		}
+		if !have {
+			if _, err := p.AddRequirement(req); err != nil {
+				return err
+			}
+		} else if _, err := p.ChangeRequirement(req); err != nil {
+			return err
+		}
+	}
+	for id := range localXML {
+		if !remoteIDs[id] {
+			if _, err := p.RemoveRequirement(id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

@@ -1,0 +1,45 @@
+// Command quarryrouter is the scatter front of a replicated Quarry
+// deployment: it fans /api/olap (and other reads) across a fleet of
+// read replicas with health-checked round-robin, retrying a failed
+// request on the next replica. Replicas answer byte-identically, so
+// failover never changes an answer.
+//
+// Usage:
+//
+//	quarryrouter -replicas http://r1:8081,http://r2:8082 [-addr :8090]
+//	             [-health-interval 2s]
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"quarry/internal/router"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	replicas := flag.String("replicas", "", "comma-separated replica base URLs (required)")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "replica health probe cadence")
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	rt, err := router.New(urls, nil)
+	if err != nil {
+		log.Fatalf("quarryrouter: %v (use -replicas)", err)
+	}
+	go rt.HealthLoop(context.Background(), *healthInterval)
+	log.Printf("quarryrouter: scattering over %d replicas; listening on %s", len(urls), *addr)
+	if err := http.ListenAndServe(*addr, rt.Handler()); err != nil {
+		log.Fatalf("quarryrouter: %v", err)
+	}
+}

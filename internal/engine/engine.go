@@ -39,6 +39,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -96,6 +97,12 @@ func (r *Result) TotalLoaded() int64 {
 // create-or-replace (default) or append to their target tables.
 func Run(d *xlm.Design, db *storage.DB) (*Result, error) {
 	return RunWithOptions(d, db, Options{})
+}
+
+// RunContext is Run under a context: cancellation aborts the run
+// through the executor's first-error path and commits nothing.
+func RunContext(ctx context.Context, d *xlm.Design, db *storage.DB) (*Result, error) {
+	return RunWithOptionsContext(ctx, d, db, Options{})
 }
 
 // materialised rows of one operation.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -613,6 +614,17 @@ func (r *runner) runLoader() error {
 // same commit point, so a failed run leaves every live table — replace
 // and append targets alike — in its pre-run state.
 func RunWithOptions(d *xlm.Design, db *storage.DB, opts Options) (*Result, error) {
+	return RunWithOptionsContext(context.Background(), d, db, opts)
+}
+
+// RunWithOptionsContext is RunWithOptions under a context: when ctx is
+// cancelled the run aborts through the same first-error path as an
+// operation failure — every runner observes the closed abort channel
+// at its next batch boundary — and nothing is committed (the staged
+// loads are simply dropped, so live tables keep their pre-run state).
+// The serving layer uses this to stop star-flow oracle queries whose
+// client has disconnected.
+func RunWithOptionsContext(ctx context.Context, d *xlm.Design, db *storage.DB, opts Options) (*Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -681,6 +693,20 @@ func RunWithOptions(d *xlm.Design, db *storage.DB, opts Options) (*Result, error
 		runners = append(runners, r)
 	}
 	start := time.Now()
+	// Cancellation watcher: fold ctx into the executor's own abort
+	// machinery so a cancel behaves exactly like an operation error.
+	if ctx != nil && ctx.Done() != nil {
+		watcherDone := make(chan struct{})
+		defer close(watcherDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				ex.fail(ctx.Err())
+			case <-ex.abort:
+			case <-watcherDone:
+			}
+		}()
+	}
 	var wg sync.WaitGroup
 	for _, r := range runners {
 		wg.Add(1)

@@ -1,0 +1,121 @@
+package olap_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"quarry/internal/olap"
+	"quarry/internal/tpch"
+)
+
+// TestQueryContextCancelled: a cancelled context aborts both
+// executors instead of running the query to completion — the serving
+// layer relies on this to stop burning a pool slot when the client
+// has disconnected.
+func TestQueryContextCancelled(t *testing.T) {
+	p, _ := platformWith(t, 1, 42, tpch.RevenueRequirement())
+	e, err := p.OLAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := olap.CubeQuery{
+		Fact:     "fact_table_revenue",
+		GroupBy:  []string{"n_name"},
+		Measures: []olap.MeasureSpec{{Out: "total", Func: "SUM", Col: "revenue"}},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.QueryContext(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("fast path under cancelled context = %v, want context.Canceled", err)
+	}
+	if _, err := e.QueryStarFlowContext(ctx, q); err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("star-flow oracle under cancelled context = %v, want context.Canceled", err)
+	}
+	// Sanity: the same query still answers under a live context.
+	if _, err := e.QueryContext(context.Background(), q); err != nil {
+		t.Fatalf("query under background context: %v", err)
+	}
+	if _, err := e.QueryStarFlowContext(context.Background(), q); err != nil {
+		t.Fatalf("oracle under background context: %v", err)
+	}
+}
+
+// TestMatAggUnservablePatternRejectedAtAdmission pins the admission
+// gate: a pattern widened by filter identifiers whose measures cannot
+// be re-aggregated exactly (float SUM) can never answer the query
+// that logged it, so it must not burn a top-K materialization slot —
+// and the freed slot must go to a servable pattern instead, even a
+// much colder one.
+func TestMatAggUnservablePatternRejectedAtAdmission(t *testing.T) {
+	p, _ := platformWith(t, 3, 42, tpch.RevenueRequirement())
+	e, err := p.OLAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := olap.NewMatAgg(1) // a single slot: admission decides everything
+	e = e.WithMatAgg(m)
+
+	// Unservable: the filter identifier (n_name) widens the pattern
+	// beyond the query's group-by, so the entry could only serve its
+	// generating query by re-aggregation — which float SUM forbids.
+	unservable := olap.CubeQuery{
+		Fact:     "fact_table_revenue",
+		GroupBy:  []string{"p_brand"},
+		Filter:   "n_name = 'SPAIN'",
+		Measures: []olap.MeasureSpec{{Out: "total", Func: "SUM", Col: "revenue"}},
+	}
+	// Servable: exact granularity, no widening — a projection answer.
+	servable := olap.CubeQuery{
+		Fact:     "fact_table_revenue",
+		GroupBy:  []string{"n_name"},
+		Measures: []olap.MeasureSpec{{Out: "total", Func: "SUM", Col: "revenue"}},
+	}
+	// Make the unservable pattern by far the hottest.
+	for i := 0; i < 8; i++ {
+		if _, err := e.Query(unservable); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Query(servable); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Refresh(e); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.UnservableRejected == 0 {
+		t.Fatalf("unservable pattern was admitted to the log: %+v", st)
+	}
+	if st.Materialized == 0 {
+		t.Fatalf("nothing materialized — the freed slot went unused: %+v", st)
+	}
+
+	// The single slot must hold the SERVABLE pattern: repeating its
+	// query is an aggregate hit, byte-identical to the oracle.
+	before := m.Stats()
+	fast, err := e.Query(servable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := e.QueryStarFlow(servable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "servable pattern in freed slot", fast, oracle)
+	if after := m.Stats(); after.Hits != before.Hits+1 {
+		t.Fatalf("servable pattern did not take the freed slot: hits %d → %d (stats %+v)",
+			before.Hits, after.Hits, after)
+	}
+
+	// And the unservable query keeps its correct base-path answer.
+	fast, err = e.Query(unservable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err = e.QueryStarFlow(unservable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "unservable query on base path", fast, oracle)
+}

@@ -1,6 +1,7 @@
 package olap
 
 import (
+	"context"
 	"fmt"
 
 	"quarry/internal/engine"
@@ -56,8 +57,11 @@ func remapRows(batch []storage.Row, remap []int) [][]expr.Value {
 // execFast runs the plan on the vectorized fast path over a snapshot:
 // build per-dimension hash tables, stream the fact through join →
 // filter → (dice) → hash aggregation, sort, and return the in-memory
-// result. Nothing is written to any database.
-func (e *Engine) execFast(p *starPlan, snap *storage.Snapshot) (*Result, error) {
+// result. Nothing is written to any database. Cancellation is checked
+// at every batch boundary of the build and probe scans — the places a
+// query spends its time — so an abandoned query releases its
+// resources promptly instead of running to completion.
+func (e *Engine) execFast(ctx context.Context, p *starPlan, snap *storage.Snapshot) (*Result, error) {
 	// Build phase: one hash table per dimension, keyed on the
 	// reference column, rows projected to key alias + needed columns.
 	// With a MatAgg attached, built tables are cached per (version,
@@ -106,6 +110,9 @@ func (e *Engine) execFast(p *starPlan, snap *storage.Snapshot) (*Result, error) 
 		// side removes no surviving row.
 		bcur := view.Cursor(sj.preds)
 		for {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			batch := bcur.Next(fastBatchSize)
 			if batch == nil {
 				break
@@ -169,6 +176,9 @@ func (e *Engine) execFast(p *starPlan, snap *storage.Snapshot) (*Result, error) 
 	var detail [][]expr.Value // buffered only when dicing
 	factCur := factView.Cursor(p.factPreds)
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		batch := factCur.Next(fastBatchSize)
 		if batch == nil {
 			break
@@ -212,5 +222,5 @@ func (e *Engine) execFast(p *starPlan, snap *storage.Snapshot) (*Result, error) 
 		sortIdx[i] = i
 	}
 	rows = engine.SortRowsBy(rows, sortIdx)
-	return &Result{Columns: p.resultColumns(), Rows: rows}, nil
+	return &Result{Columns: p.resultColumns(), Rows: rows, Version: snap.Version()}, nil
 }

@@ -43,6 +43,7 @@ package olap
 //     the byte-identical oracle for every served query.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -145,6 +146,7 @@ type MatAggStats struct {
 	Hits               int64  `json:"hits"`
 	Rewrites           int64  `json:"rewrites"`
 	Misses             int64  `json:"misses"`
+	UnservableRejected int64  `json:"unservable_rejected"`
 	LastRefreshVersion uint64 `json:"last_refresh_version"`
 	LastRefreshError   string `json:"last_refresh_error,omitempty"`
 	DimCacheHits       int64  `json:"dim_cache_hits"`
@@ -163,8 +165,12 @@ type MatAgg struct {
 	dims     *dimCache
 
 	recorded, hits, rewrites, misses int64
-	lastRefreshVersion               uint64
-	lastRefreshErr                   string
+	// unservable counts queries whose pattern was rejected at
+	// admission because no materialization of it could ever serve
+	// them (see record).
+	unservable         int64
+	lastRefreshVersion uint64
+	lastRefreshErr     string
 	// gen counts wholesale invalidations; a Refresh started before an
 	// Invalidate must not install its (old-design) entries afterwards.
 	gen uint64
@@ -229,6 +235,7 @@ func (m *MatAgg) Stats() MatAggStats {
 		Hits:               m.hits,
 		Rewrites:           m.rewrites,
 		Misses:             m.misses,
+		UnservableRejected: m.unservable,
 		LastRefreshVersion: m.lastRefreshVersion,
 		LastRefreshError:   m.lastRefreshErr,
 	}
@@ -278,9 +285,25 @@ func patternOf(p *starPlan) (groupBy []string, measures []aggMeasure, ok bool) {
 // lattice neighbours. Pattern canonicalization and the roll-up
 // closure run before the store lock is taken — only the weight bumps
 // serialize, keeping contention off the serving hot path.
+//
+// Admission gate: a pattern whose group-by set was WIDENED by filter
+// identifiers can only serve its generating query by re-aggregation
+// (the entry's granularity is strictly finer than the query's), so if
+// any of its measures is not re-aggregable — float SUM, AVG — the
+// materialized entry could never answer the very query that logged
+// it. Admitting such patterns burns top-K materialization slots on
+// dead weight; they are rejected here instead (counted in
+// UnservableRejected), leaving their slots to servable patterns.
 func (m *MatAgg) record(e *Engine, p *starPlan) {
 	groupBy, measures, ok := patternOf(p)
 	if !ok {
+		return
+	}
+	if widened(p) && !allReaggregable(p, measures) {
+		m.mu.Lock()
+		m.recorded++
+		m.unservable++
+		m.mu.Unlock()
 		return
 	}
 	variants := e.rollupVariants(groupBy)
@@ -291,6 +314,40 @@ func (m *MatAgg) record(e *Engine, p *starPlan) {
 	for _, variant := range variants {
 		m.bumpLocked(p.fact.Name, variant, measures, derivedWeight)
 	}
+}
+
+// widened reports whether the plan's filter adds identifiers beyond
+// its group-by columns — i.e. whether patternOf returned a strictly
+// finer granularity than the query aggregates at.
+func widened(p *starPlan) bool {
+	if p.filter == nil {
+		return false
+	}
+	grouped := map[string]bool{}
+	for _, g := range p.groupBy {
+		grouped[g] = true
+	}
+	for _, id := range expr.Idents(p.filter) {
+		if !grouped[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// allReaggregable reports whether every measure's second fold over
+// stored partials is exact (see reaggregable).
+func allReaggregable(p *starPlan, measures []aggMeasure) bool {
+	for _, am := range measures {
+		srcType := ""
+		if am.Col != "" {
+			srcType, _ = p.columnType(am.Col)
+		}
+		if !reaggregable(am.Func, srcType) {
+			return false
+		}
+	}
+	return true
 }
 
 // normLocked returns pat's weight normalized to the current epoch.
@@ -610,7 +667,7 @@ func (m *MatAgg) build(e *Engine, pat *aggPattern) (*matEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.execFast(p, snap)
+	res, err := e.execFast(context.Background(), p, snap)
 	if err != nil {
 		return nil, err
 	}

@@ -48,6 +48,7 @@
 package olap
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -111,6 +112,12 @@ type DiceSpec struct {
 type Result struct {
 	Columns []string
 	Rows    [][]expr.Value
+	// Version is the warehouse structural version of the snapshot the
+	// query actually ran against. Callers caching results keyed by
+	// version MUST key on this — not on a version read before
+	// executing, which a concurrent ETL commit can leave one behind
+	// the snapshot the query observed.
+	Version uint64
 }
 
 // Engine answers cube queries against a database holding a deployed
@@ -185,6 +192,14 @@ func (e *Engine) MatAgg() *MatAgg { return e.mat }
 // and version exists, by rewriting onto it (see matagg.go). See
 // QueryStarFlow for the engine-executed oracle.
 func (e *Engine) Query(q CubeQuery) (*Result, error) {
+	return e.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query under a context: cancellation stops the scan
+// at the next batch boundary and returns ctx.Err(). The serving layer
+// passes the request context so a disconnected client's query stops
+// burning its concurrency slot.
+func (e *Engine) QueryContext(ctx context.Context, q CubeQuery) (*Result, error) {
 	p, err := e.plan(q)
 	if err != nil {
 		return nil, err
@@ -193,7 +208,7 @@ func (e *Engine) Query(q CubeQuery) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.answerPlanned(p, snap)
+	return e.answerPlanned(ctx, p, snap)
 }
 
 // QuerySnapshot answers the query on the fast path against an
@@ -206,13 +221,13 @@ func (e *Engine) QuerySnapshot(q CubeQuery, snap *storage.Snapshot) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	return e.answerPlanned(p, snap)
+	return e.answerPlanned(context.Background(), p, snap)
 }
 
 // answerPlanned records the planned query in the aggregate store's
 // log, serves it from the coarsest eligible materialized aggregate,
 // and otherwise falls back to the base-fact fast path.
-func (e *Engine) answerPlanned(p *starPlan, snap *storage.Snapshot) (*Result, error) {
+func (e *Engine) answerPlanned(ctx context.Context, p *starPlan, snap *storage.Snapshot) (*Result, error) {
 	if e.mat != nil {
 		e.mat.record(e, p)
 		res, ok, err := e.mat.answer(e, p, snap)
@@ -220,10 +235,11 @@ func (e *Engine) answerPlanned(p *starPlan, snap *storage.Snapshot) (*Result, er
 			return nil, err
 		}
 		if ok {
+			res.Version = snap.Version()
 			return res, nil
 		}
 	}
-	return e.execFast(p, snap)
+	return e.execFast(ctx, p, snap)
 }
 
 // Snapshot captures the consistent view the query would read:

@@ -1,6 +1,7 @@
 package olap
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -34,6 +35,12 @@ const (
 // QueryStarFlow answers the cube query with the star-flow oracle.
 // Results are byte-identical to Query.
 func (e *Engine) QueryStarFlow(q CubeQuery) (*Result, error) {
+	return e.QueryStarFlowContext(context.Background(), q)
+}
+
+// QueryStarFlowContext is QueryStarFlow under a context: cancellation
+// aborts the scratch engine runs through their first-error path.
+func (e *Engine) QueryStarFlowContext(ctx context.Context, q CubeQuery) (*Result, error) {
 	p, err := e.plan(q)
 	if err != nil {
 		return nil, err
@@ -57,10 +64,10 @@ func (e *Engine) QueryStarFlow(q CubeQuery) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := engine.Run(d, scratch); err != nil {
+		if _, err := engine.RunContext(ctx, d, scratch); err != nil {
 			return nil, err
 		}
-		return readResult(scratch, p)
+		return readResult(scratch, p, snap.Version())
 	}
 	// Dicing: materialise the detail rows (joins + filter, no
 	// aggregation), prune them to the diamond with the reference
@@ -69,7 +76,7 @@ func (e *Engine) QueryStarFlow(q CubeQuery) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := engine.Run(d1, scratch); err != nil {
+	if _, err := engine.RunContext(ctx, d1, scratch); err != nil {
 		return nil, err
 	}
 	detail, ok := scratch.Table(detailTable)
@@ -99,19 +106,20 @@ func (e *Engine) QueryStarFlow(q CubeQuery) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := engine.Run(d2, scratch); err != nil {
+	if _, err := engine.RunContext(ctx, d2, scratch); err != nil {
 		return nil, err
 	}
-	return readResult(scratch, p)
+	return readResult(scratch, p, snap.Version())
 }
 
-// readResult copies the answer table out of the scratch DB.
-func readResult(scratch *storage.DB, p *starPlan) (*Result, error) {
+// readResult copies the answer table out of the scratch DB, stamped
+// with the version of the snapshot the flow read.
+func readResult(scratch *storage.DB, p *starPlan, version uint64) (*Result, error) {
 	answer, ok := scratch.Table(answerTable)
 	if !ok {
 		return nil, fmt.Errorf("olap: internal: answer table missing")
 	}
-	res := &Result{Columns: p.resultColumns()}
+	res := &Result{Columns: p.resultColumns(), Version: version}
 	res.Rows = valueRows(answer.Rows())
 	return res, nil
 }

@@ -1,0 +1,80 @@
+package replication
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Segment shipping replicates the warehouse DATA; the replica also
+// needs the primary's DESIGN (the registered xRQ requirements, from
+// which core re-derives the multidimensional schema, the ETL flows and
+// the OLAP metadata deterministically) to serve /api/olap. The design
+// is tiny and changes rarely, so it rides the ordinary requirement
+// API rather than the segment protocol.
+
+// RemoteRequirement is one requirement fetched from a primary, as its
+// canonical xRQ XML.
+type RemoteRequirement struct {
+	ID  string
+	XML string
+}
+
+// FetchRequirements lists a primary's registered requirements and
+// downloads each one's xRQ document, in the primary's registration
+// order (replaying them in order reproduces the primary's unified
+// design exactly).
+func FetchRequirements(ctx context.Context, base string, client *http.Client) ([]RemoteRequirement, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	base = strings.TrimRight(base, "/")
+	var list []struct {
+		ID string `json:"id"`
+	}
+	if err := getJSON(ctx, client, base+"/api/requirements", &list); err != nil {
+		return nil, err
+	}
+	out := make([]RemoteRequirement, 0, len(list))
+	for _, item := range list {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			base+"/api/requirements/"+url.PathEscape(item.ID), nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("replication: GET requirement %s: %s", item.ID, resp.Status)
+		}
+		out = append(out, RemoteRequirement{ID: item.ID, XML: string(body)})
+	}
+	return out, nil
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, into any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replication: GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}

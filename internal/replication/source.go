@@ -1,0 +1,136 @@
+// Package replication ships committed catalogs between Quarry
+// warehouses. It is the transport layer over the storage engine's
+// manifest protocol (internal/storage/manifest): a primary's state is
+// fully described by one manifest naming immutable segment files, so
+// replication is "fetch the segments the remote manifest names that
+// the local one does not, then adopt the remote manifest bytes through
+// the same fsync+rename commit point". A replica that crashes
+// mid-fetch recovers exactly like a primary that crashed mid-commit —
+// unreferenced files are garbage, the committed manifest is the truth
+// — and catch-up after downtime is just a bigger diff.
+package replication
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+
+	mf "quarry/internal/storage/manifest"
+)
+
+// ErrNoManifest reports that the primary has not committed anything
+// yet — not a failure, just nothing to replicate.
+var ErrNoManifest = errors.New("replication: primary has no committed manifest")
+
+// ErrSegmentGone reports that a segment named by the manifest the
+// syncer is working from has since been garbage-collected on the
+// primary (a republish or compaction landed mid-sync). The sync pass
+// fails; the next pass fetches the newer manifest and succeeds.
+var ErrSegmentGone = errors.New("replication: segment no longer on primary")
+
+// Source is a primary's replication feed: its committed manifest bytes
+// and its immutable segment files. Implementations must tolerate being
+// read concurrently with the primary's own commits — which both
+// transports below get for free, because segments are never rewritten
+// in place and the manifest is replaced atomically.
+type Source interface {
+	// Manifest returns the primary's committed manifest bytes verbatim
+	// (the replica adopts them unmodified, keeping the catalogs
+	// byte-identical). ErrNoManifest when the primary is empty.
+	Manifest(ctx context.Context) ([]byte, error)
+	// Segment opens the named segment file for streaming.
+	// ErrSegmentGone when the primary no longer has it.
+	Segment(ctx context.Context, name string) (io.ReadCloser, error)
+}
+
+// HTTPSource reads a primary over its /api/replication endpoints.
+type HTTPSource struct {
+	// Base is the primary's base URL (e.g. "http://primary:8080").
+	Base string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+func (s *HTTPSource) client() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return http.DefaultClient
+}
+
+func (s *HTTPSource) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(s.Base, "/")+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return s.client().Do(req)
+}
+
+func (s *HTTPSource) Manifest(ctx context.Context) ([]byte, error) {
+	resp, err := s.get(ctx, "/api/replication/manifest")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, ErrNoManifest
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("replication: GET manifest: %s", resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func (s *HTTPSource) Segment(ctx context.Context, name string) (io.ReadCloser, error) {
+	if !mf.IsSegmentName(name) {
+		return nil, fmt.Errorf("replication: invalid segment name %q", name)
+	}
+	resp, err := s.get(ctx, "/api/replication/segment/"+url.PathEscape(name))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		resp.Body.Close()
+		return nil, ErrSegmentGone
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("replication: GET segment %s: %s", name, resp.Status)
+	}
+	return resp.Body, nil
+}
+
+// DirSource reads a primary's storage directory directly — the
+// transport for tests and for replicas sharing a filesystem with the
+// primary. Safe against concurrent primary commits for the same
+// reason the HTTP transport is: the manifest read sees either the old
+// or the new catalog (rename is atomic), and segment files are
+// immutable once written.
+type DirSource struct {
+	Dir string
+}
+
+func (s *DirSource) Manifest(_ context.Context) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(s.Dir, mf.FileName))
+	if os.IsNotExist(err) {
+		return nil, ErrNoManifest
+	}
+	return data, err
+}
+
+func (s *DirSource) Segment(_ context.Context, name string) (io.ReadCloser, error) {
+	if !mf.IsSegmentName(name) {
+		return nil, fmt.Errorf("replication: invalid segment name %q", name)
+	}
+	f, err := os.Open(filepath.Join(s.Dir, name))
+	if os.IsNotExist(err) {
+		return nil, ErrSegmentGone
+	}
+	return f, err
+}

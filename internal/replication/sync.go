@@ -1,0 +1,280 @@
+package replication
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"quarry/internal/storage"
+	mf "quarry/internal/storage/manifest"
+)
+
+// fetchSuffix marks an in-flight segment download. A crash leaves the
+// partial file behind under this name — never under a real segment
+// name, so neither the storage engine's recovery nor a reader can
+// confuse it with committed data — and the next sync pass deletes it.
+const fetchSuffix = ".fetch"
+
+// TestingSyncFault is a crash-injection hook for tests, mirroring
+// storage.TestingCommitFault: when set, it is consulted at the named
+// sync stages ("fetch:<segment>": that segment's bytes are on disk
+// under its .fetch name, nothing renamed; "rename": every segment
+// fetched, final renames pending; "commit": segments renamed and
+// durable, manifest commit pending). Returning a non-nil error aborts
+// the pass exactly as a crash at that point would. Never set outside
+// tests.
+var TestingSyncFault func(stage string) error
+
+func syncFault(stage string) error {
+	if TestingSyncFault == nil {
+		return nil
+	}
+	return TestingSyncFault(stage)
+}
+
+// Report summarises one completed sync pass.
+type Report struct {
+	// Changed reports whether the pass adopted a new catalog (new
+	// manifest bytes — a version bump, or a same-version compaction).
+	Changed     bool
+	FromVersion uint64
+	ToVersion   uint64
+	Segments    int   // segment files fetched
+	Bytes       int64 // segment bytes fetched
+}
+
+// Status is a syncer's cumulative state, served under /api/health on
+// replicas. VersionsBehind is the lag in warehouse versions;
+// Converged means the replica's catalog matches the last manifest it
+// saw from the primary and the last pass succeeded.
+type Status struct {
+	Primary         string `json:"primary"`
+	LocalVersion    uint64 `json:"local_version"`
+	RemoteVersion   uint64 `json:"remote_version"`
+	VersionsBehind  uint64 `json:"versions_behind"`
+	Converged       bool   `json:"converged"`
+	Syncs           int64  `json:"syncs"`
+	SegmentsFetched int64  `json:"segments_fetched"`
+	BytesFetched    int64  `json:"bytes_fetched"`
+	LastError       string `json:"last_error,omitempty"`
+}
+
+// Syncer replicates a primary (read through a Source) into a local
+// disk-backed database. Each Sync pass is the whole protocol: diff
+// the catalogs, fetch missing segments, adopt the primary's manifest
+// through the storage commit point, reload the DB in place.
+type Syncer struct {
+	db      *storage.DB
+	src     Source
+	dir     string
+	primary string
+
+	// syncMu serializes passes; mu guards status.
+	syncMu sync.Mutex
+	mu     sync.Mutex
+	status Status
+}
+
+// NewSyncer builds a syncer replicating into db, which must be
+// disk-backed (the manifest protocol IS the disk layout). primary is
+// a display label for Status (e.g. the primary's URL or directory).
+func NewSyncer(db *storage.DB, src Source, primary string) (*Syncer, error) {
+	dir := db.StorageDir()
+	if dir == "" {
+		return nil, fmt.Errorf("replication: replica database must be disk-backed")
+	}
+	return &Syncer{db: db, src: src, dir: dir, primary: primary,
+		status: Status{Primary: primary, LocalVersion: db.Version()}}, nil
+}
+
+// Status returns a snapshot of the syncer's cumulative state.
+func (sy *Syncer) Status() Status {
+	sy.mu.Lock()
+	defer sy.mu.Unlock()
+	return sy.status
+}
+
+// Sync runs one replication pass and reports what it did. A pass that
+// finds the catalogs already identical is a cheap no-op (one manifest
+// read on each side). Passes are serialized; errors leave the local
+// database untouched at its previous committed version.
+func (sy *Syncer) Sync(ctx context.Context) (Report, error) {
+	sy.syncMu.Lock()
+	defer sy.syncMu.Unlock()
+	rep, remoteVersion, err := sy.pass(ctx)
+	sy.mu.Lock()
+	defer sy.mu.Unlock()
+	sy.status.LocalVersion = sy.db.Version()
+	if remoteVersion >= sy.status.RemoteVersion {
+		sy.status.RemoteVersion = remoteVersion
+	}
+	if err != nil {
+		sy.status.LastError = err.Error()
+		sy.status.Converged = false
+		return rep, err
+	}
+	sy.status.LastError = ""
+	sy.status.Syncs++
+	sy.status.SegmentsFetched += int64(rep.Segments)
+	sy.status.BytesFetched += rep.Bytes
+	sy.status.Converged = true
+	if sy.status.RemoteVersion > sy.status.LocalVersion {
+		sy.status.VersionsBehind = sy.status.RemoteVersion - sy.status.LocalVersion
+	} else {
+		sy.status.VersionsBehind = 0
+	}
+	return rep, nil
+}
+
+// pass is one sync attempt. It returns the primary's version when it
+// learned it (0 otherwise) so Status tracks lag even on failure.
+func (sy *Syncer) pass(ctx context.Context) (Report, uint64, error) {
+	sy.cleanStrayFetches()
+	remoteBytes, err := sy.src.Manifest(ctx)
+	if err == ErrNoManifest {
+		// Empty primary: nothing to replicate (and nothing to unwind —
+		// an already-synced replica keeps serving its last catalog).
+		return Report{FromVersion: sy.db.Version(), ToVersion: sy.db.Version()}, 0, nil
+	}
+	if err != nil {
+		return Report{}, 0, err
+	}
+	remote, err := mf.Parse(remoteBytes)
+	if err != nil {
+		return Report{}, 0, fmt.Errorf("replication: primary manifest: %w", err)
+	}
+	local, localBytes, err := mf.Read(sy.dir)
+	if err != nil && !os.IsNotExist(err) {
+		return Report{}, remote.Version, err
+	}
+	from := sy.db.Version()
+	// Byte equality, not version equality, is the no-op test: a
+	// primary compaction commits a different catalog at the SAME
+	// version, and the replica must adopt it to keep fetching
+	// segments the primary still has.
+	if local != nil && bytes.Equal(localBytes, remoteBytes) {
+		return Report{FromVersion: from, ToVersion: from}, remote.Version, nil
+	}
+
+	rep := Report{Changed: true, FromVersion: from, ToVersion: remote.Version}
+	// Phase 1: fetch every missing segment under its .fetch name.
+	// Descriptor-level diffing (not file-name presence) makes a
+	// recycled segment id — same name, different content after a
+	// primary crash — refetch instead of serving stale bytes.
+	missing := mf.Diff(local, remote)
+	for _, seg := range missing {
+		n, err := sy.fetchSegment(ctx, seg)
+		if err != nil {
+			return Report{}, remote.Version, err
+		}
+		rep.Segments++
+		rep.Bytes += n
+	}
+	if err := syncFault("rename"); err != nil {
+		return Report{}, remote.Version, err
+	}
+	// Phase 2: move fetched segments to their final names, then make
+	// the directory entries durable before the manifest can name them
+	// (same ordering as a local commit). Renames are deferred to this
+	// phase to keep the window where a final segment name holds
+	// content the committed manifest does not describe — reachable
+	// only via a recycled id — as small as possible.
+	for _, seg := range missing {
+		if err := os.Rename(filepath.Join(sy.dir, seg.File+fetchSuffix), filepath.Join(sy.dir, seg.File)); err != nil {
+			return Report{}, remote.Version, err
+		}
+	}
+	if len(missing) > 0 {
+		if err := mf.FsyncDir(sy.dir); err != nil {
+			return Report{}, remote.Version, err
+		}
+	}
+	if err := syncFault("commit"); err != nil {
+		return Report{}, remote.Version, err
+	}
+	// Phase 3: adopt the primary's manifest BYTES verbatim through the
+	// storage commit point — the replica's catalog file becomes
+	// byte-identical to the primary's — then reload the live DB.
+	if err := mf.Commit(sy.dir, remoteBytes); err != nil {
+		return Report{}, remote.Version, err
+	}
+	if err := sy.db.Reload(); err != nil {
+		return Report{}, remote.Version, err
+	}
+	return rep, remote.Version, nil
+}
+
+// fetchSegment streams one segment to <name>.fetch, fsyncs it and
+// verifies the byte count against the manifest descriptor.
+func (sy *Syncer) fetchSegment(ctx context.Context, seg mf.Segment) (int64, error) {
+	if !mf.IsSegmentName(seg.File) {
+		return 0, fmt.Errorf("replication: manifest names invalid segment %q", seg.File)
+	}
+	rc, err := sy.src.Segment(ctx, seg.File)
+	if err != nil {
+		return 0, err
+	}
+	defer rc.Close()
+	tmp := filepath.Join(sy.dir, seg.File+fetchSuffix)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	n, err := io.Copy(f, rc)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, fmt.Errorf("replication: fetching %s: %w", seg.File, err)
+	}
+	if want := seg.Size(); n != want {
+		return 0, fmt.Errorf("replication: segment %s: fetched %d bytes, manifest says %d", seg.File, n, want)
+	}
+	if err := syncFault("fetch:" + seg.File); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// cleanStrayFetches deletes partial downloads a crashed pass left
+// behind. Errors are ignored: a stray .fetch file is never read (each
+// fetch opens its file with O_TRUNC) and the next pass retries.
+func (sy *Syncer) cleanStrayFetches() {
+	entries, err := os.ReadDir(sy.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), fetchSuffix) {
+			os.Remove(filepath.Join(sy.dir, e.Name()))
+		}
+	}
+}
+
+// Tail polls the primary every interval until ctx is cancelled,
+// invoking onChange (if non-nil) after each pass that adopted a new
+// catalog. Errors are recorded in Status and retried on the next
+// tick.
+func (sy *Syncer) Tail(ctx context.Context, interval time.Duration, onChange func(Report)) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		if rep, err := sy.Sync(ctx); err == nil && rep.Changed && onChange != nil {
+			onChange(rep)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}

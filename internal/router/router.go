@@ -1,0 +1,247 @@
+// Package router implements the scatter layer of the replicated
+// serving deployment: a thin HTTP front that fans /api/olap across a
+// fleet of read replicas with health-checked round-robin and
+// retry-on-failure. Replicas answer every query byte-identically (the
+// replication protocol ships the primary's committed segments
+// verbatim and the OLAP stack is deterministic), so the router can
+// pick any healthy backend and retry a failed request on another
+// without changing the answer.
+//
+// The router holds no warehouse state and makes no routing decisions
+// beyond liveness: it is safe to run several routers over the same
+// fleet, and killing one loses nothing but its in-flight requests.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxBodyBytes bounds the buffered request body. OLAP requests are a
+// few hundred bytes of SQL or xRQ; anything near the cap is abuse.
+const maxBodyBytes = 1 << 20
+
+// backend is one replica the router scatters over.
+type backend struct {
+	base    string
+	healthy atomic.Bool
+}
+
+// Router fans read requests across replicas. It proxies /api/olap
+// (and other GET endpoints) with failover and rejects writes — those
+// belong on the primary.
+type Router struct {
+	backends []*backend
+	client   *http.Client
+	next     atomic.Uint64
+
+	// probeMu serializes health sweeps (the background loop and any
+	// test-triggered probe).
+	probeMu sync.Mutex
+}
+
+// New builds a router over the given replica base URLs (e.g.
+// "http://replica1:8081"). All backends start healthy — the first
+// failed request or health probe demotes them.
+func New(replicas []string, client *http.Client) (*Router, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("router: no replicas configured")
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	r := &Router{client: client}
+	for _, raw := range replicas {
+		base := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if base == "" {
+			return nil, fmt.Errorf("router: empty replica URL")
+		}
+		b := &backend{base: base}
+		b.healthy.Store(true)
+		r.backends = append(r.backends, b)
+	}
+	return r, nil
+}
+
+// Probe health-checks every backend once (GET /api/health) and
+// updates its liveness flag. Used by the background loop and called
+// directly in tests.
+func (r *Router) Probe(ctx context.Context) {
+	r.probeMu.Lock()
+	defer r.probeMu.Unlock()
+	for _, b := range r.backends {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/api/health", nil)
+		if err != nil {
+			b.healthy.Store(false)
+			continue
+		}
+		resp, err := r.client.Do(req)
+		if err != nil {
+			b.healthy.Store(false)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		b.healthy.Store(resp.StatusCode == http.StatusOK)
+	}
+}
+
+// HealthLoop probes every backend each interval until ctx is
+// cancelled.
+func (r *Router) HealthLoop(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		r.Probe(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// candidates returns the backends to try for one request: the healthy
+// ones starting at the round-robin cursor, then — only when every
+// backend is marked down — the full ring, so a fleet-wide blip is
+// retried rather than instantly 502'd.
+func (r *Router) candidates() []*backend {
+	n := len(r.backends)
+	start := int(r.next.Add(1)-1) % n
+	var out []*backend
+	for i := 0; i < n; i++ {
+		b := r.backends[(start+i)%n]
+		if b.healthy.Load() {
+			out = append(out, b)
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, r.backends[(start+i)%n])
+	}
+	return out
+}
+
+// Handler returns the router's HTTP interface.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/health", r.handleHealth)
+	mux.HandleFunc("/", r.handleProxy)
+	return mux
+}
+
+// handleHealth reports the router's own liveness plus each backend's.
+func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
+	type repl struct {
+		URL     string `json:"url"`
+		Healthy bool   `json:"healthy"`
+	}
+	resp := struct {
+		Status   string `json:"status"`
+		Role     string `json:"role"`
+		Replicas []repl `json:"replicas"`
+	}{Status: "degraded", Role: "router"}
+	for _, b := range r.backends {
+		h := b.healthy.Load()
+		if h {
+			resp.Status = "ok"
+		}
+		resp.Replicas = append(resp.Replicas, repl{URL: b.base, Healthy: h})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleProxy forwards a read request to a healthy replica, retrying
+// on the next one when a backend fails mid-request. POST is allowed
+// only for /api/olap (a read that travels as POST); every other
+// mutating method is rejected — the router fronts replicas, which
+// would themselves answer 403.
+func (r *Router) handleProxy(w http.ResponseWriter, req *http.Request) {
+	switch req.Method {
+	case http.MethodGet, http.MethodHead:
+	case http.MethodPost:
+		if req.URL.Path != "/api/olap" {
+			http.Error(w, "router: writes must go to the primary", http.StatusForbidden)
+			return
+		}
+	default:
+		http.Error(w, "router: writes must go to the primary", http.StatusForbidden)
+		return
+	}
+	// Buffer the body so a failed attempt can be replayed on the next
+	// backend.
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(io.LimitReader(req.Body, maxBodyBytes+1))
+		if err != nil {
+			http.Error(w, "router: reading request body", http.StatusBadRequest)
+			return
+		}
+		if len(body) > maxBodyBytes {
+			http.Error(w, "router: request body too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+	}
+	var lastErr string
+	for _, b := range r.candidates() {
+		status, hdr, respBody, err := r.forward(req, b, body)
+		if err != nil {
+			// Network-level failure: demote and try the next replica.
+			b.healthy.Store(false)
+			lastErr = fmt.Sprintf("%s: %v", b.base, err)
+			continue
+		}
+		if status >= 500 {
+			// The replica answered but is unwell (e.g. mid-restart).
+			// Its response is not the query's answer — demote, retry.
+			b.healthy.Store(false)
+			lastErr = fmt.Sprintf("%s: HTTP %d", b.base, status)
+			continue
+		}
+		for k, vs := range hdr {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(status)
+		w.Write(respBody)
+		return
+	}
+	http.Error(w, "router: no replica available: "+lastErr, http.StatusBadGateway)
+}
+
+// forward sends one attempt to one backend and returns the full
+// response (buffered: a response we cannot finish reading must not be
+// half-streamed to the client, or the retry would corrupt it).
+func (r *Router) forward(req *http.Request, b *backend, body []byte) (int, http.Header, []byte, error) {
+	out, err := http.NewRequestWithContext(req.Context(), req.Method, b.base+req.URL.RequestURI(), strings.NewReader(string(body)))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	for k, vs := range req.Header {
+		for _, v := range vs {
+			out.Header.Add(k, v)
+		}
+	}
+	resp, err := r.client.Do(out)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, respBody, nil
+}

@@ -1,0 +1,188 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeReplica answers /api/olap with its own tag and counts hits, so
+// tests can observe distribution and failover.
+func fakeReplica(t *testing.T, tag string, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/api/health":
+			w.Write([]byte(`{"status":"ok"}`))
+		case "/api/olap":
+			body, _ := io.ReadAll(r.Body)
+			hits.Add(1)
+			fmt.Fprintf(w, "%s:%s", tag, body)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postOLAP(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/api/olap", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestRoundRobinSpreadsLoad: consecutive requests alternate across
+// healthy backends and replay the request body to whichever backend
+// serves them.
+func TestRoundRobinSpreadsLoad(t *testing.T) {
+	var aHits, bHits atomic.Int64
+	a := fakeReplica(t, "a", &aHits)
+	b := fakeReplica(t, "b", &bHits)
+	rt, err := New([]string{a.URL, b.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 6; i++ {
+		status, body := postOLAP(t, ts.URL, "q1")
+		if status != http.StatusOK || !strings.HasSuffix(body, ":q1") {
+			t.Fatalf("request %d = %d %q", i, status, body)
+		}
+	}
+	if aHits.Load() != 3 || bHits.Load() != 3 {
+		t.Fatalf("round-robin skewed: a=%d b=%d", aHits.Load(), bHits.Load())
+	}
+}
+
+// TestFailoverRetriesAndDemotes: a dead backend is retried past
+// transparently and demoted, so later requests skip it entirely; a
+// 5xx backend is treated the same. A health probe re-admits a
+// recovered backend.
+func TestFailoverRetriesAndDemotes(t *testing.T) {
+	var aHits, bHits atomic.Int64
+	a := fakeReplica(t, "a", &aHits)
+	b := fakeReplica(t, "b", &bHits)
+	rt, err := New([]string{a.URL, b.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+
+	a.Close() // kill one backend before any traffic
+	for i := 0; i < 4; i++ {
+		status, body := postOLAP(t, ts.URL, "q")
+		if status != http.StatusOK || body != "b:q" {
+			t.Fatalf("request %d = %d %q, want it served by the live backend", i, status, body)
+		}
+	}
+	if bHits.Load() != 4 {
+		t.Fatalf("live backend served %d of 4", bHits.Load())
+	}
+
+	// All dead → 502, not a hang.
+	b.Close()
+	if status, _ := postOLAP(t, ts.URL, "q"); status != http.StatusBadGateway {
+		t.Fatalf("fleet down = %d, want 502", status)
+	}
+}
+
+// TestServerErrorFailsOver: a backend answering 5xx is not the
+// query's answer — the router retries on the next backend.
+func TestServerErrorFailsOver(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "mid-restart", http.StatusInternalServerError)
+	}))
+	t.Cleanup(bad.Close)
+	var goodHits atomic.Int64
+	good := fakeReplica(t, "g", &goodHits)
+	rt, err := New([]string{bad.URL, good.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 3; i++ {
+		status, body := postOLAP(t, ts.URL, "q")
+		if status != http.StatusOK || body != "g:q" {
+			t.Fatalf("request %d = %d %q", i, status, body)
+		}
+	}
+}
+
+// TestWritesRejected: only reads scatter; every mutating method is
+// refused at the router.
+func TestWritesRejected(t *testing.T) {
+	var hits atomic.Int64
+	a := fakeReplica(t, "a", &hits)
+	rt, err := New([]string{a.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+
+	for _, m := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+		path := "/api/run"
+		req, _ := http.NewRequest(m, ts.URL+path, strings.NewReader("{}"))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusForbidden {
+			t.Fatalf("%s %s = %d, want 403", m, path, resp.StatusCode)
+		}
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("a write reached a backend")
+	}
+}
+
+// TestProbeRecoversBackend: a demoted backend that comes back is
+// re-admitted by the next health sweep.
+func TestProbeRecoversBackend(t *testing.T) {
+	var flaky atomic.Bool // false = down
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !flaky.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	t.Cleanup(backend.Close)
+	var hits atomic.Int64
+	good := fakeReplica(t, "g", &hits)
+	rt, err := New([]string{backend.URL, good.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First probe demotes the flaky backend…
+	rt.Probe(context.Background())
+	if rt.backends[0].healthy.Load() {
+		t.Fatal("down backend still marked healthy after probe")
+	}
+	// …and once it recovers, the next probe re-admits it.
+	flaky.Store(true)
+	rt.Probe(context.Background())
+	if !rt.backends[0].healthy.Load() {
+		t.Fatal("recovered backend not re-admitted by probe")
+	}
+}

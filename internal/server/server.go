@@ -13,12 +13,17 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
 
 	"quarry/internal/core"
+	"quarry/internal/expr"
 	"quarry/internal/olap"
+	"quarry/internal/replication"
+	mf "quarry/internal/storage/manifest"
 	"quarry/internal/xlm"
 	"quarry/internal/xmd"
 	"quarry/internal/xrq"
@@ -32,13 +37,23 @@ type Options struct {
 	// OLAPCacheSize is the capacity of the LRU result cache (entries);
 	// 0 means 256, negative disables caching.
 	OLAPCacheSize int
+	// ReadOnly rejects every design- or warehouse-mutating endpoint
+	// (requirement lifecycle, deploy, run) with 403 — the replica
+	// posture: a replica's warehouse is written only by its syncer,
+	// and its design only by the bootstrap replay.
+	ReadOnly bool
+	// ReplicaStatus, when set, marks this node a replica in
+	// /api/health and reports its replication lag there.
+	ReplicaStatus func() replication.Status
 }
 
 // Server serves a Platform.
 type Server struct {
-	p    *core.Platform
-	mux  *http.ServeMux
-	pool chan struct{}
+	p             *core.Platform
+	mux           *http.ServeMux
+	pool          chan struct{}
+	readOnly      bool
+	replicaStatus func() replication.Status
 	// cache holds OLAP results keyed by query + warehouse version; it
 	// is purged whenever /api/run reloads the warehouse.
 	cache *olap.ResultCache
@@ -66,10 +81,12 @@ func NewWithOptions(p *core.Platform, opts Options) *Server {
 		opts.OLAPCacheSize = 256
 	}
 	s := &Server{
-		p:     p,
-		mux:   http.NewServeMux(),
-		pool:  make(chan struct{}, opts.OLAPConcurrency),
-		cache: olap.NewResultCache(opts.OLAPCacheSize),
+		p:             p,
+		mux:           http.NewServeMux(),
+		pool:          make(chan struct{}, opts.OLAPConcurrency),
+		readOnly:      opts.ReadOnly,
+		replicaStatus: opts.ReplicaStatus,
+		cache:         olap.NewResultCache(opts.OLAPCacheSize),
 	}
 	s.mux.HandleFunc("GET /api/health", s.handleHealth)
 	s.mux.HandleFunc("GET /api/ontology/graph", s.handleGraph)
@@ -77,21 +94,38 @@ func NewWithOptions(p *core.Platform, opts Options) *Server {
 	s.mux.HandleFunc("GET /api/elicitor/foci", s.handleFoci)
 	s.mux.HandleFunc("GET /api/elicitor/suggest", s.handleSuggest)
 	s.mux.HandleFunc("GET /api/requirements", s.handleListRequirements)
-	s.mux.HandleFunc("POST /api/requirements", s.handleAddRequirement)
+	s.mux.HandleFunc("POST /api/requirements", s.mutating(s.handleAddRequirement))
 	s.mux.HandleFunc("GET /api/requirements/{id}", s.handleGetRequirement)
-	s.mux.HandleFunc("PUT /api/requirements/{id}", s.handleChangeRequirement)
-	s.mux.HandleFunc("DELETE /api/requirements/{id}", s.handleRemoveRequirement)
+	s.mux.HandleFunc("PUT /api/requirements/{id}", s.mutating(s.handleChangeRequirement))
+	s.mux.HandleFunc("DELETE /api/requirements/{id}", s.mutating(s.handleRemoveRequirement))
 	s.mux.HandleFunc("GET /api/design/md", s.handleUnifiedMD)
 	s.mux.HandleFunc("GET /api/design/etl", s.handleUnifiedETL)
 	s.mux.HandleFunc("GET /api/design/md/partial/{id}", s.handlePartialMD)
 	s.mux.HandleFunc("GET /api/design/etl/partial/{id}", s.handlePartialETL)
 	s.mux.HandleFunc("GET /api/quality", s.handleQuality)
-	s.mux.HandleFunc("POST /api/deploy", s.handleDeploy)
-	s.mux.HandleFunc("POST /api/run", s.handleRun)
+	s.mux.HandleFunc("POST /api/deploy", s.mutating(s.handleDeploy))
+	s.mux.HandleFunc("POST /api/run", s.mutating(s.handleRun))
 	s.mux.HandleFunc("GET /api/export/{notation}", s.handleExport)
 	s.mux.HandleFunc("POST /api/olap", s.handleOLAP)
 	s.mux.HandleFunc("GET /api/olap/stats", s.handleOLAPStats)
+	// Replication feed (the primary side of segment shipping): any
+	// disk-backed node serves its committed manifest and immutable
+	// segment files, so replicas can also chain off other replicas.
+	s.mux.HandleFunc("GET /api/replication/manifest", s.handleReplicationManifest)
+	s.mux.HandleFunc("GET /api/replication/segment/{name}", s.handleReplicationSegment)
 	return s
+}
+
+// mutating gates a design- or warehouse-mutating handler behind the
+// read-only flag.
+func (s *Server) mutating(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.readOnly {
+			writeErr(w, http.StatusForbidden, fmt.Errorf("this node is a read replica; send writes to the primary"))
+			return
+		}
+		h(w, r)
+	}
 }
 
 // olapRequest is the JSON body of POST /api/olap.
@@ -129,29 +163,32 @@ func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	// Cache key: canonical request JSON + warehouse version. Every ETL
-	// run bumps the version (PublishAll), so a result computed from a
-	// pre-run snapshot can never be served post-run even if its Put
-	// races handleRun's purge. Hits are answered before touching the
-	// query pool, so cached answers never queue behind heavy queries.
-	var key string
+	// Cache lookup: canonical request JSON + current warehouse version.
+	// A lookup keyed one version behind is merely a miss; storing is
+	// the dangerous direction, so Put below keys by the version of the
+	// snapshot the query ACTUALLY ran against (res.Version) — reading
+	// the version here and reusing it for the Put would, when an ETL
+	// run commits between the two, file a newer-snapshot result under
+	// the older version's key and serve stale-keyed data forever
+	// after. Hits are answered before touching the query pool, so
+	// cached answers never queue behind heavy queries.
+	var canonical []byte
 	if db := s.p.DB(); db != nil {
-		canonical, err := json.Marshal(body)
-		if err == nil {
-			key = fmt.Sprintf("v%d:%s", db.Version(), canonical)
-		}
-	}
-	if key != "" {
-		if res, ok := s.cache.Get(key); ok {
-			w.Header().Set("X-Quarry-Cache", "hit")
-			writeJSON(w, http.StatusOK, olapBody(res))
-			return
+		if c, err := json.Marshal(body); err == nil {
+			canonical = c
+			if res, ok := s.cache.Get(fmt.Sprintf("v%d:%s", db.Version(), c)); ok {
+				w.Header().Set("X-Quarry-Cache", "hit")
+				writeJSON(w, http.StatusOK, olapBody(res))
+				return
+			}
 		}
 	}
 	// Bounded-concurrency query pool: at most cap(s.pool) queries
 	// execute at once, the rest queue here. A client that disconnects
 	// while queued abandons its slot request instead of burning a
-	// query on an answer nobody will read.
+	// query on an answer nobody will read; one that disconnects after
+	// acquiring the slot cancels the query itself at its next batch
+	// boundary (the request context flows into the executors).
 	select {
 	case s.pool <- struct{}{}:
 	case <-r.Context().Done():
@@ -159,6 +196,9 @@ func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer func() { <-s.pool }()
+	if testingOLAPBeforeQuery != nil {
+		testingOLAPBeforeQuery()
+	}
 	oe, err := s.p.OLAP()
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
@@ -173,20 +213,31 @@ func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
 	}
 	var res *olap.Result
 	if body.Oracle {
-		res, err = oe.QueryStarFlow(q)
+		res, err = oe.QueryStarFlowContext(r.Context(), q)
 	} else {
-		res, err = oe.Query(q)
+		res, err = oe.QueryContext(r.Context(), q)
 	}
 	if err != nil {
+		if r.Context().Err() != nil {
+			// Abandoned query: the slot was released early; there is no
+			// client left to answer.
+			return
+		}
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	if key != "" {
-		s.cache.Put(key, res)
+	if canonical != nil {
+		s.cache.Put(fmt.Sprintf("v%d:%s", res.Version, canonical), res)
 		w.Header().Set("X-Quarry-Cache", "miss")
 	}
 	writeJSON(w, http.StatusOK, olapBody(res))
 }
+
+// testingOLAPBeforeQuery, when set, runs after the cache miss — with
+// the query slot already held — and before query execution: the seam
+// race-shaped tests use to commit an ETL run, or cancel the client,
+// inside that window. Never set outside tests.
+var testingOLAPBeforeQuery func()
 
 // olapStatsResponse is the admin view of the serving layer's caches.
 type olapStatsResponse struct {
@@ -256,7 +307,14 @@ func olapBody(res *olap.Result) olapResponse {
 	for _, row := range res.Rows {
 		vals := make([]string, len(row))
 		for i, v := range row {
-			vals[i] = strings.Trim(v.String(), "'")
+			// String values render as their raw content. (Trimming
+			// quotes off the SQL-literal form v.String() would also eat
+			// legitimate leading/trailing apostrophes from the data.)
+			if v.Kind() == expr.KindString {
+				vals[i] = v.AsString()
+			} else {
+				vals[i] = v.String()
+			}
 		}
 		out.Rows = append(out.Rows, vals)
 	}
@@ -276,6 +334,85 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = io.WriteString(w, text)
+}
+
+// WarehouseChanged tells the serving layer the warehouse moved to a
+// new committed version: cached OLAP results are purged (they are
+// version-keyed, so this is hygiene, not correctness) and the hot
+// aggregates re-materialize in the background. /api/run calls it
+// after an ETL commit; a replica's sync loop calls it after adopting
+// a new manifest.
+func (s *Server) WarehouseChanged() {
+	s.cache.Purge()
+	// Until the refresh completes, queries fall back to the base-fact
+	// path — the per-entry version check makes serving a stale
+	// aggregate impossible either way.
+	s.scheduleMatAggRefresh()
+}
+
+// handleReplicationManifest streams the committed manifest of a
+// disk-backed warehouse — the entry point of the replication
+// protocol. Reading the file (not the in-memory catalog) is what
+// keeps the feed byte-identical to the commit point: whatever rename
+// last landed is what replicas adopt.
+func (s *Server) handleReplicationManifest(w http.ResponseWriter, _ *http.Request) {
+	dir := s.storageDir()
+	if dir == "" {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("replication requires a disk-backed warehouse (-data-dir)"))
+		return
+	}
+	f, err := os.Open(filepath.Join(dir, mf.FileName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no committed manifest yet"))
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.Copy(w, f)
+}
+
+// handleReplicationSegment streams one immutable segment file. A 404
+// means the segment was garbage-collected since the manifest the
+// replica is working from (a republish or compaction landed); the
+// replica's next pass fetches the newer manifest.
+func (s *Server) handleReplicationSegment(w http.ResponseWriter, r *http.Request) {
+	dir := s.storageDir()
+	if dir == "" {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("replication requires a disk-backed warehouse (-data-dir)"))
+		return
+	}
+	name := r.PathValue("name")
+	// The name check doubles as the path-traversal guard: segment
+	// names contain no separators or dots beyond their fixed suffix.
+	if !mf.IsSegmentName(name) {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid segment name %q", name))
+		return
+	}
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("segment %s no longer exists (superseded by a newer commit)", name))
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.Copy(w, f)
+}
+
+func (s *Server) storageDir() string {
+	if db := s.p.DB(); db != nil {
+		return db.StorageDir()
+	}
+	return ""
 }
 
 // Handler returns the HTTP handler.
@@ -308,6 +445,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	// aggregate is keyed on, so operators can correlate cache
 	// behaviour with reloads.
 	resp := map[string]any{"status": "ok"}
+	if s.replicaStatus != nil {
+		resp["role"] = "replica"
+		resp["replica"] = s.replicaStatus()
+	} else {
+		resp["role"] = "primary"
+	}
 	if db := s.p.DB(); db != nil {
 		backend := "memory"
 		if dir := db.StorageDir(); dir != "" {
@@ -613,13 +756,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	// The warehouse changed: cached OLAP results are stale.
-	s.cache.Purge()
-	// Re-materialize hot aggregates at the new version in the
-	// background. Until it completes, queries fall back to the
-	// base-fact path — the per-entry version check makes serving a
-	// stale aggregate impossible either way.
-	s.scheduleMatAggRefresh()
+	s.WarehouseChanged()
 	writeJSON(w, http.StatusOK, runResponse{
 		Loaded:        res.Loaded,
 		RowsProcessed: res.RowsProcessed(),

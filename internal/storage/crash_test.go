@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"quarry/internal/expr"
+	mf "quarry/internal/storage/manifest"
 )
 
 var errCrash = errors.New("injected crash")
@@ -55,7 +56,7 @@ func countSegs(t *testing.T, dir string) int {
 	}
 	n := 0
 	for _, e := range entries {
-		if _, ok := segID(e.Name()); ok {
+		if _, ok := mf.SegmentID(e.Name()); ok {
 			n++
 		}
 	}

@@ -49,24 +49,38 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 
 	"quarry/internal/expr"
+	mf "quarry/internal/storage/manifest"
 )
 
+// The manifest schema and the fsync+rename commit point live in the
+// transport-agnostic internal/storage/manifest package (shared with
+// internal/replication, which ships catalogs between machines through
+// the same primitives). The aliases below keep this file — and the
+// format-compatibility tests — reading naturally.
 const (
-	manifestName = "manifest.json"
-	manifestTmp  = "manifest.tmp"
+	manifestName = mf.FileName
+	manifestTmp  = mf.TmpName
 	// manifestFormatV1 is the legacy raw-page format (fixed 64 KiB
 	// pages, untagged raw chunks, no zone maps); this build still reads
 	// it. manifestFormatV2 adds per-chunk compressed encodings, 4 KiB
 	// page blocks and zone maps (see page.go/encoding.go) and is what
 	// every commit writes.
-	manifestFormatV1 = 1
-	manifestFormatV2 = 2
-	segPrefix        = "seg-"
-	segSuffix        = ".qseg"
+	manifestFormatV1 = mf.FormatV1
+	manifestFormatV2 = mf.FormatV2
+	segPrefix        = mf.SegPrefix
+	segSuffix        = mf.SegSuffix
+)
+
+type (
+	manifest        = mf.Manifest
+	manifestTable   = mf.Table
+	manifestSegment = mf.Segment
+	manifestPage    = mf.Page
+	manifestZone    = mf.Zone
+	manifestValue   = mf.Value
 )
 
 // mmapEnabled gates the mmap page source (QUARRY_MMAP=off falls back
@@ -334,62 +348,12 @@ func (p *pager) needsRewrite() bool {
 	return false
 }
 
-// Manifest JSON schema. The manifest is the whole truth: segment
-// files carry no headers of their own. Format-1 manifests (no
-// per-segment format, no zone maps) are still read; every commit
-// writes format 2, tagging retained legacy segments "format": 1 so a
-// mixed catalog decodes each segment correctly.
-
-type manifest struct {
-	Format  int             `json:"format"`
-	Version uint64          `json:"version"`
-	Tables  []manifestTable `json:"tables"`
-}
-
-type manifestTable struct {
-	Name     string            `json:"name"`
-	Columns  []Column          `json:"columns"`
-	Segments []manifestSegment `json:"segments,omitempty"`
-}
-
-type manifestSegment struct {
-	File string `json:"file"`
-	Rows int    `json:"rows"`
-	// Format is the segment's page format; 0 (absent, in pre-v2
-	// manifests) inherits the manifest's format.
-	Format int            `json:"format,omitempty"`
-	Pages  []manifestPage `json:"pages"`
-}
-
-type manifestPage struct {
-	Off  int64 `json:"off"`
-	Size int   `json:"size"`
-	Rows int   `json:"rows"`
-	// Raw is the page's raw (uncompressed) encoded size — the buffer
-	// pool's charge for the decoded page. Zones is the page's
-	// per-column zone map. Both absent in format-1 manifests.
-	Raw   int            `json:"raw,omitempty"`
-	Zones []manifestZone `json:"zones,omitempty"`
-}
-
-// manifestZone serialises one zone entry. Min/Max absent means no
-// bounds (all-NULL column, non-finite floats, over-long strings).
-type manifestZone struct {
-	Nulls int            `json:"nulls,omitempty"`
-	Min   *manifestValue `json:"min,omitempty"`
-	Max   *manifestValue `json:"max,omitempty"`
-}
-
-// manifestValue is a typed scalar in the manifest: exactly one field
-// set. (Bounds holding NaN or Inf are never written — such chunks get
-// no bounds — so JSON number encoding is always valid, and Go's
-// shortest-round-trip float formatting keeps it exact.)
-type manifestValue struct {
-	I *int64   `json:"i,omitempty"`
-	F *float64 `json:"f,omitempty"`
-	S *string  `json:"s,omitempty"`
-	B *bool    `json:"b,omitempty"`
-}
+// Format-1 manifests (no per-segment format, no zone maps) are still
+// read; every commit writes format 2, tagging retained legacy
+// segments "format": 1 so a mixed catalog decodes each segment
+// correctly. The expr.Value ↔ manifest.Value conversions below stay
+// here: the manifest package is pure catalog data, oblivious to the
+// value representation.
 
 func valueToManifest(v expr.Value) *manifestValue {
 	switch v.Kind() {
@@ -492,6 +456,20 @@ func (st *diskStore) writeSegment(cols []Column, rows []Row) (*segment, error) {
 	return seg, nil
 }
 
+// descriptor rebuilds the segment's manifest entry. It is canonical:
+// rehydrating a segment and re-deriving its descriptor yields the
+// entry the manifest carried, which is what lets Reload — and the
+// replication diff — compare descriptors to decide whether the
+// on-disk file under a name is the one a new catalog means.
+func (s *segment) descriptor() manifestSegment {
+	ms := manifestSegment{File: s.name, Rows: s.rows, Format: s.format}
+	for _, p := range s.pages {
+		ms.Pages = append(ms.Pages, manifestPage{Off: p.off, Size: p.size,
+			Rows: p.rows, Raw: p.raw, Zones: zonesToManifest(p.zones)})
+	}
+	return ms
+}
+
 // openSegment rehydrates a manifest-described segment of the given
 // page format.
 func (st *diskStore) openSegment(ms manifestSegment, cols []Column, format int) (*segment, error) {
@@ -533,14 +511,50 @@ func (st *diskStore) openSegment(ms manifestSegment, cols []Column, format int) 
 	return seg, nil
 }
 
-// fsyncDir makes a rename durable.
-func fsyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
+// rehydrate builds the in-memory catalog a (validated) manifest
+// describes, in manifest order, returning the tables, the order, and
+// the referenced segment file set, and bumping st.nextSeg past every
+// referenced id. An existing segment object from reuse is carried
+// over — open handle, decoded pages, mmap — when its descriptor and
+// columns match the manifest entry exactly; a name whose descriptor
+// differs (a recycled segment id: same file name, different content)
+// is re-opened from disk instead. Callers hold st.commitMu, or run
+// before the DB is published (Open).
+func (st *diskStore) rehydrate(man *manifest, reuse map[string]*segment) (map[string]*Table, []string, map[string]bool, error) {
+	tables := map[string]*Table{}
+	var order []string
+	referenced := map[string]bool{}
+	for _, mt := range man.Tables {
+		t, err := newTable(mt.Name, mt.Columns)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("manifest table %q: %w", mt.Name, err)
+		}
+		var segs []*segment
+		for _, ms := range mt.Segments {
+			format := ms.Format
+			if format == 0 {
+				format = man.Format
+			}
+			seg := reuse[ms.File]
+			if seg == nil || seg.format != format || !columnsEqual(seg.cols, t.Columns) ||
+				!sameDescriptor(seg.descriptor(), ms) {
+				if seg, err = st.openSegment(ms, t.Columns, format); err != nil {
+					return nil, nil, nil, fmt.Errorf("table %q: %w", mt.Name, err)
+				}
+			}
+			segs = append(segs, seg)
+			referenced[ms.File] = true
+			if id, ok := mf.SegmentID(ms.File); ok && id >= st.nextSeg {
+				st.nextSeg = id + 1
+			}
+		}
+		if len(segs) > 0 {
+			t.pg = newPager(segs)
+		}
+		tables[mt.Name] = t
+		order = append(order, mt.Name)
 	}
-	defer d.Close()
-	return d.Sync()
+	return tables, order, referenced, nil
 }
 
 // Open opens (or initialises) a disk-backed database rooted at dir.
@@ -555,49 +569,15 @@ func Open(dir string) (*DB, error) {
 	st := &diskStore{dir: dir, cache: newPageCache(pageCacheBytes), compactSegs: compactThreshold()}
 	db := &DB{tables: map[string]*Table{}, store: st}
 	referenced := map[string]bool{}
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	man, _, err := mf.Read(dir)
 	switch {
 	case err == nil:
-		var man manifest
-		if err := json.Unmarshal(data, &man); err != nil {
-			return nil, fmt.Errorf("storage: %s corrupt: %w", manifestName, err)
-		}
-		if man.Format != manifestFormatV1 && man.Format != manifestFormatV2 {
-			return nil, fmt.Errorf("storage: %s has format %d; this build reads formats %d and %d",
-				manifestName, man.Format, manifestFormatV1, manifestFormatV2)
+		tables, order, refs, err := st.rehydrate(man, nil)
+		if err != nil {
+			return nil, fmt.Errorf("storage: %w", err)
 		}
 		db.version = man.Version
-		for _, mt := range man.Tables {
-			t, err := newTable(mt.Name, mt.Columns)
-			if err != nil {
-				return nil, fmt.Errorf("storage: manifest table %q: %w", mt.Name, err)
-			}
-			var segs []*segment
-			for _, ms := range mt.Segments {
-				format := ms.Format
-				if format == 0 {
-					format = man.Format
-				}
-				if format != manifestFormatV1 && format != manifestFormatV2 {
-					return nil, fmt.Errorf("storage: table %q: segment %s has unknown format %d",
-						mt.Name, ms.File, format)
-				}
-				seg, err := st.openSegment(ms, t.Columns, format)
-				if err != nil {
-					return nil, fmt.Errorf("storage: table %q: %w", mt.Name, err)
-				}
-				segs = append(segs, seg)
-				referenced[ms.File] = true
-				if id, ok := segID(ms.File); ok && id >= st.nextSeg {
-					st.nextSeg = id + 1
-				}
-			}
-			if len(segs) > 0 {
-				t.pg = newPager(segs)
-			}
-			db.tables[mt.Name] = t
-			db.order = append(db.order, mt.Name)
-		}
+		db.tables, db.order, referenced = tables, order, refs
 	case os.IsNotExist(err):
 		// Fresh directory (or a crash before the very first commit).
 	default:
@@ -607,16 +587,25 @@ func Open(dir string) (*DB, error) {
 	return db, nil
 }
 
-// segID parses the numeric id out of a segment file name.
-func segID(name string) (uint64, bool) {
-	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
-		return 0, false
+// sameDescriptor compares two segment descriptors structurally (the
+// descriptors are pure data; canonical JSON is the cheapest deep
+// equality that cannot drift from the schema).
+func sameDescriptor(a, b manifestSegment) bool {
+	aj, errA := json.Marshal(a)
+	bj, errB := json.Marshal(b)
+	return errA == nil && errB == nil && string(aj) == string(bj)
+}
+
+func columnsEqual(a, b []Column) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	var id uint64
-	if _, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), "%d", &id); err != nil {
-		return 0, false
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
 	}
-	return id, true
+	return true
 }
 
 // gc deletes every segment file not in referenced, plus any stale
@@ -638,7 +627,7 @@ func (st *diskStore) gc(referenced map[string]bool) {
 			os.Remove(filepath.Join(st.dir, name))
 			continue
 		}
-		if _, ok := segID(name); ok && !referenced[name] {
+		if mf.IsSegmentName(name) && !referenced[name] {
 			os.Remove(filepath.Join(st.dir, name))
 		}
 	}
@@ -740,12 +729,7 @@ func (db *DB) commitDisk(v uint64, order []string, tables map[string]*Table, ext
 		mt := manifestTable{Name: name, Columns: t.Columns}
 		if newPg != nil {
 			for _, s := range newPg.segs {
-				ms := manifestSegment{File: s.name, Rows: s.rows, Format: s.format}
-				for _, p := range s.pages {
-					ms.Pages = append(ms.Pages, manifestPage{Off: p.off, Size: p.size,
-						Rows: p.rows, Raw: p.raw, Zones: zonesToManifest(p.zones)})
-				}
-				mt.Segments = append(mt.Segments, ms)
+				mt.Segments = append(mt.Segments, s.descriptor())
 			}
 		}
 		man.Tables = append(man.Tables, mt)
@@ -760,7 +744,7 @@ func (db *DB) commitDisk(v uint64, order []string, tables map[string]*Table, ext
 	// it references are gone — an unrecoverable catalog instead of a
 	// clean previous-version recovery.
 	if len(newSegs) > 0 {
-		if err := fsyncDir(st.dir); err != nil {
+		if err := mf.FsyncDir(st.dir); err != nil {
 			cleanup()
 			return fmt.Errorf("storage: syncing %s: %w", st.dir, err)
 		}
@@ -770,37 +754,25 @@ func (db *DB) commitDisk(v uint64, order []string, tables map[string]*Table, ext
 		cleanup()
 		return err
 	}
-	tmp := filepath.Join(st.dir, manifestTmp)
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
+	if err := mf.Stage(st.dir, data); err != nil {
 		cleanup()
-		return err
-	}
-	if _, err := f.Write(data); err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		cleanup()
-		return fmt.Errorf("storage: writing %s: %w", manifestTmp, err)
+		return fmt.Errorf("storage: %w", err)
 	}
 	if err := fault("rename"); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(st.dir, manifestName)); err != nil {
+	// The rename inside Install IS the commit: once it lands,
+	// manifest.json names the new catalog and the in-memory state must
+	// follow no matter what — returning an error after it would roll
+	// back a run that recovery would resurrect. (Install treats the
+	// post-rename directory fsync as best-effort for exactly that
+	// reason: its failure only weakens durability, recovering the
+	// PREVIOUS version after a crash, which is indistinguishable from
+	// crashing a moment earlier.)
+	if err := mf.Install(st.dir); err != nil {
 		cleanup()
 		return err
 	}
-	// The rename IS the commit: from here on manifest.json names the
-	// new catalog, so the in-memory state must follow no matter what —
-	// returning an error now would roll back a run that recovery
-	// would resurrect. A directory-fsync failure only weakens the
-	// rename's durability (a crash may recover the PREVIOUS version,
-	// which is indistinguishable from crashing a moment earlier); the
-	// next successful commit re-syncs the directory.
-	_ = fsyncDir(st.dir)
 	// Committed. Swap pagers, drop persisted tails and apply the
 	// caller's catalog changes under db.mu, then collect
 	// no-longer-referenced segments.

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"quarry/internal/expr"
+	mf "quarry/internal/storage/manifest"
 )
 
 // mixedCols exercises every column type plus NULLs.
@@ -330,7 +331,7 @@ func TestDiskDropAndTruncatePersist(t *testing.T) {
 	entries, _ := os.ReadDir(dir)
 	var segs int
 	for _, e := range entries {
-		if _, ok := segID(e.Name()); ok {
+		if _, ok := mf.SegmentID(e.Name()); ok {
 			segs++
 		}
 	}

@@ -43,13 +43,14 @@ import (
 	"sync"
 
 	"quarry/internal/expr"
+	mf "quarry/internal/storage/manifest"
 )
 
-// Column is a typed column of a table.
-type Column struct {
-	Name string `json:"name"`
-	Type string `json:"type"` // "int", "float", "string", "bool"
-}
+// Column is a typed column of a table ("int", "float", "string",
+// "bool"). It is an alias of the manifest schema's column type: the
+// committed catalog and the in-memory catalog describe columns
+// identically, so the two layers share one definition.
+type Column = mf.Column
 
 // Row is one tuple; positions match the table's columns.
 type Row []expr.Value
