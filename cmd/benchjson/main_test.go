@@ -73,6 +73,112 @@ func TestGateTripsOnInjectedSlowdown(t *testing.T) {
 	}
 }
 
+// TestParseMultiSample: -count N re-runs of a benchmark accumulate
+// as samples of ONE entry whose headline number is their median, so a
+// single outlier iteration cannot move it.
+func TestParseMultiSample(t *testing.T) {
+	rep := parseSample(t, `
+BenchmarkOLAPDice-8	1	100000 ns/op
+BenchmarkOLAPDice-8	1	120000 ns/op
+BenchmarkOLAPDice-8	1	900000 ns/op
+BenchmarkOLAPDice-8	1	110000 ns/op
+BenchmarkOLAPDice-8	1	105000 ns/op
+`)
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1 accumulated", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if len(b.Samples) != 5 {
+		t.Fatalf("samples = %v, want 5", b.Samples)
+	}
+	if b.NsPerOp != 110000 {
+		t.Fatalf("NsPerOp = %v, want the median 110000 (outlier-resistant)", b.NsPerOp)
+	}
+}
+
+// TestMannWhitneyExact pins the exact test on hand-checkable cases.
+func TestMannWhitneyExact(t *testing.T) {
+	// Perfect separation, 3 vs 3: U = 9, the single most extreme of
+	// C(6,3) = 20 interleavings → p = 1/20.
+	p := mannWhitneyP([]float64{1, 2, 3}, []float64{10, 11, 12})
+	if diff := p - 0.05; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("separated 3v3: p = %v, want 0.05", p)
+	}
+	// Reversed direction: cur entirely FASTER → p = 1 (one-sided).
+	if p := mannWhitneyP([]float64{10, 11, 12}, []float64{1, 2, 3}); p != 1 {
+		t.Fatalf("faster cur: p = %v, want 1", p)
+	}
+	// Interleaved samples: nowhere near significant.
+	if p := mannWhitneyP([]float64{1, 3, 5}, []float64{2, 4, 6}); p <= 0.05 {
+		t.Fatalf("interleaved: p = %v, want > 0.05", p)
+	}
+}
+
+func relativeReports(t *testing.T, prev, cur string) (*Report, *Report) {
+	t.Helper()
+	return parseSample(t, cur), parseSample(t, prev)
+}
+
+// TestRelativeGateTripsOnRealRegression: a consistent 2× slowdown
+// across samples must fail the relative gate.
+func TestRelativeGateTripsOnRealRegression(t *testing.T) {
+	cur, prev := relativeReports(t, `
+BenchmarkOLAPDice-8	1	100000 ns/op
+BenchmarkOLAPDice-8	1	101000 ns/op
+BenchmarkOLAPDice-8	1	102000 ns/op
+`, `
+BenchmarkOLAPDice-8	1	200000 ns/op
+BenchmarkOLAPDice-8	1	201000 ns/op
+BenchmarkOLAPDice-8	1	202000 ns/op
+`)
+	failures := gateRelative(cur, prev, regexp.MustCompile(`^BenchmarkOLAP`), 0.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkOLAPDice") {
+		t.Fatalf("failures = %v, want the dice regression", failures)
+	}
+}
+
+// TestRelativeGateToleratesNoise: the median is past the threshold
+// but the sample distributions overlap heavily — the significance
+// requirement keeps the gate quiet instead of flaking.
+func TestRelativeGateToleratesNoise(t *testing.T) {
+	cur, prev := relativeReports(t, `
+BenchmarkOLAPDice-8	1	100000 ns/op
+BenchmarkOLAPDice-8	1	300000 ns/op
+BenchmarkOLAPDice-8	1	90000 ns/op
+BenchmarkOLAPDice-8	1	310000 ns/op
+`, `
+BenchmarkOLAPDice-8	1	290000 ns/op
+BenchmarkOLAPDice-8	1	95000 ns/op
+BenchmarkOLAPDice-8	1	305000 ns/op
+BenchmarkOLAPDice-8	1	280000 ns/op
+`)
+	if failures := gateRelative(cur, prev, regexp.MustCompile(`^BenchmarkOLAP`), 0.25); len(failures) != 0 {
+		t.Fatalf("noisy overlap tripped the gate: %v", failures)
+	}
+}
+
+// TestRelativeGateSingleSampleFallsBackToMedian: without enough
+// samples for significance, the median threshold alone decides (old
+// reports carry only ns_per_op).
+func TestRelativeGateSingleSampleFallsBackToMedian(t *testing.T) {
+	cur, prev := relativeReports(t,
+		"BenchmarkOLAPDice-8	1	100000 ns/op\n",
+		"BenchmarkOLAPDice-8	1	200000 ns/op\n")
+	if failures := gateRelative(cur, prev, regexp.MustCompile(`^BenchmarkOLAP`), 0.25); len(failures) != 1 {
+		t.Fatalf("single-sample 2× slowdown not caught: %v", failures)
+	}
+}
+
+func TestRelativeGateFailsOnMissing(t *testing.T) {
+	cur, prev := relativeReports(t,
+		"BenchmarkOLAPDice-8	1	100000 ns/op\n",
+		"BenchmarkOther-8	1	100000 ns/op\n")
+	failures := gateRelative(cur, prev, regexp.MustCompile(`^BenchmarkOLAP`), 0.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("failures = %v, want a missing-benchmark failure", failures)
+	}
+}
+
 func TestGateFailsOnMissingBenchmark(t *testing.T) {
 	base := parseSample(t, sampleOutput)
 	var lines []string

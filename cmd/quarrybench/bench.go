@@ -1,0 +1,324 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// benchConfig parameterizes one load run.
+type benchConfig struct {
+	Target string // base URL of the quarryd/quarryrouter endpoint
+	QPS    float64
+	// Duration is how long the schedule runs; in-flight requests are
+	// drained after the last scheduled send.
+	Duration time.Duration
+	ZipfS    float64 // Zipf skew of the query mix (> 1)
+	Seed     int64
+	// OracleEvery makes every Nth scheduled request an oracle spot
+	// check: the fast-path answer is re-fetched through the star-flow
+	// reference executor and compared byte-for-byte. 0 disables.
+	OracleEvery int
+	// ReloadInterval, when > 0, POSTs /api/run at this interval to
+	// exercise warehouse churn (cache purges + aggregate refreshes)
+	// under load.
+	ReloadInterval time.Duration
+	Timeout        time.Duration
+	Fact           string
+}
+
+// Percentiles reports latency in microseconds.
+type Percentiles struct {
+	P50  float64 `json:"p50_us"`
+	P95  float64 `json:"p95_us"`
+	P99  float64 `json:"p99_us"`
+	P999 float64 `json:"p999_us"`
+	Max  float64 `json:"max_us"`
+	Mean float64 `json:"mean_us"`
+}
+
+// StatsDelta is the server-side counter movement over the run,
+// scraped from GET /api/olap/stats before and after.
+type StatsDelta struct {
+	Queries       int64   `json:"queries"`
+	QueryErrors   int64   `json:"query_errors"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	// Materialized-aggregate traffic; all zero when matagg is off.
+	MatAggHits         int64   `json:"matagg_hits"`
+	MatAggRewrites     int64   `json:"matagg_rewrites"`
+	MatAggMisses       int64   `json:"matagg_misses"`
+	MatAggHitRatio     float64 `json:"matagg_hit_ratio"`
+	MatAggMaterialized int     `json:"matagg_materialized"`
+	MatAggBytes        int64   `json:"matagg_bytes"`
+}
+
+// QueryCount is one mix entry's share of the run.
+type QueryCount struct {
+	Name     string `json:"name"`
+	Requests int64  `json:"requests"`
+}
+
+// LoadReport is the run artifact (BENCH_load_<sha>.json).
+type LoadReport struct {
+	SHA             string       `json:"sha,omitempty"`
+	Target          string       `json:"target"`
+	OfferedQPS      float64      `json:"offered_qps"`
+	ZipfS           float64      `json:"zipf_s"`
+	Seed            int64        `json:"seed"`
+	DurationSeconds float64      `json:"duration_seconds"`
+	Scheduled       int64        `json:"scheduled"`
+	Requests        int64        `json:"requests"` // completed, incl. oracle re-fetches
+	Errors          int64        `json:"errors"`   // transport failures + non-2xx
+	ErrorRate       float64      `json:"error_rate"`
+	ThroughputRPS   float64      `json:"throughput_rps"`
+	Latency         Percentiles  `json:"latency"`
+	Mix             []QueryCount `json:"mix"`
+	// Oracle spot-check accounting. Mismatches MUST be zero: a
+	// non-zero value means the fast path diverged from the reference
+	// executor. Checks that straddled a reload are skipped (the two
+	// fetches may have seen different warehouse versions).
+	OracleChecks     int64 `json:"oracle_checks"`
+	OracleMismatches int64 `json:"oracle_mismatches"`
+	OracleSkipped    int64 `json:"oracle_skipped"`
+	// Reload churn accounting.
+	Reloads      int64       `json:"reloads"`
+	ReloadErrors int64       `json:"reload_errors"`
+	Stats        *StatsDelta `json:"stats,omitempty"`
+	StatsError   string      `json:"stats_error,omitempty"`
+}
+
+// runBench drives the target open-loop: requests fire on a fixed
+// schedule derived from QPS alone, never gated on responses, and each
+// latency is measured from the request's SCHEDULED time — so a server
+// that stalls accumulates the stall into every latency that queued
+// behind it instead of silently thinning the arrival rate
+// (coordinated omission). A closed loop would measure a stalled
+// server as "slow but fine"; this measures it as what a real caller
+// population would experience.
+func runBench(cfg benchConfig) (*LoadReport, error) {
+	if cfg.QPS <= 0 {
+		return nil, fmt.Errorf("qps must be > 0 (got %g)", cfg.QPS)
+	}
+	if cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("zipf skew must be > 1 (got %g)", cfg.ZipfS)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	queries := goldenWorkload(cfg.Fact)
+	bodies := make([][]byte, len(queries))
+	oracleBodies := make([][]byte, len(queries))
+	for i, q := range queries {
+		b, err := json.Marshal(q.Body)
+		if err != nil {
+			return nil, fmt.Errorf("marshal %s: %w", q.Name, err)
+		}
+		bodies[i] = b
+		ob := make(map[string]any, len(q.Body)+1)
+		for k, v := range q.Body {
+			ob[k] = v
+		}
+		ob["oracle"] = true
+		if oracleBodies[i], err = json.Marshal(ob); err != nil {
+			return nil, fmt.Errorf("marshal %s oracle: %w", q.Name, err)
+		}
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+	target := strings.TrimRight(cfg.Target, "/")
+	statsBefore, statsErr := scrapeStats(client, cfg.Target)
+
+	var (
+		h          = newHist()
+		requests   atomic.Int64
+		errors     atomic.Int64
+		perQuery   = make([]atomic.Int64, len(queries))
+		oracleChk  atomic.Int64
+		oracleBad  atomic.Int64
+		oracleSkip atomic.Int64
+		reloads    atomic.Int64
+		reloadErrs atomic.Int64
+		// reloadGen counts completed reloads; an oracle pair that saw
+		// the generation move between its two fetches is skipped, since
+		// the answers may legitimately differ across versions.
+		reloadGen atomic.Int64
+	)
+
+	post := func(path string, body []byte) (int, []byte, error) {
+		resp, err := client.Post(target+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return resp.StatusCode, nil, err
+		}
+		return resp.StatusCode, data, nil
+	}
+
+	// Reload churn: POST /api/run on its own clock until the schedule
+	// ends. Runs concurrently with queries on purpose — the point is
+	// to measure serving behaviour while the warehouse republishes.
+	stopReload := make(chan struct{})
+	var reloadWG sync.WaitGroup
+	if cfg.ReloadInterval > 0 {
+		reloadWG.Add(1)
+		go func() {
+			defer reloadWG.Done()
+			tick := time.NewTicker(cfg.ReloadInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopReload:
+					return
+				case <-tick.C:
+					code, _, err := post("/api/run", []byte("{}"))
+					reloads.Add(1)
+					if err != nil || code/100 != 2 {
+						reloadErrs.Add(1)
+					} else {
+						reloadGen.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	fire := func(sched time.Time, qi int, oracle bool) {
+		perQuery[qi].Add(1)
+		genBefore := reloadGen.Load()
+		code, fastBody, err := post("/api/olap", bodies[qi])
+		h.Record(time.Since(sched).Nanoseconds())
+		requests.Add(1)
+		ok := err == nil && code/100 == 2
+		if !ok {
+			errors.Add(1)
+		}
+		if !oracle || !ok {
+			return
+		}
+		// Oracle spot check: same query through the star-flow reference
+		// executor; its latency counts (it is real offered load), and
+		// the two answers must be byte-identical unless a reload landed
+		// between the fetches.
+		oStart := time.Now()
+		oCode, oBody, oErr := post("/api/olap", oracleBodies[qi])
+		h.Record(time.Since(oStart).Nanoseconds())
+		requests.Add(1)
+		if oErr != nil || oCode/100 != 2 {
+			errors.Add(1)
+			return
+		}
+		if reloadGen.Load() != genBefore {
+			oracleSkip.Add(1)
+			return
+		}
+		oracleChk.Add(1)
+		if !bytes.Equal(fastBody, oBody) {
+			oracleBad.Add(1)
+		}
+	}
+
+	pick := newPicker(cfg.Seed, cfg.ZipfS, len(queries))
+	interval := time.Duration(float64(time.Second) / cfg.QPS)
+	var wg sync.WaitGroup
+	start := time.Now()
+	var scheduled int64
+	for {
+		sched := start.Add(time.Duration(scheduled) * interval)
+		if sched.Sub(start) >= cfg.Duration {
+			break
+		}
+		time.Sleep(time.Until(sched))
+		qi := pick()
+		oracle := cfg.OracleEvery > 0 && scheduled%int64(cfg.OracleEvery) == int64(cfg.OracleEvery)-1
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fire(sched, qi, oracle)
+		}()
+		scheduled++
+	}
+	wg.Wait()
+	close(stopReload)
+	reloadWG.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{
+		Target:          cfg.Target,
+		OfferedQPS:      cfg.QPS,
+		ZipfS:           cfg.ZipfS,
+		Seed:            cfg.Seed,
+		DurationSeconds: elapsed.Seconds(),
+		Scheduled:       scheduled,
+		Requests:        requests.Load(),
+		Errors:          errors.Load(),
+		ThroughputRPS:   float64(requests.Load()) / elapsed.Seconds(),
+		Latency: Percentiles{
+			P50:  float64(h.Quantile(0.50)) / 1e3,
+			P95:  float64(h.Quantile(0.95)) / 1e3,
+			P99:  float64(h.Quantile(0.99)) / 1e3,
+			P999: float64(h.Quantile(0.999)) / 1e3,
+			Max:  float64(h.Max()) / 1e3,
+			Mean: h.Mean() / 1e3,
+		},
+		OracleChecks:     oracleChk.Load(),
+		OracleMismatches: oracleBad.Load(),
+		OracleSkipped:    oracleSkip.Load(),
+		Reloads:          reloads.Load(),
+		ReloadErrors:     reloadErrs.Load(),
+	}
+	if rep.Requests > 0 {
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+	}
+	for i, q := range queries {
+		rep.Mix = append(rep.Mix, QueryCount{Name: q.Name, Requests: perQuery[i].Load()})
+	}
+	statsAfter, afterErr := scrapeStats(client, cfg.Target)
+	switch {
+	case statsErr != nil:
+		rep.StatsError = statsErr.Error()
+	case afterErr != nil:
+		rep.StatsError = afterErr.Error()
+	default:
+		rep.Stats = statsDelta(statsBefore, statsAfter)
+	}
+	return rep, nil
+}
+
+// statsDelta subtracts the pre-run counter snapshot so the report
+// reflects only this run's traffic, even against a long-lived server.
+func statsDelta(before, after *serverStats) *StatsDelta {
+	d := &StatsDelta{
+		Queries:     after.Queries - before.Queries,
+		QueryErrors: after.QueryErrors - before.QueryErrors,
+		CacheHits:   after.CacheHits - before.CacheHits,
+		CacheMisses: after.CacheMisses - before.CacheMisses,
+	}
+	if tot := d.CacheHits + d.CacheMisses; tot > 0 {
+		d.CacheHitRatio = float64(d.CacheHits) / float64(tot)
+	}
+	if after.MatAgg != nil {
+		var bh, br, bm int64
+		if before.MatAgg != nil {
+			bh, br, bm = before.MatAgg.Hits, before.MatAgg.Rewrites, before.MatAgg.Misses
+		}
+		d.MatAggHits = after.MatAgg.Hits - bh
+		d.MatAggRewrites = after.MatAgg.Rewrites - br
+		d.MatAggMisses = after.MatAgg.Misses - bm
+		if tot := d.MatAggHits + d.MatAggRewrites + d.MatAggMisses; tot > 0 {
+			d.MatAggHitRatio = float64(d.MatAggHits+d.MatAggRewrites) / float64(tot)
+		}
+		d.MatAggMaterialized = after.MatAgg.Materialized
+		d.MatAggBytes = after.MatAgg.MaterializedBytes
+	}
+	return d
+}

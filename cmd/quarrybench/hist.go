@@ -1,0 +1,129 @@
+package main
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// HDR-style log-linear latency histogram: 5 bits of sub-octave
+// precision give 32 linear buckets per power of two, so any int64
+// nanosecond value lands in one of ~1900 fixed buckets with a
+// relative width — and therefore worst-case quantile error — of
+// about 3%. Fixed buckets mean recording is one increment with no
+// allocation, which is what lets the load loop record every request
+// without perturbing the latencies it measures.
+const (
+	histSubBits = 5
+	histSubSize = 1 << histSubBits
+	histBuckets = (64 - histSubBits) * histSubSize
+)
+
+type hist struct {
+	mu     sync.Mutex
+	counts [histBuckets]int64
+	n      int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+func newHist() *hist { return &hist{min: math.MaxInt64} }
+
+// bucketOf maps a value to its bucket: values below 32 get exact
+// linear buckets; above, the top 5 bits below the leading bit select
+// a linear bucket within the value's octave.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSubSize {
+		return int(v)
+	}
+	h := bits.Len64(uint64(v)) - 1 // position of the leading bit, ≥ histSubBits
+	return (h-histSubBits)*histSubSize + int(v>>(h-histSubBits))
+}
+
+// bucketMid returns the midpoint of a bucket's value range — the
+// representative reported for quantiles that land in it.
+func bucketMid(idx int) int64 {
+	if idx < histSubSize {
+		return int64(idx)
+	}
+	shift := idx/histSubSize - 1
+	low := int64(histSubSize+idx%histSubSize) << shift
+	return low + int64(1)<<shift/2
+}
+
+func (h *hist) Record(v int64) {
+	h.mu.Lock()
+	h.counts[bucketOf(v)]++
+	h.n++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+func (h *hist) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Quantile returns the value at quantile q in [0,1], clamped to the
+// exact recorded min/max so the tails are never widened by bucket
+// granularity. Returns 0 on an empty histogram.
+func (h *hist) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank >= h.n {
+		// The top order statistic is tracked exactly; no bucket
+		// midpoint can undershoot it.
+		return h.max
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := bucketMid(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+func (h *hist) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+func (h *hist) Max() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHistBucketRoundTrip pins the log-linear bucketing property the
+// quantile error bound rests on: every value's bucket midpoint is
+// within one sub-bucket width (~3.2% relative) of the value itself.
+func TestHistBucketRoundTrip(t *testing.T) {
+	values := []int64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 12345,
+		1_000_000, 87_654_321, 1 << 40, math.MaxInt64 / 2}
+	for _, v := range values {
+		idx := bucketOf(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, idx)
+		}
+		mid := bucketMid(idx)
+		if v < histSubSize {
+			if mid != v {
+				t.Fatalf("linear bucket not exact: bucketMid(bucketOf(%d)) = %d", v, mid)
+			}
+			continue
+		}
+		if rel := math.Abs(float64(mid-v)) / float64(v); rel > 1.0/float64(histSubSize) {
+			t.Fatalf("bucketMid(bucketOf(%d)) = %d, relative error %.4f > %.4f",
+				v, mid, rel, 1.0/float64(histSubSize))
+		}
+	}
+	// Buckets are monotone in the value: sorting by bucket index never
+	// reorders values by more than one bucket's width.
+	for v := int64(1); v < 1<<20; v = v*7/5 + 1 {
+		if bucketOf(v) > bucketOf(v+1) {
+			t.Fatalf("bucketOf not monotone at %d", v)
+		}
+	}
+}
+
+// TestHistQuantileAccuracy records a heavy-tailed sample and checks
+// every reported quantile against the exact order statistic, within
+// the histogram's documented ~3.2% relative error.
+func TestHistQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := newHist()
+	exact := make([]int64, 0, 50_000)
+	for i := 0; i < 50_000; i++ {
+		// Log-uniform latencies from ~1us to ~1s, in nanoseconds.
+		v := int64(math.Exp(rng.Float64()*math.Log(1e9/1e3)) * 1e3)
+		h.Record(v)
+		exact = append(exact, v)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		rank := int(math.Ceil(q*float64(len(exact)))) - 1
+		want := exact[rank]
+		got := h.Quantile(q)
+		if rel := math.Abs(float64(got-want)) / float64(want); rel > 0.04 {
+			t.Errorf("q%.3f: got %d, exact %d, relative error %.4f", q, got, want, rel)
+		}
+	}
+	if h.Max() != exact[len(exact)-1] {
+		t.Errorf("Max = %d, want %d", h.Max(), exact[len(exact)-1])
+	}
+}
+
+// TestHistQuantileMonotone: quantiles never decrease as q grows, and
+// the extremes clamp to the recorded min/max.
+func TestHistQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h := newHist()
+	for i := 0; i < 10_000; i++ {
+		h.Record(rng.Int63n(1_000_000_000))
+	}
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%.3f) = %d < previous %d", q, v, prev)
+		}
+		prev = v
+	}
+	if h.Quantile(1.0) != h.Max() {
+		t.Fatalf("Quantile(1.0) = %d, Max = %d", h.Quantile(1.0), h.Max())
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	h := newHist()
+	if h.Quantile(0.99) != 0 || h.Max() != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}

@@ -8,7 +8,7 @@
 //	        [-data-dir DIR] [-compact]
 //	        [-parallelism 0] [-batch-size 0]
 //	        [-olap-concurrency 0] [-olap-cache 256]
-//	        [-matagg] [-matagg-top-k 8]
+//	        [-matagg] [-matagg-top-k 8] [-matagg-budget-bytes 0]
 //	        [-replica-of URL] [-replica-dir DIR] [-replica-interval 1s]
 //
 // With -data-dir the warehouse lives in a paged on-disk store: the
@@ -62,6 +62,7 @@ func main() {
 	olapCache := flag.Int("olap-cache", 256, "OLAP result cache capacity (negative disables)")
 	matagg := flag.Bool("matagg", true, "materialize hot OLAP aggregates (adaptive, version-keyed)")
 	mataggTopK := flag.Int("matagg-top-k", 8, "materialized aggregates kept per refresh")
+	mataggBudget := flag.Int64("matagg-budget-bytes", 0, "byte budget for materialized aggregates; candidates admitted by benefit per byte (0: unlimited, benefit-ranked)")
 	replicaOf := flag.String("replica-of", "", "primary base URL (e.g. http://primary:8080); start as a read replica of it")
 	replicaDir := flag.String("replica-dir", "", "with -replica-of: ship segments by reading this shared directory (the primary's -data-dir) instead of the primary's HTTP replication endpoints")
 	replicaInterval := flag.Duration("replica-interval", time.Second, "with -replica-of: how often to poll the primary for new commits")
@@ -71,6 +72,7 @@ func main() {
 		runReplica(*addr, *dataDir, *replicaOf, *replicaDir, *replicaInterval, replicaConfig{
 			store: *store, sf: *sf, parallelism: *parallelism, batchSize: *batchSize,
 			olapConc: *olapConc, olapCache: *olapCache, matagg: *matagg, mataggTopK: *mataggTopK,
+			mataggBudget: *mataggBudget,
 		})
 		return
 	}
@@ -125,8 +127,9 @@ func main() {
 	}
 	p, err := core.New(core.Config{
 		Ontology: onto, Mapping: mapg, Catalog: cat, DB: db, StoreDir: *store,
-		Engine:     engine.Options{Parallelism: *parallelism, BatchSize: *batchSize},
-		MatAggTopK: topK,
+		Engine:            engine.Options{Parallelism: *parallelism, BatchSize: *batchSize},
+		MatAggTopK:        topK,
+		MatAggBudgetBytes: *mataggBudget,
 	})
 	if err != nil {
 		log.Fatalf("quarryd: %v", err)
@@ -156,14 +159,15 @@ func main() {
 // replicaConfig carries the serving knobs a replica shares with a
 // primary (engine sizing, OLAP concurrency/cache, matagg).
 type replicaConfig struct {
-	store       string
-	sf          float64
-	parallelism int
-	batchSize   int
-	olapConc    int
-	olapCache   int
-	matagg      bool
-	mataggTopK  int
+	store        string
+	sf           float64
+	parallelism  int
+	batchSize    int
+	olapConc     int
+	olapCache    int
+	matagg       bool
+	mataggTopK   int
+	mataggBudget int64
 }
 
 // runReplica starts quarryd as a read replica: ship the primary's
@@ -221,8 +225,9 @@ func runReplica(addr, dataDir, primary, sharedDir string, interval time.Duration
 	}
 	p, err := core.New(core.Config{
 		Ontology: onto, Mapping: mapg, Catalog: cat, DB: db, StoreDir: cfg.store,
-		Engine:     engine.Options{Parallelism: cfg.parallelism, BatchSize: cfg.batchSize},
-		MatAggTopK: topK,
+		Engine:            engine.Options{Parallelism: cfg.parallelism, BatchSize: cfg.batchSize},
+		MatAggTopK:        topK,
+		MatAggBudgetBytes: cfg.mataggBudget,
 	})
 	if err != nil {
 		log.Fatalf("quarryd: %v", err)

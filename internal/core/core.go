@@ -76,6 +76,10 @@ type Config struct {
 	// aggregates per refresh; 0 disables the subsystem. See
 	// internal/olap/matagg.go.
 	MatAggTopK int
+	// MatAggBudgetBytes caps the estimated in-memory footprint of the
+	// installed aggregates; candidates are then admitted by benefit
+	// per byte instead of plain benefit. 0 means unlimited.
+	MatAggBudgetBytes int64
 }
 
 // Platform is the running Quarry instance.
@@ -147,7 +151,7 @@ func New(cfg Config) (*Platform, error) {
 		partials:   map[string]*interpreter.PartialDesign{},
 	}
 	if cfg.MatAggTopK > 0 {
-		p.matAgg = olap.NewMatAgg(cfg.MatAggTopK)
+		p.matAgg = olap.NewMatAggBudget(cfg.MatAggTopK, cfg.MatAggBudgetBytes)
 	}
 	// A persistent repository may already hold a lifecycle; restore
 	// it so the platform resumes where the previous session stopped.

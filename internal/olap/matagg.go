@@ -24,6 +24,21 @@ package olap
 // every aggregate implicitly; queries compare versions and fall back
 // to the base-fact path until the next Refresh.
 //
+// Admission is benefit-aware, not frequency-only (the trap the dicing
+// literature warns about: hot-but-cheap patterns crowding out the
+// aggregates that actually shave fact-scan work). Refresh builds the
+// hottest candidate patterns — more than it can keep — and installs
+// the ones with the highest benefit, where
+//
+//	benefit = weight × (fact rows scanned / aggregate rows)
+//
+// i.e. observed demand times the scan fan-in the aggregate collapses.
+// Under a byte budget (NewMatAggBudget) the ranking switches to
+// benefit PER BYTE and installation stops at the budget, evicting the
+// lowest benefit-per-byte candidates first. A hot group-by over a
+// near-fact-cardinality key (fan-in ≈ 1) therefore loses its slot to
+// a cooler roll-up that collapses thousands of fact rows per group.
+//
 // Rewrite (answer) picks the COARSEST usable aggregate — fewest rows —
 // whose group-by set is a superset of the query's needs. Two shapes
 // exist:
@@ -59,6 +74,20 @@ import (
 // maxPatterns bounds the query-log pattern map; beyond it the
 // lowest-weight pattern is evicted.
 const maxPatterns = 512
+
+// candidateFactor is how many candidate patterns Refresh builds per
+// retained slot: benefit ranking needs each candidate's actual
+// aggregate row count, which is only known after building, so the
+// store materializes candidateFactor×topK of the hottest patterns and
+// keeps the topK best by benefit (the rest are discarded and GC'd).
+const candidateFactor = 2
+
+// valueBytes approximates the in-memory cost of one expr.Value (kind
+// tag + int64 + float64 + string header + bool, padded); string
+// content is charged on top. Used for the budget accounting — an
+// estimate, but a consistent one, so benefit-per-byte ranking and the
+// budget cutoff are deterministic.
+const valueBytes = 48
 
 // derivedWeight is the frequency credited to hierarchy-derived
 // lattice neighbours per observation (observed patterns get 1.0, so
@@ -134,19 +163,41 @@ type matEntry struct {
 	mIdx     map[string]int    // measure key → position in table
 	mTyp     map[string]string // measure key → source column type
 	groupSet map[string]bool
+	// factRows is the fact cardinality the entry was built over and
+	// bytes its estimated in-memory footprint; benefit is the admission
+	// score weight×(factRows/rows) computed at Refresh (see admit).
+	factRows int64
+	bytes    int64
+	benefit  float64
+}
+
+// perByte is the entry's benefit density, the ranking used under a
+// byte budget.
+func (en *matEntry) perByte() float64 {
+	b := en.bytes
+	if b < 1 {
+		b = 1
+	}
+	return en.benefit / float64(b)
 }
 
 // MatAggStats is the admin/stats view of a store.
 type MatAggStats struct {
-	TopK               int    `json:"top_k"`
-	Patterns           int    `json:"patterns"`
-	Materialized       int    `json:"materialized"`
-	MaterializedRows   int64  `json:"materialized_rows"`
-	Recorded           int64  `json:"recorded"`
-	Hits               int64  `json:"hits"`
-	Rewrites           int64  `json:"rewrites"`
-	Misses             int64  `json:"misses"`
-	UnservableRejected int64  `json:"unservable_rejected"`
+	TopK               int   `json:"top_k"`
+	BudgetBytes        int64 `json:"budget_bytes"`
+	Patterns           int   `json:"patterns"`
+	Materialized       int   `json:"materialized"`
+	MaterializedRows   int64 `json:"materialized_rows"`
+	MaterializedBytes  int64 `json:"materialized_bytes"`
+	Recorded           int64 `json:"recorded"`
+	Hits               int64 `json:"hits"`
+	Rewrites           int64 `json:"rewrites"`
+	Misses             int64 `json:"misses"`
+	UnservableRejected int64 `json:"unservable_rejected"`
+	// BenefitEvicted counts candidates that were built by a Refresh
+	// but lost their slot to a higher-benefit (or, under a budget,
+	// higher benefit-per-byte) aggregate.
+	BenefitEvicted     int64  `json:"benefit_evicted"`
 	LastRefreshVersion uint64 `json:"last_refresh_version"`
 	LastRefreshError   string `json:"last_refresh_error,omitempty"`
 	DimCacheHits       int64  `json:"dim_cache_hits"`
@@ -160,11 +211,15 @@ type MatAggStats struct {
 type MatAgg struct {
 	mu       sync.Mutex
 	topK     int
+	budget   int64 // byte budget for installed aggregates; 0 = unlimited
 	patterns map[string]*aggPattern
 	entries  map[string]*matEntry
 	dims     *dimCache
 
 	recorded, hits, rewrites, misses int64
+	// evicted counts built candidates rejected by benefit ranking or
+	// the byte budget (Stats.BenefitEvicted).
+	evicted int64
 	// unservable counts queries whose pattern was rejected at
 	// admission because no materialization of it could ever serve
 	// them (see record).
@@ -191,13 +246,24 @@ type MatAgg struct {
 }
 
 // NewMatAgg builds a store materializing up to topK aggregates per
-// Refresh (topK <= 0 defaults to 8).
-func NewMatAgg(topK int) *MatAgg {
+// Refresh (topK <= 0 defaults to 8) with no byte budget.
+func NewMatAgg(topK int) *MatAgg { return NewMatAggBudget(topK, 0) }
+
+// NewMatAggBudget builds a store materializing up to topK aggregates
+// per Refresh under a byte budget: installed aggregates' estimated
+// in-memory footprint never exceeds budgetBytes, and candidates are
+// ranked by benefit per byte (budgetBytes <= 0 means unlimited, with
+// ranking by plain benefit).
+func NewMatAggBudget(topK int, budgetBytes int64) *MatAgg {
 	if topK <= 0 {
 		topK = 8
 	}
+	if budgetBytes < 0 {
+		budgetBytes = 0
+	}
 	return &MatAgg{
 		topK:     topK,
+		budget:   budgetBytes,
 		patterns: map[string]*aggPattern{},
 		entries:  map[string]*matEntry{},
 		dims:     newDimCache(),
@@ -229,6 +295,7 @@ func (m *MatAgg) Stats() MatAggStats {
 	m.mu.Lock()
 	st := MatAggStats{
 		TopK:               m.topK,
+		BudgetBytes:        m.budget,
 		Patterns:           len(m.patterns),
 		Materialized:       len(m.entries),
 		Recorded:           m.recorded,
@@ -236,11 +303,13 @@ func (m *MatAgg) Stats() MatAggStats {
 		Rewrites:           m.rewrites,
 		Misses:             m.misses,
 		UnservableRejected: m.unservable,
+		BenefitEvicted:     m.evicted,
 		LastRefreshVersion: m.lastRefreshVersion,
 		LastRefreshError:   m.lastRefreshErr,
 	}
 	for _, en := range m.entries {
 		st.MaterializedRows += int64(en.rows)
+		st.MaterializedBytes += en.bytes
 	}
 	m.mu.Unlock()
 	st.DimCacheHits, st.DimCacheMisses = m.dims.stats()
@@ -509,6 +578,23 @@ func (e *Engine) rollupVariants(groupBy []string) [][]string {
 	return out
 }
 
+// estimateBytes approximates the in-memory footprint of a
+// materialized result: per-row slice header plus valueBytes per value
+// plus string content. The budget accounting only needs a consistent
+// estimate, not exact heap sizes.
+func estimateBytes(rows [][]expr.Value) int64 {
+	var b int64
+	for _, r := range rows {
+		b += 24 + int64(len(r))*valueBytes
+		for _, v := range r {
+			if v.Kind() == expr.KindString {
+				b += int64(len(v.AsString()))
+			}
+		}
+	}
+	return b
+}
+
 // columnType resolves a column's declared type within a plan's star
 // schema.
 func (p *starPlan) columnType(name string) (string, bool) {
@@ -564,10 +650,54 @@ type RefreshReport struct {
 	Materialized int
 	Rows         int64
 	Dropped      int // patterns that no longer plan (dropped from the log)
+	// Evicted counts candidates built this pass but not installed:
+	// outranked by higher-benefit aggregates or cut by the byte budget.
+	Evicted int
 }
 
-// Refresh materializes the current top-K patterns, each from its own
-// snapshot of the deployed tables, and atomically swaps the entry set.
+// admitEntries picks the entries to install from the built candidate
+// set: ranked by benefit — weight × (fact rows scanned / aggregate
+// rows), the fact-scan work the aggregate saves per served query —
+// or, under a byte budget, by benefit PER BYTE, taken greedily
+// subject to both the top-K slot cap and the budget. Greedy from the
+// top is equivalent to evicting the lowest benefit-per-byte
+// candidates until the rest fit. A candidate too large for the
+// remaining budget is skipped, not terminal: a smaller, lower-ranked
+// aggregate may still fit (classic knapsack greedy). Ties break on
+// the pattern key for determinism.
+func admitEntries(cands []*matEntry, topK int, budget int64) []*matEntry {
+	rank := func(en *matEntry) float64 {
+		if budget > 0 {
+			return en.perByte()
+		}
+		return en.benefit
+	}
+	sorted := append([]*matEntry(nil), cands...)
+	sort.Slice(sorted, func(i, j int) bool {
+		ri, rj := rank(sorted[i]), rank(sorted[j])
+		if ri != rj {
+			return ri > rj
+		}
+		return sorted[i].pat.key < sorted[j].pat.key
+	})
+	keep := make([]*matEntry, 0, topK)
+	var used int64
+	for _, en := range sorted {
+		if len(keep) >= topK {
+			break
+		}
+		if budget > 0 && used+en.bytes > budget {
+			continue
+		}
+		keep = append(keep, en)
+		used += en.bytes
+	}
+	return keep
+}
+
+// Refresh materializes the hottest candidate patterns, each from its
+// own snapshot of the deployed tables, ranks them by benefit (see
+// admitEntries) and atomically swaps in the winning entry set.
 // Patterns that no longer plan against the deployed design (e.g. after
 // a lifecycle change removed a column) are dropped from the log.
 // Concurrent queries keep answering from the previous entries — the
@@ -593,6 +723,7 @@ func (m *MatAgg) Refresh(e *Engine) (RefreshReport, error) {
 		snapshot = append(snapshot, ranked{pat, m.normLocked(pat)})
 	}
 	topK := m.topK
+	budget := m.budget
 	m.mu.Unlock()
 	sort.Slice(snapshot, func(i, j int) bool {
 		if snapshot[i].weight != snapshot[j].weight {
@@ -600,34 +731,47 @@ func (m *MatAgg) Refresh(e *Engine) (RefreshReport, error) {
 		}
 		return snapshot[i].pat.key < snapshot[j].pat.key
 	})
-	if len(snapshot) > topK {
-		snapshot = snapshot[:topK]
+	// Benefit needs each candidate's aggregate row count, which only
+	// the build reveals — so build more candidates than slots (the
+	// hottest candidateFactor×topK by weight) and let admitEntries
+	// keep the best. This is what lets a cooler high-fan-in roll-up
+	// displace a hot near-fact-cardinality pattern that raw frequency
+	// ranking would have locked in.
+	if limit := candidateFactor * topK; len(snapshot) > limit {
+		snapshot = snapshot[:limit]
 	}
-	pats := make([]*aggPattern, len(snapshot))
-	for i, r := range snapshot {
-		pats[i] = r.pat
-	}
-	entries := make(map[string]*matEntry, len(pats))
+	cands := make([]*matEntry, 0, len(snapshot))
 	var firstErr error
 	var maxVersion uint64
-	for _, pat := range pats {
-		en, err := m.build(e, pat)
+	for _, r := range snapshot {
+		en, err := m.build(e, r.pat)
 		if err != nil {
 			rep.Dropped++
 			if firstErr == nil {
-				firstErr = fmt.Errorf("matagg: pattern %s: %w", pat.key, err)
+				firstErr = fmt.Errorf("matagg: pattern %s: %w", r.pat.key, err)
 			}
 			m.mu.Lock()
-			m.dropPatternLocked(pat.key)
+			m.dropPatternLocked(r.pat.key)
 			m.mu.Unlock()
 			continue
 		}
-		entries[pat.key] = en
-		rep.Materialized++
-		rep.Rows += int64(en.rows)
+		rows := en.rows
+		if rows < 1 {
+			rows = 1
+		}
+		en.benefit = r.weight * float64(en.factRows) / float64(rows)
+		cands = append(cands, en)
 		if en.version > maxVersion {
 			maxVersion = en.version
 		}
+	}
+	keep := admitEntries(cands, topK, budget)
+	rep.Evicted = len(cands) - len(keep)
+	entries := make(map[string]*matEntry, len(keep))
+	for _, en := range keep {
+		entries[en.pat.key] = en
+		rep.Materialized++
+		rep.Rows += int64(en.rows)
 	}
 	m.mu.Lock()
 	// Install only when still current: an Invalidate (design change)
@@ -639,6 +783,7 @@ func (m *MatAgg) Refresh(e *Engine) (RefreshReport, error) {
 	if m.gen == startGen && maxVersion >= m.lastRefreshVersion {
 		m.entries = entries
 		m.lastRefreshVersion = maxVersion
+		m.evicted += int64(rep.Evicted)
 		if firstErr != nil {
 			m.lastRefreshErr = firstErr.Error()
 		} else {
@@ -716,6 +861,7 @@ func (m *MatAgg) build(e *Engine, pat *aggPattern) (*matEntry, error) {
 		mIdx:     make(map[string]int, len(pat.measures)),
 		mTyp:     mTyp,
 		groupSet: make(map[string]bool, len(pat.groupBy)),
+		bytes:    estimateBytes(res.Rows),
 	}
 	for _, name := range p.tables {
 		view, ok := snap.Table(name)
@@ -723,6 +869,9 @@ func (m *MatAgg) build(e *Engine, pat *aggPattern) (*matEntry, error) {
 			return nil, fmt.Errorf("snapshot lacks table %q", name)
 		}
 		en.srcRows[name] = view.NumRows()
+	}
+	if fv, ok := snap.Table(pat.fact); ok {
+		en.factRows = fv.NumRows()
 	}
 	for i, c := range cols {
 		en.layout[c.Name] = i

@@ -1,0 +1,165 @@
+package olap_test
+
+// End-to-end proof of the benefit-aware admission model over real
+// TPC-H data, guarded by the byte-identity oracle: the covering
+// aggregate that FREQUENCY-ONLY admission would have evicted (the
+// pre-benefit policy materialized the top-K hottest patterns and
+// nothing else) is materialized and served, while the hotter
+// low-benefit pattern loses its slot and falls back to the base path
+// — with every answer byte-identical to QueryStarFlow either way.
+
+import (
+	"testing"
+
+	"quarry/internal/olap"
+	"quarry/internal/tpch"
+)
+
+// benefitQueries returns the two competing patterns: "hot" groups by
+// p_name (near-fact cardinality — fan-in ≈ a handful of rows per
+// group, so the aggregate saves almost nothing) and "cool" groups by
+// n_name (the deployed revenue fact holds a single nation, so the
+// aggregate collapses the whole fact into one row — maximal fan-in).
+func benefitQueries() (hot, cool olap.CubeQuery) {
+	hot = olap.CubeQuery{
+		Fact:     "fact_table_revenue",
+		GroupBy:  []string{"p_name"},
+		Measures: []olap.MeasureSpec{{Out: "n", Func: "COUNT", Col: ""}},
+	}
+	cool = olap.CubeQuery{
+		Fact:     "fact_table_revenue",
+		GroupBy:  []string{"n_name"},
+		Measures: []olap.MeasureSpec{{Out: "n", Func: "COUNT", Col: ""}},
+	}
+	return hot, cool
+}
+
+// TestMatAggBenefitBeatsFrequency is the admission regression test of
+// the ISSUE's acceptance criteria: with ONE materialization slot, the
+// query log is trained so the low-benefit pattern is strictly hotter
+// (6 observations vs 3). Frequency-only admission kept the hottest
+// pattern, evicting the covering high-fan-in aggregate; benefit-aware
+// admission must keep the high-fan-in one, serve it on the fast path,
+// and still answer both queries byte-identically to the oracle.
+func TestMatAggBenefitBeatsFrequency(t *testing.T) {
+	p, _ := platformWith(t, 3, 42, tpch.RevenueRequirement())
+	base, err := p.OLAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := olap.NewMatAgg(1) // one slot: admission has to choose
+	e := base.WithMatAgg(m)
+	hot, cool := benefitQueries()
+	for i := 0; i < 6; i++ {
+		if _, err := e.Query(hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := e.Query(cool); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := m.Refresh(e)
+	if err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	if rep.Materialized != 1 {
+		t.Fatalf("materialized %d aggregates, want exactly 1 (report %+v)", rep.Materialized, rep)
+	}
+	if rep.Evicted == 0 {
+		t.Fatalf("no candidate was evicted; admission never had to choose (report %+v)", rep)
+	}
+	st := m.Stats()
+	if st.BenefitEvicted == 0 {
+		t.Fatalf("BenefitEvicted not counted: %+v", st)
+	}
+
+	// The cool (high-fan-in) query must be served from its aggregate…
+	fast, err := e.Query(cool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := e.QueryStarFlow(cool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "benefit-admitted aggregate", fast, oracle)
+	if got := m.Stats().Hits; got != st.Hits+1 {
+		t.Fatalf("high-benefit query not served from its aggregate: hits %d → %d", st.Hits, got)
+	}
+
+	// …while the hot low-benefit query falls back to the base path,
+	// still byte-identical.
+	before := m.Stats()
+	fast, err = e.Query(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err = e.QueryStarFlow(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "evicted pattern fallback", fast, oracle)
+	after := m.Stats()
+	if after.Hits != before.Hits || after.Rewrites != before.Rewrites {
+		t.Fatalf("evicted pattern was somehow served: %+v → %+v", before, after)
+	}
+	if after.Misses != before.Misses+1 {
+		t.Fatalf("fallback not counted as a miss: %+v", after)
+	}
+}
+
+// TestMatAggBudgetAdmission: a byte budget sized for the small
+// aggregate only must admit it (benefit per byte) and reject the
+// large one, keeping MaterializedBytes within budget — and the served
+// answer stays byte-identical to the oracle.
+func TestMatAggBudgetAdmission(t *testing.T) {
+	p, _ := platformWith(t, 3, 42, tpch.RevenueRequirement())
+	base, err := p.OLAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 2048 // fits the one-row n_name aggregate, not the p_name one
+	m := olap.NewMatAggBudget(8, budget)
+	e := base.WithMatAgg(m)
+	hot, cool := benefitQueries()
+	for i := 0; i < 6; i++ {
+		if _, err := e.Query(hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := e.Query(cool); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Refresh(e); err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	st := m.Stats()
+	if st.BudgetBytes != budget {
+		t.Fatalf("BudgetBytes = %d, want %d", st.BudgetBytes, budget)
+	}
+	if st.Materialized == 0 {
+		t.Fatalf("budget admitted nothing: %+v", st)
+	}
+	if st.MaterializedBytes > budget {
+		t.Fatalf("MaterializedBytes %d exceeds budget %d: %+v", st.MaterializedBytes, budget, st)
+	}
+	if st.BenefitEvicted == 0 {
+		t.Fatalf("oversized candidate not evicted: %+v", st)
+	}
+	fast, err := e.Query(cool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := e.QueryStarFlow(cool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "budget-admitted aggregate", fast, oracle)
+	if got := m.Stats().Hits; got != st.Hits+1 {
+		t.Fatalf("budget-admitted aggregate not served: hits %d → %d", st.Hits, got)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"quarry/internal/core"
 	"quarry/internal/expr"
@@ -57,6 +58,13 @@ type Server struct {
 	// cache holds OLAP results keyed by query + warehouse version; it
 	// is purged whenever /api/run reloads the warehouse.
 	cache *olap.ResultCache
+	// olapQueries/olapErrors count POST /api/olap traffic for
+	// /api/olap/stats: every request increments olapQueries, and every
+	// one that does not end in a 2xx (bad body, queue abandon, failed
+	// execution) also increments olapErrors — so load harnesses can
+	// reconcile their client-side accounting against the server's.
+	olapQueries atomic.Int64
+	olapErrors  atomic.Int64
 	// refreshes tracks the background materialized-aggregate refreshes
 	// kicked off by /api/run, so shutdown/tests can drain them.
 	refreshes sync.WaitGroup
@@ -158,8 +166,10 @@ type olapResponse struct {
 }
 
 func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
+	s.olapQueries.Add(1)
 	var body olapRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&body); err != nil {
+		s.olapErrors.Add(1)
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -192,6 +202,7 @@ func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.pool <- struct{}{}:
 	case <-r.Context().Done():
+		s.olapErrors.Add(1)
 		writeErr(w, http.StatusServiceUnavailable, r.Context().Err())
 		return
 	}
@@ -201,6 +212,7 @@ func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
 	}
 	oe, err := s.p.OLAP()
 	if err != nil {
+		s.olapErrors.Add(1)
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
@@ -218,6 +230,7 @@ func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
 		res, err = oe.QueryContext(r.Context(), q)
 	}
 	if err != nil {
+		s.olapErrors.Add(1)
 		if r.Context().Err() != nil {
 			// Abandoned query: the slot was released early; there is no
 			// client left to answer.
@@ -241,6 +254,10 @@ var testingOLAPBeforeQuery func()
 
 // olapStatsResponse is the admin view of the serving layer's caches.
 type olapStatsResponse struct {
+	// Raw POST /api/olap traffic counters (errors counts every request
+	// that did not end in a 2xx, including abandoned queued queries).
+	Queries     int64 `json:"queries"`
+	QueryErrors int64 `json:"query_errors"`
 	// Result cache (query + version keyed LRU).
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
@@ -290,6 +307,8 @@ func (s *Server) scheduleMatAggRefresh() {
 
 func (s *Server) handleOLAPStats(w http.ResponseWriter, _ *http.Request) {
 	var out olapStatsResponse
+	out.Queries = s.olapQueries.Load()
+	out.QueryErrors = s.olapErrors.Load()
 	out.CacheHits, out.CacheMisses = s.cache.Stats()
 	out.CacheEntries = s.cache.Len()
 	if db := s.p.DB(); db != nil {
