@@ -83,8 +83,13 @@ type LoadReport struct {
 	Mix             []QueryCount `json:"mix"`
 	// Oracle spot-check accounting. Mismatches MUST be zero: a
 	// non-zero value means the fast path diverged from the reference
-	// executor. Checks that straddled a reload are skipped (the two
-	// fetches may have seen different warehouse versions).
+	// executor. A pair whose two fetches report different warehouse
+	// epochs (X-Quarry-Version response header) is skipped — the
+	// answers may legitimately differ across versions. Against servers
+	// that predate the header, pairs that straddled one of this
+	// client's own reloads are skipped instead; that fallback cannot
+	// see reloads triggered elsewhere (e.g. a shard fleet republishing
+	// behind a gather router), which is why the header takes priority.
 	OracleChecks     int64 `json:"oracle_checks"`
 	OracleMismatches int64 `json:"oracle_mismatches"`
 	OracleSkipped    int64 `json:"oracle_skipped"`
@@ -151,17 +156,17 @@ func runBench(cfg benchConfig) (*LoadReport, error) {
 		reloadGen atomic.Int64
 	)
 
-	post := func(path string, body []byte) (int, []byte, error) {
+	post := func(path string, body []byte) (int, http.Header, []byte, error) {
 		resp, err := client.Post(target+path, "application/json", bytes.NewReader(body))
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
 		defer resp.Body.Close()
 		data, err := io.ReadAll(resp.Body)
 		if err != nil {
-			return resp.StatusCode, nil, err
+			return resp.StatusCode, resp.Header, nil, err
 		}
-		return resp.StatusCode, data, nil
+		return resp.StatusCode, resp.Header, data, nil
 	}
 
 	// Reload churn: POST /api/run on its own clock until the schedule
@@ -180,7 +185,7 @@ func runBench(cfg benchConfig) (*LoadReport, error) {
 				case <-stopReload:
 					return
 				case <-tick.C:
-					code, _, err := post("/api/run", []byte("{}"))
+					code, _, _, err := post("/api/run", []byte("{}"))
 					reloads.Add(1)
 					if err != nil || code/100 != 2 {
 						reloadErrs.Add(1)
@@ -195,7 +200,7 @@ func runBench(cfg benchConfig) (*LoadReport, error) {
 	fire := func(sched time.Time, qi int, oracle bool) {
 		perQuery[qi].Add(1)
 		genBefore := reloadGen.Load()
-		code, fastBody, err := post("/api/olap", bodies[qi])
+		code, fastHdr, fastBody, err := post("/api/olap", bodies[qi])
 		h.Record(time.Since(sched).Nanoseconds())
 		requests.Add(1)
 		ok := err == nil && code/100 == 2
@@ -207,17 +212,33 @@ func runBench(cfg benchConfig) (*LoadReport, error) {
 		}
 		// Oracle spot check: same query through the star-flow reference
 		// executor; its latency counts (it is real offered load), and
-		// the two answers must be byte-identical unless a reload landed
-		// between the fetches.
+		// the two answers must be byte-identical unless the warehouse
+		// republished between the fetches.
 		oStart := time.Now()
-		oCode, oBody, oErr := post("/api/olap", oracleBodies[qi])
+		oCode, oHdr, oBody, oErr := post("/api/olap", oracleBodies[qi])
 		h.Record(time.Since(oStart).Nanoseconds())
 		requests.Add(1)
 		if oErr != nil || oCode/100 != 2 {
 			errors.Add(1)
 			return
 		}
-		if reloadGen.Load() != genBefore {
+		// Version-skew detection. The X-Quarry-Version header names the
+		// warehouse epoch each answer was computed at (on a shard gather,
+		// the merge epoch of the whole fleet). When both fetches carry
+		// it, it is authoritative: differing epochs mean the comparison
+		// is meaningless and is skipped; equal epochs mean the answers
+		// came from the same snapshot and MUST match, even if a reload
+		// completed in between. The local reload counter is only a
+		// fallback for servers that predate the header — it cannot see
+		// reloads triggered by other clients or by shard fleets
+		// republishing on their own clock.
+		fastVer, oVer := fastHdr.Get("X-Quarry-Version"), oHdr.Get("X-Quarry-Version")
+		if fastVer != "" && oVer != "" {
+			if fastVer != oVer {
+				oracleSkip.Add(1)
+				return
+			}
+		} else if reloadGen.Load() != genBefore {
 			oracleSkip.Add(1)
 			return
 		}

@@ -20,6 +20,13 @@ type fakeOLAP struct {
 	reloads       atomic.Int64
 	failEvery     int64
 	oracleDiverge bool
+	// versionEachRequest stamps a fresh X-Quarry-Version on every
+	// /api/olap response and makes the answer version-dependent,
+	// simulating a warehouse republished between any two fetches by
+	// someone other than this bench client (a shard fleet, another
+	// loader). staticVersion stamps a constant header instead.
+	versionEachRequest bool
+	staticVersion      string
 }
 
 func (f *fakeOLAP) handler() http.Handler {
@@ -44,6 +51,12 @@ func (f *fakeOLAP) handler() http.Handler {
 		// divergence is being injected.
 		if f.oracleDiverge && oracle {
 			body["divergence"] = true
+		}
+		if f.versionEachRequest {
+			w.Header().Set("X-Quarry-Version", fmt.Sprint(n))
+			body["version"] = n
+		} else if f.staticVersion != "" {
+			w.Header().Set("X-Quarry-Version", f.staticVersion)
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(body)
@@ -187,6 +200,74 @@ func TestBenchOracleMismatchDetected(t *testing.T) {
 	}
 	if rep.OracleMismatches > rep.OracleChecks {
 		t.Fatalf("mismatches %d exceed checks %d", rep.OracleMismatches, rep.OracleChecks)
+	}
+}
+
+// TestBenchOracleSkipOnVersionSkew: when the target is a shard fleet
+// behind a gather router (or any server reloaded by another client),
+// the bench's own reload counter never moves, yet warehouse epochs
+// do. The skip must key on the X-Quarry-Version response header: a
+// pair that straddles an epoch change is skipped, never reported as
+// a fast-path divergence. Here EVERY response carries a new epoch
+// and a version-dependent body — the old counter-based logic would
+// flag each pair as a mismatch.
+func TestBenchOracleSkipOnVersionSkew(t *testing.T) {
+	fake := &fakeOLAP{versionEachRequest: true}
+	srv := httptest.NewServer(fake.handler())
+	defer srv.Close()
+
+	rep, err := runBench(benchConfig{
+		Target:      srv.URL,
+		QPS:         200,
+		Duration:    300 * time.Millisecond,
+		ZipfS:       1.3,
+		Seed:        7,
+		OracleEvery: 2,
+		Timeout:     5 * time.Second,
+		Fact:        "fact_table_revenue",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OracleMismatches != 0 {
+		t.Fatalf("%d cross-epoch pairs reported as mismatches; version skew must skip, not fail", rep.OracleMismatches)
+	}
+	if rep.OracleChecks != 0 {
+		t.Fatalf("%d cross-epoch pairs were compared; every pair straddled an epoch change", rep.OracleChecks)
+	}
+	if rep.OracleSkipped == 0 {
+		t.Fatal("no pairs skipped despite every pair straddling an epoch change")
+	}
+}
+
+// TestBenchOracleChecksWhenVersionStable: a constant X-Quarry-Version
+// must not suppress checking — skipping is only for actual skew.
+func TestBenchOracleChecksWhenVersionStable(t *testing.T) {
+	fake := &fakeOLAP{staticVersion: "7"}
+	srv := httptest.NewServer(fake.handler())
+	defer srv.Close()
+
+	rep, err := runBench(benchConfig{
+		Target:      srv.URL,
+		QPS:         200,
+		Duration:    300 * time.Millisecond,
+		ZipfS:       1.3,
+		Seed:        7,
+		OracleEvery: 2,
+		Timeout:     5 * time.Second,
+		Fact:        "fact_table_revenue",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OracleChecks == 0 {
+		t.Fatal("no oracle checks ran against an epoch-stable server")
+	}
+	if rep.OracleSkipped != 0 {
+		t.Fatalf("%d pairs skipped with a constant epoch", rep.OracleSkipped)
+	}
+	if rep.OracleMismatches != 0 {
+		t.Fatalf("%d mismatches against an honest server", rep.OracleMismatches)
 	}
 }
 

@@ -10,6 +10,7 @@
 //	        [-olap-concurrency 0] [-olap-cache 256]
 //	        [-matagg] [-matagg-top-k 8] [-matagg-budget-bytes 0]
 //	        [-replica-of URL] [-replica-dir DIR] [-replica-interval 1s]
+//	        [-shards N] [-shard-index I]
 //
 // With -data-dir the warehouse lives in a paged on-disk store: the
 // first start generates and checkpoints the micro-TPC-H sources, a
@@ -30,6 +31,15 @@
 // primary's -data-dir over a shared filesystem); requirement designs
 // still replay over HTTP from -replica-of. -replica-interval sets
 // the poll cadence for tailing the primary's commits.
+//
+// With -shards N -shard-index I the node is shard I of an N-way
+// hash-partitioned warehouse: ETL runs load only this shard's
+// partition of each fact table (dimensions load in full), POST
+// /api/olap/partial answers pre-finalisation partial aggregates, and
+// /api/health reports the shard identity and epoch. Front the fleet
+// with quarryrouter -shard-of. Every shard must run with the same
+// -sf/-seed and receive the same requirement lifecycle (in the same
+// order), so the fleet's warehouse versions advance in lockstep.
 package main
 
 import (
@@ -44,6 +54,7 @@ import (
 	"quarry/internal/engine"
 	"quarry/internal/replication"
 	"quarry/internal/server"
+	"quarry/internal/shard"
 	"quarry/internal/storage"
 	"quarry/internal/tpch"
 	"quarry/internal/xrq"
@@ -66,7 +77,19 @@ func main() {
 	replicaOf := flag.String("replica-of", "", "primary base URL (e.g. http://primary:8080); start as a read replica of it")
 	replicaDir := flag.String("replica-dir", "", "with -replica-of: ship segments by reading this shared directory (the primary's -data-dir) instead of the primary's HTTP replication endpoints")
 	replicaInterval := flag.Duration("replica-interval", time.Second, "with -replica-of: how often to poll the primary for new commits")
+	shards := flag.Int("shards", 0, "total shard count of a hash-partitioned warehouse (0: not sharded)")
+	shardIndex := flag.Int("shard-index", 0, "this node's shard index in [0,shards)")
 	flag.Parse()
+
+	shardSpec := shard.Spec{Index: *shardIndex, Count: *shards}
+	if shardSpec.Enabled() {
+		if err := shardSpec.Validate(); err != nil {
+			log.Fatalf("quarryd: %v", err)
+		}
+		if *replicaOf != "" {
+			log.Fatalf("quarryd: -shards and -replica-of are mutually exclusive (a shard owns a partition; a replica mirrors all of one node)")
+		}
+	}
 
 	if *replicaOf != "" {
 		runReplica(*addr, *dataDir, *replicaOf, *replicaDir, *replicaInterval, replicaConfig{
@@ -130,6 +153,7 @@ func main() {
 		Engine:            engine.Options{Parallelism: *parallelism, BatchSize: *batchSize},
 		MatAggTopK:        topK,
 		MatAggBudgetBytes: *mataggBudget,
+		Shard:             shardSpec,
 	})
 	if err != nil {
 		log.Fatalf("quarryd: %v", err)
@@ -138,6 +162,9 @@ func main() {
 		OLAPConcurrency: *olapConc,
 		OLAPCacheSize:   *olapCache,
 	})
+	if shardSpec.Enabled() {
+		log.Printf("quarryd: serving as shard %s of a hash-partitioned warehouse", shardSpec)
+	}
 	var lineitems int64
 	if li, ok := db.Table("lineitem"); ok {
 		lineitems = li.NumRows()

@@ -1,13 +1,30 @@
-// Command quarryrouter is the scatter front of a replicated Quarry
-// deployment: it fans /api/olap (and other reads) across a fleet of
-// read replicas with health-checked round-robin, retrying a failed
-// request on the next replica. Replicas answer byte-identically, so
-// failover never changes an answer.
+// Command quarryrouter is the scatter front of a distributed Quarry
+// deployment, in one of two modes:
+//
+// Replica mode (-replicas): fan /api/olap (and other reads) across a
+// fleet of read replicas with health-checked round-robin, retrying a
+// failed request on the next replica. Replicas answer byte-identically,
+// so failover never changes an answer.
+//
+// Shard-gather mode (-shard-of): front a hash-partitioned warehouse.
+// Each backend is one shard holding one partition of the fact tables
+// (quarryd -shards N -shard-index I); a cube query is scattered to
+// EVERY shard's partial-aggregate endpoint and the pre-finalisation
+// states are merged into an answer byte-identical to a single node
+// holding all rows. The order of -shard-of URLs is the topology:
+// the i-th URL must be the shard running with -shard-index i (the
+// merge verifies this and refuses miswired fleets). The gather never
+// serves partial answers: a dead shard fails the query with 502, and
+// epoch-skewed shards (a reload racing the query) cause a bounded
+// rescatter, then 503.
 //
 // Usage:
 //
 //	quarryrouter -replicas http://r1:8081,http://r2:8082 [-addr :8090]
 //	             [-health-interval 2s]
+//	quarryrouter -shard-of http://s0:8080,http://s1:8081 [-addr :8090]
+//	             [-shard-attempts 2] [-shard-skew-retries 2]
+//	             [-shard-timeout 30s]
 package main
 
 import (
@@ -23,23 +40,48 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8090", "listen address")
-	replicas := flag.String("replicas", "", "comma-separated replica base URLs (required)")
+	replicas := flag.String("replicas", "", "comma-separated replica base URLs (replica mode)")
 	healthInterval := flag.Duration("health-interval", 2*time.Second, "replica health probe cadence")
+	shardOf := flag.String("shard-of", "", "comma-separated shard base URLs in shard-index order (shard-gather mode)")
+	shardAttempts := flag.Int("shard-attempts", 2, "attempts per shard per scatter (transport errors and 5xx retry)")
+	shardSkewRetries := flag.Int("shard-skew-retries", 2, "whole-scatter retries when shards answer at different epochs")
+	shardTimeout := flag.Duration("shard-timeout", 30*time.Second, "per-request timeout towards one shard")
 	flag.Parse()
 
-	var urls []string
-	for _, u := range strings.Split(*replicas, ",") {
-		if u = strings.TrimSpace(u); u != "" {
-			urls = append(urls, u)
-		}
+	if *shardOf != "" && *replicas != "" {
+		log.Fatalf("quarryrouter: -replicas and -shard-of are mutually exclusive")
 	}
+	if *shardOf != "" {
+		urls := splitURLs(*shardOf)
+		g, err := router.NewShardGather(urls, &http.Client{Timeout: *shardTimeout}, *shardAttempts, *shardSkewRetries)
+		if err != nil {
+			log.Fatalf("quarryrouter: %v", err)
+		}
+		log.Printf("quarryrouter: gathering over %d shards; listening on %s", len(urls), *addr)
+		if err := http.ListenAndServe(*addr, g.Handler()); err != nil {
+			log.Fatalf("quarryrouter: %v", err)
+		}
+		return
+	}
+
+	urls := splitURLs(*replicas)
 	rt, err := router.New(urls, nil)
 	if err != nil {
-		log.Fatalf("quarryrouter: %v (use -replicas)", err)
+		log.Fatalf("quarryrouter: %v (use -replicas or -shard-of)", err)
 	}
 	go rt.HealthLoop(context.Background(), *healthInterval)
 	log.Printf("quarryrouter: scattering over %d replicas; listening on %s", len(urls), *addr)
 	if err := http.ListenAndServe(*addr, rt.Handler()); err != nil {
 		log.Fatalf("quarryrouter: %v", err)
 	}
+}
+
+func splitURLs(csv string) []string {
+	var urls []string
+	for _, u := range strings.Split(csv, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
 }

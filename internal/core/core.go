@@ -30,6 +30,7 @@ import (
 	"quarry/internal/pdi"
 	"quarry/internal/quality"
 	"quarry/internal/repo"
+	"quarry/internal/shard"
 	"quarry/internal/sources"
 	"quarry/internal/sqlgen"
 	"quarry/internal/storage"
@@ -80,6 +81,12 @@ type Config struct {
 	// installed aggregates; candidates are then admitted by benefit
 	// per byte instead of plain benefit. 0 means unlimited.
 	MatAggBudgetBytes int64
+	// Shard, when enabled (Count > 0), makes this platform one shard of
+	// an N-way hash-partitioned warehouse: ETL runs keep only the fact
+	// rows this shard owns (dimensions load in full), and the serving
+	// layer answers partial-aggregate queries for the gather router.
+	// See internal/shard.
+	Shard shard.Spec
 }
 
 // Platform is the running Quarry instance.
@@ -96,6 +103,7 @@ type Platform struct {
 	repo       *repo.Designs
 	etlCost    quality.ETLCostModel
 	engineOpts engine.Options
+	shardSpec  shard.Spec
 
 	mu         sync.Mutex
 	order      []string // requirement ids in registration order
@@ -116,6 +124,11 @@ type Platform struct {
 func New(cfg Config) (*Platform, error) {
 	if cfg.Ontology == nil || cfg.Mapping == nil || cfg.Catalog == nil {
 		return nil, fmt.Errorf("core: ontology, mapping and catalog are required")
+	}
+	if cfg.Shard.Enabled() {
+		if err := cfg.Shard.Validate(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 	}
 	interp, err := interpreter.New(cfg.Ontology, cfg.Mapping, cfg.Catalog)
 	if err != nil {
@@ -147,6 +160,7 @@ func New(cfg Config) (*Platform, error) {
 		repo:       repo.NewDesigns(store),
 		etlCost:    etlCost,
 		engineOpts: cfg.Engine,
+		shardSpec:  cfg.Shard,
 		reqs:       map[string]*xrq.Requirement{},
 		partials:   map[string]*interpreter.PartialDesign{},
 	}
@@ -531,6 +545,11 @@ func (p *Platform) Run() (*engine.Result, error) {
 // The design is cloned for the run, so concurrent runs — and
 // concurrent OLAP queries — never share mutable design state
 // (validation caches inferred schemas on the design's nodes).
+//
+// On a sharded platform (Config.Shard enabled) the run loads only
+// this shard's partition of each fact table — dimensions load in
+// full — via the engine's load-filter hook, unless the caller set a
+// LoadFilter of its own.
 func (p *Platform) RunWith(opts engine.Options) (*engine.Result, error) {
 	p.mu.Lock()
 	var etl *xlm.Design
@@ -545,8 +564,19 @@ func (p *Platform) RunWith(opts engine.Options) (*engine.Result, error) {
 	if db == nil {
 		return nil, fmt.Errorf("core: platform has no execution database")
 	}
+	if p.shardSpec.Enabled() && opts.LoadFilter == nil {
+		defs, err := sqlgen.Tables(etl)
+		if err != nil {
+			return nil, fmt.Errorf("core: deriving shard partition keys: %w", err)
+		}
+		opts.LoadFilter = p.shardSpec.LoadFilter(shard.PartitionKeys(defs))
+	}
 	return engine.RunWithOptions(etl, db, opts)
 }
+
+// Shard returns the platform's shard identity (zero value when not
+// sharded).
+func (p *Platform) Shard() shard.Spec { return p.shardSpec }
 
 // EngineOptions returns the configured native execution options.
 func (p *Platform) EngineOptions() engine.Options {

@@ -266,7 +266,7 @@ func keysEqual(l, r []expr.Value, lIdx, rIdx []int) bool {
 
 type aggState struct {
 	groupVals []expr.Value
-	sums      []float64
+	sums      []FloatSum
 	sumIsInt  []bool
 	intSums   []int64
 	mins      []expr.Value
@@ -320,7 +320,7 @@ func newAggregationOp(n *xlm.Node, in []xlm.Field) (*aggregationOp, error) {
 
 func (o *aggregationOp) newState() *aggState {
 	st := &aggState{
-		sums:     make([]float64, len(o.aggs)),
+		sums:     make([]FloatSum, len(o.aggs)),
 		sumIsInt: make([]bool, len(o.aggs)),
 		intSums:  make([]int64, len(o.aggs)),
 		mins:     make([]expr.Value, len(o.aggs)),
@@ -394,7 +394,7 @@ func (o *aggregationOp) add(rows [][]expr.Value) error {
 				if !ok {
 					return fmt.Errorf("aggregation %s over non-numeric value %s", a.Func, v)
 				}
-				st.sums[i] += f
+				st.sums[i].Add(f)
 				if v.Kind() == expr.KindInt {
 					st.intSums[i] += v.AsInt()
 				} else {
@@ -432,13 +432,13 @@ func (o *aggregationOp) result() [][]expr.Value {
 					} else if st.sumIsInt[i] {
 						row = append(row, expr.Int(st.intSums[i]))
 					} else {
-						row = append(row, expr.Float(st.sums[i]))
+						row = append(row, expr.Float(st.sums[i].Round()))
 					}
 				case "AVG":
 					if st.counts[i] == 0 {
 						row = append(row, expr.Null())
 					} else {
-						row = append(row, expr.Float(st.sums[i]/float64(st.counts[i])))
+						row = append(row, expr.Float(st.sums[i].Round()/float64(st.counts[i])))
 					}
 				}
 			}
@@ -669,7 +669,27 @@ type loaderOp struct {
 	publish  bool           // replace mode: t is a staging table, registered by finish
 	appendTo *storage.Table // append mode onto a live table: t is the delta, merged at commit
 	remap    []int          // remap[i] = input position of table column i; nil = positional
+	filter   func(row []expr.Value) bool
 	written  int64
+}
+
+// bindFilter resolves the run's load filter (Options.LoadFilter)
+// against this loader's target. The predicate sees rows in the
+// target table's column layout.
+func (o *loaderOp) bindFilter(lf func(table string, cols []string) (func(row []expr.Value) bool, error)) error {
+	if lf == nil {
+		return nil
+	}
+	cols := make([]string, len(o.t.Columns))
+	for i, c := range o.t.Columns {
+		cols[i] = c.Name
+	}
+	f, err := lf(o.table, cols)
+	if err != nil {
+		return err
+	}
+	o.filter = f
+	return nil
 }
 
 func newLoaderOp(n *xlm.Node, in []xlm.Field, db *storage.DB, staged *stagedLoads) (*loaderOp, error) {
@@ -758,23 +778,28 @@ func appendRemap(table string, in []xlm.Field, cols []storage.Column) ([]int, er
 	return remap, nil
 }
 
-// write appends one batch to the target table.
+// write appends one batch to the target table, dropping rows the
+// bound load filter rejects.
 func (o *loaderOp) write(rows [][]expr.Value) error {
-	batch := make([]storage.Row, len(rows))
-	for i, r := range rows {
+	batch := make([]storage.Row, 0, len(rows))
+	for _, r := range rows {
+		var nr storage.Row
 		if o.remap == nil {
-			batch[i] = r
+			nr = r
+		} else {
+			nr = make(storage.Row, len(o.remap))
+			for k, j := range o.remap {
+				nr[k] = r[j]
+			}
+		}
+		if o.filter != nil && !o.filter(nr) {
 			continue
 		}
-		nr := make(storage.Row, len(o.remap))
-		for k, j := range o.remap {
-			nr[k] = r[j]
-		}
-		batch[i] = nr
+		batch = append(batch, nr)
 	}
 	if err := o.t.AppendBatch(batch); err != nil {
 		return err
 	}
-	o.written += int64(len(rows))
+	o.written += int64(len(batch))
 	return nil
 }

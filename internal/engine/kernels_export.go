@@ -48,10 +48,11 @@ func (j *HashJoin) Probe(dst, rows [][]expr.Value) [][]expr.Value {
 }
 
 // HashAggregator is the incremental grouping/aggregation kernel:
-// groups emit in first-seen order (NULLs group together), and
-// measures fold in row-arrival order, which keeps float sums
-// bit-identical across execution strategies that feed rows in the
-// same order.
+// groups emit in first-seen order (NULLs group together). Float sums
+// fold through an exact expansion (FloatSum), so SUM/AVG bits depend
+// only on the multiset of input values — not arrival order and not
+// how rows were partitioned across aggregators merged via
+// Partials/Absorb.
 type HashAggregator struct {
 	op *aggregationOp
 }

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"fmt"
+
+	"quarry/internal/expr"
+)
+
+// Partial aggregation: the scatter-gather path runs the normal
+// aggregation kernel on every shard, exports each shard's pre-
+// finalisation group states (AggPartial), ships them, and Absorbs
+// them into a fresh kernel on the gather side. Finalisation
+// (aggregationOp.result) then runs exactly once, over merged states
+// that are value-identical to what a single node folding all rows
+// would hold — COUNT/int-SUM by integer addition, float SUM by exact
+// expansion merge (FloatSum), MIN/MAX by the same Compare the fold
+// uses — so the gathered answer is byte-identical to the single-node
+// one by construction.
+
+// MeasurePartial is one aggregate's mergeable state for one group.
+type MeasurePartial struct {
+	Count    int64
+	IntSum   int64
+	SumIsInt bool
+	// Float-sum expansion (see FloatSum.Export).
+	SumParts      []float64
+	SumSpecial    float64
+	SumHasSpecial bool
+	Min           expr.Value
+	Max           expr.Value
+}
+
+// AggPartial is one group's mergeable aggregation state: the group key
+// values and one MeasurePartial per declared aggregate.
+type AggPartial struct {
+	Group    []expr.Value
+	Measures []MeasurePartial
+}
+
+// Partials exports the aggregator's current group states in
+// first-seen order. A global aggregate that saw zero rows exports
+// zero partials: the zero-rows row (COUNT 0, NULL sums) is a
+// finalisation artifact and is injected exactly once, by the merge
+// side's Result.
+func (a *HashAggregator) Partials() []AggPartial {
+	o := a.op
+	out := make([]AggPartial, 0, len(o.orderKeys))
+	for _, h := range o.orderKeys {
+		for _, st := range o.states[h] {
+			p := AggPartial{
+				Group:    append([]expr.Value(nil), st.groupVals...),
+				Measures: make([]MeasurePartial, len(o.aggs)),
+			}
+			for i := range o.aggs {
+				m := &p.Measures[i]
+				m.Count = st.counts[i]
+				m.IntSum = st.intSums[i]
+				m.SumIsInt = st.sumIsInt[i]
+				m.SumParts, m.SumSpecial, m.SumHasSpecial = st.sums[i].Export()
+				m.Min = st.mins[i]
+				m.Max = st.maxs[i]
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Absorb merges exported partials into this aggregator's running
+// states, as if the rows behind them had been Added here. New groups
+// are created in absorption order, so absorbing shard partials in
+// shard-index order gives a deterministic (if arbitrary) pre-sort
+// emission order; callers that need a canonical order sort the
+// finalised rows, exactly like the single-node paths do.
+func (a *HashAggregator) Absorb(ps []AggPartial) error {
+	o := a.op
+	for pi := range ps {
+		p := &ps[pi]
+		if len(p.Group) != len(o.gIdx) {
+			return fmt.Errorf("engine: partial has %d group values, aggregator expects %d", len(p.Group), len(o.gIdx))
+		}
+		if len(p.Measures) != len(o.aggs) {
+			return fmt.Errorf("engine: partial has %d measures, aggregator expects %d", len(p.Measures), len(o.aggs))
+		}
+		st := o.findOrCreate(p.Group)
+		for i := range o.aggs {
+			m := &p.Measures[i]
+			st.counts[i] += m.Count
+			st.intSums[i] += m.IntSum
+			st.sumIsInt[i] = st.sumIsInt[i] && m.SumIsInt
+			st.sums[i].Merge(ImportFloatSum(m.SumParts, m.SumSpecial, m.SumHasSpecial))
+			// MIN/MAX merge with the fold's semantics: NULL means "no
+			// value yet", Compare errors keep the incumbent.
+			if !m.Min.IsNull() {
+				if st.mins[i].IsNull() {
+					st.mins[i] = m.Min
+				} else if c, err := m.Min.Compare(st.mins[i]); err == nil && c < 0 {
+					st.mins[i] = m.Min
+				}
+			}
+			if !m.Max.IsNull() {
+				if st.maxs[i].IsNull() {
+					st.maxs[i] = m.Max
+				} else if c, err := m.Max.Compare(st.maxs[i]); err == nil && c > 0 {
+					st.maxs[i] = m.Max
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// findOrCreate locates the state for a group key (same FNV hash and
+// identity rules as the add fold), creating it in first-seen order.
+func (o *aggregationOp) findOrCreate(group []expr.Value) *aggState {
+	h := uint64(1469598103934665603)
+	for _, v := range group {
+		h = h*1099511628211 ^ v.Hash()
+	}
+	for _, cand := range o.states[h] {
+		match := true
+		for k := range group {
+			if !valuesIdentical(cand.groupVals[k], group[k]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return cand
+		}
+	}
+	st := o.newState()
+	st.groupVals = append([]expr.Value(nil), group...)
+	if len(o.states[h]) == 0 {
+		o.orderKeys = append(o.orderKeys, h)
+	}
+	o.states[h] = append(o.states[h], st)
+	return st
+}

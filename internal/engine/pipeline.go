@@ -33,6 +33,16 @@ type Options struct {
 	// BatchSize is the number of rows per batch streamed between
 	// operators. Zero or negative uses DefaultBatchSize.
 	BatchSize int
+	// LoadFilter, when non-nil, is consulted once per loader target
+	// with the table name and its column names (in table layout
+	// order); a non-nil returned predicate is applied to every row at
+	// the load boundary, after remapping to the table layout, and rows
+	// it rejects are dropped before they reach storage. An error from
+	// the hook fails the run. This is the shard partitioning hook: a
+	// fact shard loads only the rows its hash partition owns while
+	// every operator upstream of the loader stays byte-identical to
+	// the single-node run.
+	LoadFilter func(table string, cols []string) (func(row []expr.Value) bool, error)
 }
 
 func (o Options) withDefaults() Options {
@@ -573,6 +583,9 @@ func (r *runner) runLoader() error {
 		}
 		var err error
 		op, err = newLoaderOp(r.node, r.infds[0], r.ex.db, r.ex.staged)
+		if err == nil {
+			err = op.bindFilter(r.ex.opts.LoadFilter)
+		}
 		return err
 	}
 	if err := r.drain(0, func(b *Batch) error {

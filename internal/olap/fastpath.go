@@ -54,20 +54,13 @@ func remapRows(batch []storage.Row, remap []int) [][]expr.Value {
 	return out
 }
 
-// execFast runs the plan on the vectorized fast path over a snapshot:
-// build per-dimension hash tables, stream the fact through join →
-// filter → (dice) → hash aggregation, sort, and return the in-memory
-// result. Nothing is written to any database. Cancellation is checked
-// at every batch boundary of the build and probe scans — the places a
-// query spends its time — so an abandoned query releases its
-// resources promptly instead of running to completion.
-func (e *Engine) execFast(ctx context.Context, p *starPlan, snap *storage.Snapshot) (*Result, error) {
-	// Build phase: one hash table per dimension, keyed on the
-	// reference column, rows projected to key alias + needed columns.
-	// With a MatAgg attached, built tables are cached per (version,
-	// dimension rows, join shape) and reused across concurrent queries
-	// until the next republish — a fully built HashJoin is immutable,
-	// so any number of probes share it.
+// buildStarJoins runs the build phase: one hash table per dimension,
+// keyed on the reference column, rows projected to key alias + needed
+// columns. With a MatAgg attached, built tables are cached per
+// (version, dimension rows, join shape) and reused across concurrent
+// queries until the next republish — a fully built HashJoin is
+// immutable, so any number of probes share it.
+func (e *Engine) buildStarJoins(ctx context.Context, p *starPlan, snap *storage.Snapshot) ([]*engine.HashJoin, error) {
 	var cache *dimCache
 	if e.mat != nil {
 		cache = e.mat.dims
@@ -124,10 +117,17 @@ func (e *Engine) execFast(ctx context.Context, p *starPlan, snap *storage.Snapsh
 		}
 		joins[i] = hj
 	}
-	agg, err := engine.NewHashAggregator(p.groupIdx, p.aggs, p.aggIdx)
-	if err != nil {
-		return nil, err
-	}
+	return joins, nil
+}
+
+// probeStar runs the probe phase: stream fact batches through the
+// joins and filter, handing each surviving batch to emit. owned
+// reports whether the rows were allocated by this query (probe output
+// or a remap copy) and are therefore safe to mutate in place;
+// otherwise they alias page-cache or table memory. Cancellation is
+// checked at every batch boundary — the places a query spends its
+// time — so an abandoned query releases its resources promptly.
+func (e *Engine) probeStar(ctx context.Context, p *starPlan, snap *storage.Snapshot, joins []*engine.HashJoin, emit func(rows [][]expr.Value, owned bool) error) error {
 	var filterOp func(dst, rows [][]expr.Value) ([][]expr.Value, error)
 	if p.filter != nil {
 		env := expr.NewSliceEnv(p.index)
@@ -149,13 +149,59 @@ func (e *Engine) execFast(ctx context.Context, p *starPlan, snap *storage.Snapsh
 	}
 	factView, ok := snap.Table(p.fact.Name)
 	if !ok {
-		return nil, fmt.Errorf("olap: snapshot lacks fact table %q", p.fact.Name)
+		return fmt.Errorf("olap: snapshot lacks fact table %q", p.fact.Name)
 	}
 	factCols := make([]string, len(p.fact.Columns))
 	for i, c := range p.fact.Columns {
 		factCols[i] = c.Name
 	}
 	factRemap, err := viewRemap(factView, factCols)
+	if err != nil {
+		return err
+	}
+	// Rows are safe to mutate in place only when this query allocated
+	// them: the probe step builds fresh joined rows, and a remap copies
+	// — otherwise they alias page-cache or table memory.
+	rowsOwned := len(p.joins) > 0 || factRemap != nil
+	// Stream fact batches through the joins and filter. The cursor
+	// skips fact pages that the pushed-down conjuncts' zone maps prove
+	// empty of qualifying rows.
+	factCur := factView.Cursor(p.factPreds)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		batch := factCur.Next(fastBatchSize)
+		if batch == nil {
+			return nil
+		}
+		cur := remapRows(batch, factRemap)
+		for _, hj := range joins {
+			cur = hj.Probe(nil, cur)
+		}
+		if filterOp != nil {
+			cur, err = filterOp(nil, cur)
+			if err != nil {
+				return err
+			}
+		}
+		if err := emit(cur, rowsOwned); err != nil {
+			return err
+		}
+	}
+}
+
+// execFast runs the plan on the vectorized fast path over a snapshot:
+// build per-dimension hash tables (buildStarJoins), stream the fact
+// through join → filter → (dice) → hash aggregation (probeStar),
+// sort, and return the in-memory result. Nothing is written to any
+// database.
+func (e *Engine) execFast(ctx context.Context, p *starPlan, snap *storage.Snapshot) (*Result, error) {
+	joins, err := e.buildStarJoins(ctx, p, snap)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := engine.NewHashAggregator(p.groupIdx, p.aggs, p.aggIdx)
 	if err != nil {
 		return nil, err
 	}
@@ -166,43 +212,18 @@ func (e *Engine) execFast(ctx context.Context, p *starPlan, snap *storage.Snapsh
 	if p.dice == nil && len(p.codedGroup) > 0 {
 		coder = newGroupCoder(p)
 	}
-	// Rows are safe to mutate in place only when this query allocated
-	// them: the probe step builds fresh joined rows, and a remap copies
-	// — otherwise they alias page-cache or table memory.
-	rowsOwned := len(p.joins) > 0 || factRemap != nil
-	// Probe phase: stream fact batches through the joins and filter.
-	// The cursor skips fact pages that the pushed-down conjuncts'
-	// zone maps prove empty of qualifying rows.
 	var detail [][]expr.Value // buffered only when dicing
-	factCur := factView.Cursor(p.factPreds)
-	for {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		batch := factCur.Next(fastBatchSize)
-		if batch == nil {
-			break
-		}
-		cur := remapRows(batch, factRemap)
-		for _, hj := range joins {
-			cur = hj.Probe(nil, cur)
-		}
-		if filterOp != nil {
-			cur, err = filterOp(nil, cur)
-			if err != nil {
-				return nil, err
-			}
-		}
+	if err := e.probeStar(ctx, p, snap, joins, func(cur [][]expr.Value, owned bool) error {
 		if p.dice != nil {
 			detail = append(detail, cur...)
-			continue
+			return nil
 		}
 		if coder != nil {
-			cur = coder.encode(cur, rowsOwned)
+			cur = coder.encode(cur, owned)
 		}
-		if err := agg.Add(cur); err != nil {
-			return nil, err
-		}
+		return agg.Add(cur)
+	}); err != nil {
+		return nil, err
 	}
 	if p.dice != nil {
 		survivors, err := diceFast(detail, p.dice)

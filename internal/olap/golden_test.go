@@ -14,7 +14,9 @@ import (
 // kernel refactors cannot silently change answers. Each line encodes
 // one row as kind:value fields (see encodeValue), so even an
 // int-vs-float drift fails the test. Both executors are held to the
-// same fixture.
+// same fixture. Float sums are the correctly-rounded exact sums
+// (engine.FloatSum), so they are stable under any fold or shard
+// order.
 var goldenQueries = map[string]olap.CubeQuery{
 	"revenue_by_supplier": {
 		Fact:    "fact_table_revenue",
@@ -54,15 +56,15 @@ var goldenQueries = map[string]olap.CubeQuery{
 var goldenResults = map[string][]string{
 	"revenue_by_supplier": {
 		"columns: s_name, total, n",
-		"string:'Supplier#000000000' | float:1.8483491012099565e+06 | int:80",
+		"string:'Supplier#000000000' | float:1.8483491012099567e+06 | int:80",
 	},
 	"revenue_by_nation": {
 		"columns: n_name, total, n",
-		"string:'SPAIN' | float:1.8483491012099565e+06 | int:80",
+		"string:'SPAIN' | float:1.8483491012099567e+06 | int:80",
 	},
 	"revenue_by_region": {
 		"columns: r_name, total, n",
-		"string:'EUROPE' | float:1.8483491012099565e+06 | int:80",
+		"string:'EUROPE' | float:1.8483491012099567e+06 | int:80",
 	},
 	"revenue_brand_dice": {
 		"columns: p_brand, total",
@@ -71,10 +73,10 @@ var goldenResults = map[string][]string{
 		"string:'Brand#23' | float:86831.14",
 		"string:'Brand#31' | float:74472.16305952381",
 		"string:'Brand#35' | float:188313.04844155844",
-		"string:'Brand#42' | float:136459.38514285712",
-		"string:'Brand#43' | float:116208.26393939393",
+		"string:'Brand#42' | float:136459.38514285715",
+		"string:'Brand#43' | float:116208.26393939395",
 		"string:'Brand#45' | float:150533.3903809524",
-		"string:'Brand#54' | float:131147.50719913418",
+		"string:'Brand#54' | float:131147.5071991342",
 	},
 }
 

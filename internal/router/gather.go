@@ -1,0 +1,261 @@
+// Shard gather: the fan-out/fan-in front of a hash-partitioned
+// warehouse (see internal/shard). Unlike the replica Router — which
+// picks ONE backend because every replica holds all the data — the
+// ShardRouter needs ALL backends: each shard holds one partition of
+// the fact, so a cube query is answered by scattering it to every
+// shard's partial-aggregate endpoint and merging the pre-finalisation
+// states into the final answer.
+//
+// Failure contract (pinned by the fault-injection tests): the gather
+// NEVER serves a partial answer. A shard that stays unreachable after
+// per-shard retries fails the whole query with 502; shards answering
+// at different warehouse epochs trigger a bounded whole-scatter retry
+// and then 503 — a delayed answer, never a mixed-epoch or
+// missing-partition one.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"quarry/internal/olap"
+	"quarry/internal/shard"
+)
+
+// ShardRouter scatters cube queries over the shards of a partitioned
+// warehouse and gathers their partial aggregates into one answer.
+type ShardRouter struct {
+	shards []string // base URL of shard i at index i — order IS the topology
+	client *http.Client
+	// attempts is how many times one shard is tried per scatter
+	// (1 = no retry).
+	attempts int
+	// skewRetries is how many times the whole scatter is redone when
+	// shards answer at different epochs (a reload racing the query).
+	skewRetries int
+}
+
+// NewShardGather builds a gather router. shards[i] must be the base
+// URL of the quarryd running with -shard-index i; the merge validates
+// every answer's self-reported identity against this order, so a
+// miswired fleet fails queries instead of silently double- or
+// zero-counting a partition. attempts <= 0 defaults to 2, and
+// skewRetries < 0 to 2.
+func NewShardGather(shards []string, client *http.Client, attempts, skewRetries int) (*ShardRouter, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("router: no shards configured")
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if attempts <= 0 {
+		attempts = 2
+	}
+	if skewRetries < 0 {
+		skewRetries = 2
+	}
+	g := &ShardRouter{client: client, attempts: attempts, skewRetries: skewRetries}
+	for _, raw := range shards {
+		base := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if base == "" {
+			return nil, fmt.Errorf("router: empty shard URL")
+		}
+		g.shards = append(g.shards, base)
+	}
+	return g, nil
+}
+
+// Handler returns the gather's HTTP interface: POST /api/olap and
+// GET /api/health. Everything else — the requirement lifecycle,
+// deploy, run — is rejected: design and load operations go to the
+// shards' own endpoints (in lockstep), not through the gather.
+func (g *ShardRouter) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/health", g.handleHealth)
+	mux.HandleFunc("POST /api/olap", g.handleOLAP)
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "shard gather: only POST /api/olap and GET /api/health are served here; design and load operations go to each shard directly", http.StatusForbidden)
+	})
+	return mux
+}
+
+// handleHealth live-probes every shard and reports the topology: the
+// operator's view of whether the fleet is complete, consistently
+// indexed, and on one epoch.
+func (g *ShardRouter) handleHealth(w http.ResponseWriter, req *http.Request) {
+	type shardHealth struct {
+		URL     string `json:"url"`
+		Healthy bool   `json:"healthy"`
+		Epoch   uint64 `json:"epoch,omitempty"`
+		Index   *int   `json:"shard_index,omitempty"`
+	}
+	out := struct {
+		Status string        `json:"status"`
+		Role   string        `json:"role"`
+		Shards []shardHealth `json:"shards"`
+	}{Status: "ok", Role: "shard-gather", Shards: make([]shardHealth, len(g.shards))}
+	var wg sync.WaitGroup
+	for i, base := range g.shards {
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			sh := shardHealth{URL: base}
+			hreq, err := http.NewRequestWithContext(req.Context(), http.MethodGet, base+"/api/health", nil)
+			if err == nil {
+				if resp, err := g.client.Do(hreq); err == nil {
+					var body struct {
+						Epoch      uint64 `json:"epoch"`
+						ShardIndex *int   `json:"shard_index"`
+					}
+					_ = json.NewDecoder(resp.Body).Decode(&body)
+					resp.Body.Close()
+					sh.Healthy = resp.StatusCode == http.StatusOK
+					sh.Epoch = body.Epoch
+					sh.Index = body.ShardIndex
+				}
+			}
+			out.Shards[i] = sh
+		}(i, base)
+	}
+	wg.Wait()
+	for _, sh := range out.Shards {
+		if !sh.Healthy {
+			out.Status = "degraded"
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// shardAttempt is one shard's outcome within a scatter.
+type shardAttempt struct {
+	resp *shard.PartialResponse // set on 2xx
+	// status/body hold a shard's own 4xx answer (e.g. a diced query,
+	// which is not distributive): deterministic across shards, so it
+	// is forwarded to the client rather than retried.
+	status int
+	body   []byte
+	err    error // transport failure or persistent 5xx
+}
+
+// handleOLAP answers one cube query by scatter-gather.
+func (g *ShardRouter) handleOLAP(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxBodyBytes+1))
+	if err != nil {
+		http.Error(w, "router: reading request body", http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxBodyBytes {
+		http.Error(w, "router: request body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	var lastSkew error
+	for attempt := 0; attempt <= g.skewRetries; attempt++ {
+		results := g.scatter(req.Context(), body)
+		resps := make([]*shard.PartialResponse, len(results))
+		for i, r := range results {
+			if r.err != nil {
+				http.Error(w, fmt.Sprintf("shard gather: shard %d (%s) unavailable, refusing partial answer: %v", i, g.shards[i], r.err), http.StatusBadGateway)
+				return
+			}
+			if r.status != 0 {
+				// The shard itself rejected the query; its verdict is
+				// deterministic and final.
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(r.status)
+				_, _ = w.Write(r.body)
+				return
+			}
+			resps[i] = r.resp
+		}
+		columns, rows, epoch, err := shard.Merge(resps)
+		if err != nil {
+			if errors.Is(err, shard.ErrEpochSkew) {
+				// A reload is racing the scatter; a fresh scatter usually
+				// lands on one epoch.
+				lastSkew = err
+				continue
+			}
+			http.Error(w, "shard gather: "+err.Error(), http.StatusBadGateway)
+			return
+		}
+		out := struct {
+			Columns []string   `json:"columns"`
+			Rows    [][]string `json:"rows"`
+		}{Columns: columns, Rows: [][]string{}}
+		for _, row := range rows {
+			out.Rows = append(out.Rows, olap.RenderRow(row))
+		}
+		w.Header().Set("X-Quarry-Version", fmt.Sprintf("%d", epoch))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = json.NewEncoder(w).Encode(out)
+		return
+	}
+	http.Error(w, "shard gather: shards keep answering at different warehouse epochs: "+lastSkew.Error(), http.StatusServiceUnavailable)
+}
+
+// scatter fans the request body to every shard's partial endpoint
+// concurrently, retrying each shard up to g.attempts times on
+// transport errors and 5xx answers.
+func (g *ShardRouter) scatter(ctx context.Context, body []byte) []shardAttempt {
+	results := make([]shardAttempt, len(g.shards))
+	var wg sync.WaitGroup
+	for i, base := range g.shards {
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			results[i] = g.askShard(ctx, base, body)
+		}(i, base)
+	}
+	wg.Wait()
+	return results
+}
+
+// askShard posts the query body verbatim to one shard, with retries.
+func (g *ShardRouter) askShard(ctx context.Context, base string, body []byte) shardAttempt {
+	var last shardAttempt
+	for try := 0; try < g.attempts; try++ {
+		if err := ctx.Err(); err != nil {
+			return shardAttempt{err: err}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/api/olap/partial", bytes.NewReader(body))
+		if err != nil {
+			return shardAttempt{err: err}
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := g.client.Do(req)
+		if err != nil {
+			last = shardAttempt{err: err}
+			continue
+		}
+		respBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			last = shardAttempt{err: err}
+			continue
+		}
+		switch {
+		case resp.StatusCode >= 500:
+			last = shardAttempt{err: fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(respBody)))}
+			continue
+		case resp.StatusCode >= 400:
+			return shardAttempt{status: resp.StatusCode, body: respBody}
+		}
+		var pr shard.PartialResponse
+		if err := json.Unmarshal(respBody, &pr); err != nil {
+			last = shardAttempt{err: fmt.Errorf("undecodable partial answer: %w", err)}
+			continue
+		}
+		return shardAttempt{resp: &pr}
+	}
+	return last
+}

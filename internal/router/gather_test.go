@@ -1,0 +1,355 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"quarry/internal/engine"
+	"quarry/internal/expr"
+	"quarry/internal/shard"
+	"quarry/internal/xlm"
+)
+
+// partialFor fabricates shard s's partial answer over its slice of a
+// fixed 3-group dataset: group g_i carries float measures whose exact
+// sum the merge must reproduce.
+func partialFor(t *testing.T, index, count int, epoch uint64) *shard.PartialResponse {
+	t.Helper()
+	aggs := []xlm.AggSpec{
+		{Out: "n", Func: "COUNT"},
+		{Out: "total", Func: "SUM", Col: "amount"},
+	}
+	agg, err := engine.NewHashAggregator([]int{0}, aggs, []int{-1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]expr.Value
+	for i := 0; i < 90; i++ {
+		if i%count != index {
+			continue
+		}
+		rows = append(rows, []expr.Value{
+			expr.Str(fmt.Sprintf("g%d", i%3)),
+			expr.Float(0.1 + float64(i)*1e13),
+		})
+	}
+	if err := agg.Add(rows); err != nil {
+		t.Fatal(err)
+	}
+	return shard.EncodePartial(index, count, epoch, []string{"g", "n", "total"}, 1, aggs, agg.Partials())
+}
+
+// fakeShard serves canned partial answers; behavior can be swapped
+// per request via the handler slot.
+type fakeShard struct {
+	ts      *httptest.Server
+	handler atomic.Value // func(w http.ResponseWriter, r *http.Request)
+	hits    atomic.Int64
+}
+
+func newFakeShard(t *testing.T, index, count int, epoch uint64) *fakeShard {
+	t.Helper()
+	fs := &fakeShard{}
+	fs.serve(func(w http.ResponseWriter, r *http.Request) {
+		writePartial(w, partialFor(t, index, count, epoch))
+	})
+	fs.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/api/health":
+			fmt.Fprintf(w, `{"status":"ok","shard_index":%d,"shard_count":%d,"epoch":%d}`, index, count, epoch)
+		case "/api/olap/partial":
+			fs.hits.Add(1)
+			fs.handler.Load().(func(http.ResponseWriter, *http.Request))(w, r)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(fs.ts.Close)
+	return fs
+}
+
+func (fs *fakeShard) serve(h func(http.ResponseWriter, *http.Request)) {
+	fs.handler.Store(h)
+}
+
+func writePartial(w http.ResponseWriter, pr *shard.PartialResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(pr)
+}
+
+func gatherOver(t *testing.T, shards []*fakeShard, attempts, skewRetries int) *httptest.Server {
+	t.Helper()
+	urls := make([]string, len(shards))
+	for i, s := range shards {
+		urls[i] = s.ts.URL
+	}
+	g, err := NewShardGather(urls, &http.Client{Timeout: 5 * time.Second}, attempts, skewRetries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postGather(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/api/olap", "application/json", strings.NewReader(`{"fact":"f"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(body)
+}
+
+// oracleBody is what a single node folding all 90 rows would answer.
+func oracleBody(t *testing.T) string {
+	t.Helper()
+	solo := partialFor(t, 0, 1, 7)
+	cols, rows, _, err := shard.Merge([]*shard.PartialResponse{solo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := struct {
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{Columns: cols, Rows: [][]string{}}
+	for _, row := range rows {
+		vals := make([]string, len(row))
+		for i, v := range row {
+			if v.Kind() == expr.KindString {
+				vals[i] = v.AsString()
+			} else {
+				vals[i] = v.String()
+			}
+		}
+		out.Rows = append(out.Rows, vals)
+	}
+	b, _ := json.Marshal(out)
+	return string(b) + "\n"
+}
+
+func TestGatherMergesAllShards(t *testing.T) {
+	shards := []*fakeShard{
+		newFakeShard(t, 0, 3, 7),
+		newFakeShard(t, 1, 3, 7),
+		newFakeShard(t, 2, 3, 7),
+	}
+	ts := gatherOver(t, shards, 1, 0)
+	resp, body := postGather(t, ts.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if want := oracleBody(t); body != want {
+		t.Fatalf("gathered body is not byte-identical to the single-node answer:\n got: %s\nwant: %s", body, want)
+	}
+	if got := resp.Header.Get("X-Quarry-Version"); got != "7" {
+		t.Fatalf("X-Quarry-Version = %q, want 7", got)
+	}
+}
+
+// Shard down at query time: after per-shard retries the whole query
+// fails — never a partial answer from the survivors.
+func TestGatherShardDownFailsWholeQuery(t *testing.T) {
+	shards := []*fakeShard{
+		newFakeShard(t, 0, 3, 7),
+		newFakeShard(t, 1, 3, 7),
+		newFakeShard(t, 2, 3, 7),
+	}
+	shards[1].ts.Close()
+	ts := gatherOver(t, shards, 2, 0)
+	resp, body := postGather(t, ts.URL)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d (%s), want 502", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "shard 1") || !strings.Contains(body, "refusing partial answer") {
+		t.Fatalf("error does not state the failure contract: %s", body)
+	}
+}
+
+// A shard that 5xxes once and then recovers is retried within the
+// same scatter; the query succeeds.
+func TestGatherRetriesFlakyShard(t *testing.T) {
+	shards := []*fakeShard{
+		newFakeShard(t, 0, 2, 7),
+		newFakeShard(t, 1, 2, 7),
+	}
+	var failures atomic.Int64
+	failures.Store(1)
+	shards[1].serve(func(w http.ResponseWriter, r *http.Request) {
+		if failures.Add(-1) >= 0 {
+			http.Error(w, "mid-restart", http.StatusInternalServerError)
+			return
+		}
+		writePartial(w, partialFor(t, 1, 2, 7))
+	})
+	ts := gatherOver(t, shards, 3, 0)
+	resp, body := postGather(t, ts.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if body != oracleBody(t) {
+		t.Fatalf("retried answer differs from oracle: %s", body)
+	}
+	if shards[1].hits.Load() < 2 {
+		t.Fatalf("flaky shard was hit %d times, want >= 2", shards[1].hits.Load())
+	}
+}
+
+// Shard timeout mid-gather: the slow shard exceeds the client
+// timeout; the query fails with 502 rather than hanging or answering
+// without the slow partition.
+func TestGatherShardTimeout(t *testing.T) {
+	shards := []*fakeShard{
+		newFakeShard(t, 0, 2, 7),
+		newFakeShard(t, 1, 2, 7),
+	}
+	block := make(chan struct{})
+	defer close(block)
+	shards[1].serve(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	})
+	urls := []string{shards[0].ts.URL, shards[1].ts.URL}
+	g, err := NewShardGather(urls, &http.Client{Timeout: 150 * time.Millisecond}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(ts.Close)
+	resp, body := postGather(t, ts.URL)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d (%s), want 502", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "shard 1") {
+		t.Fatalf("error does not name the timed-out shard: %s", body)
+	}
+}
+
+// Stale epoch: one shard answers at an older warehouse version. The
+// gather must never merge it — it retries the scatter and, if the
+// skew persists, answers 503.
+func TestGatherStaleEpochNeverMerged(t *testing.T) {
+	shards := []*fakeShard{
+		newFakeShard(t, 0, 2, 8),
+		newFakeShard(t, 1, 2, 7), // one reload behind
+	}
+	ts := gatherOver(t, shards, 1, 2)
+	resp, body := postGather(t, ts.URL)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "epoch") {
+		t.Fatalf("error does not mention epochs: %s", body)
+	}
+	// The scatter was retried: each shard was asked more than once.
+	if shards[0].hits.Load() != 3 || shards[1].hits.Load() != 3 {
+		t.Fatalf("scatter retries = %d/%d hits, want 3/3", shards[0].hits.Load(), shards[1].hits.Load())
+	}
+
+	// The skewed shard catching up mid-retry lets the query succeed.
+	shards[1].serve(func(w http.ResponseWriter, r *http.Request) {
+		writePartial(w, partialFor(t, 1, 2, 8))
+	})
+	shards[0].serve(func(w http.ResponseWriter, r *http.Request) {
+		writePartial(w, partialFor(t, 0, 2, 8))
+	})
+	resp, body = postGather(t, ts.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after catch-up: status %d (%s)", resp.StatusCode, body)
+	}
+}
+
+// A miswired fleet — a shard reporting an index that contradicts its
+// position in the ring — must fail queries, not mis-assign a
+// partition.
+func TestGatherRejectsMiswiredTopology(t *testing.T) {
+	shards := []*fakeShard{
+		newFakeShard(t, 0, 2, 7),
+		newFakeShard(t, 0, 2, 7), // duplicate index 0
+	}
+	ts := gatherOver(t, shards, 1, 0)
+	resp, body := postGather(t, ts.URL)
+	if resp.StatusCode != http.StatusServiceUnavailable && resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d (%s), want 5xx refusal", resp.StatusCode, body)
+	}
+}
+
+// A shard's own 4xx (e.g. a diced query, which is not distributive)
+// is forwarded to the client as-is, not retried.
+func TestGatherForwardsShardRejection(t *testing.T) {
+	shards := []*fakeShard{newFakeShard(t, 0, 1, 7)}
+	shards[0].serve(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		fmt.Fprintln(w, `{"error":"olap: diamond dice is not distributive over shards; run it on a single node"}`)
+	})
+	ts := gatherOver(t, shards, 3, 0)
+	resp, body := postGather(t, ts.URL)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", resp.StatusCode)
+	}
+	if !strings.Contains(body, "not distributive") {
+		t.Fatalf("shard's rejection body was not forwarded: %s", body)
+	}
+	if shards[0].hits.Load() != 1 {
+		t.Fatalf("4xx was retried: %d hits", shards[0].hits.Load())
+	}
+}
+
+// The gather rejects writes and unrelated endpoints outright.
+func TestGatherRejectsWrites(t *testing.T) {
+	shards := []*fakeShard{newFakeShard(t, 0, 1, 7)}
+	ts := gatherOver(t, shards, 1, 0)
+	resp, err := http.Post(ts.URL+"/api/run", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("POST /api/run: status %d, want 403", resp.StatusCode)
+	}
+}
+
+// The health endpoint reports per-shard liveness and epochs.
+func TestGatherHealth(t *testing.T) {
+	shards := []*fakeShard{
+		newFakeShard(t, 0, 2, 9),
+		newFakeShard(t, 1, 2, 9),
+	}
+	shards[1].ts.Close()
+	ts := gatherOver(t, shards, 1, 0)
+	resp, err := http.Get(ts.URL + "/api/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Status string `json:"status"`
+		Role   string `json:"role"`
+		Shards []struct {
+			Healthy bool   `json:"healthy"`
+			Epoch   uint64 `json:"epoch"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if body.Status != "degraded" || body.Role != "shard-gather" {
+		t.Fatalf("health = %+v", body)
+	}
+	if len(body.Shards) != 2 || !body.Shards[0].Healthy || body.Shards[1].Healthy {
+		t.Fatalf("per-shard health wrong: %+v", body.Shards)
+	}
+	if body.Shards[0].Epoch != 9 {
+		t.Fatalf("shard 0 epoch = %d, want 9", body.Shards[0].Epoch)
+	}
+}

@@ -21,9 +21,9 @@ import (
 	"sync/atomic"
 
 	"quarry/internal/core"
-	"quarry/internal/expr"
 	"quarry/internal/olap"
 	"quarry/internal/replication"
+	"quarry/internal/shard"
 	mf "quarry/internal/storage/manifest"
 	"quarry/internal/xlm"
 	"quarry/internal/xmd"
@@ -115,6 +115,7 @@ func NewWithOptions(p *core.Platform, opts Options) *Server {
 	s.mux.HandleFunc("POST /api/run", s.mutating(s.handleRun))
 	s.mux.HandleFunc("GET /api/export/{notation}", s.handleExport)
 	s.mux.HandleFunc("POST /api/olap", s.handleOLAP)
+	s.mux.HandleFunc("POST /api/olap/partial", s.handleOLAPPartial)
 	s.mux.HandleFunc("GET /api/olap/stats", s.handleOLAPStats)
 	// Replication feed (the primary side of segment shipping): any
 	// disk-backed node serves its committed manifest and immutable
@@ -188,6 +189,7 @@ func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
 			canonical = c
 			if res, ok := s.cache.Get(fmt.Sprintf("v%d:%s", db.Version(), c)); ok {
 				w.Header().Set("X-Quarry-Cache", "hit")
+				w.Header().Set("X-Quarry-Version", fmt.Sprintf("%d", res.Version))
 				writeJSON(w, http.StatusOK, olapBody(res))
 				return
 			}
@@ -243,7 +245,97 @@ func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
 		s.cache.Put(fmt.Sprintf("v%d:%s", res.Version, canonical), res)
 		w.Header().Set("X-Quarry-Cache", "miss")
 	}
+	// The version of the snapshot the answer actually came from, so
+	// clients cross-checking two answers (e.g. quarrybench's oracle
+	// spot checks) can tell version skew from disagreement.
+	w.Header().Set("X-Quarry-Version", fmt.Sprintf("%d", res.Version))
 	writeJSON(w, http.StatusOK, olapBody(res))
+}
+
+// handleOLAPPartial answers a cube query as pre-finalisation partial
+// aggregates — the shard side of scatter-gather (see internal/shard).
+// A non-sharded node answers as the single shard of a 1-way topology,
+// which is also the degenerate case the identity tests pin. Requests
+// share the OLAP query pool with /api/olap.
+//
+// With "oracle": true, the shard self-verifies before answering: it
+// finalises its own partial as a 1-way merge and compares the bytes
+// against its local star-flow reference executor over the same
+// partition; a mismatch is a 500, never a wrong partial.
+func (s *Server) handleOLAPPartial(w http.ResponseWriter, r *http.Request) {
+	var body olapRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	select {
+	case s.pool <- struct{}{}:
+	case <-r.Context().Done():
+		writeErr(w, http.StatusServiceUnavailable, r.Context().Err())
+		return
+	}
+	defer func() { <-s.pool }()
+	oe, err := s.p.OLAP()
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	q := olap.CubeQuery{Fact: body.Fact, GroupBy: body.GroupBy, Filter: body.Filter, RollUp: body.RollUp}
+	for _, m := range body.Measures {
+		q.Measures = append(q.Measures, olap.MeasureSpec{Out: m.Out, Func: m.Func, Col: m.Col})
+	}
+	if body.Dice != nil {
+		q.Dice = &olap.DiceSpec{Func: body.Dice.Func, Col: body.Dice.Col, Thresholds: body.Dice.Thresholds}
+	}
+	partial, err := oe.QueryPartialContext(r.Context(), q)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	spec := s.p.Shard()
+	if !spec.Enabled() {
+		spec = shard.Spec{Index: 0, Count: 1}
+	}
+	resp := shard.EncodePartial(spec.Index, spec.Count, partial.Version, partial.Columns, partial.GroupCols, partial.Aggs, partial.Groups)
+	if body.Oracle {
+		if err := s.selfVerifyPartial(r, oe, q, partial); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	w.Header().Set("X-Quarry-Version", fmt.Sprintf("%d", partial.Version))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// selfVerifyPartial finalises the shard's own partial as a 1-way merge
+// and compares the rendered rows byte-for-byte against the star-flow
+// reference executor over the same local partition.
+func (s *Server) selfVerifyPartial(r *http.Request, oe *olap.Engine, q olap.CubeQuery, partial *olap.Partial) error {
+	solo := shard.EncodePartial(0, 1, partial.Version, partial.Columns, partial.GroupCols, partial.Aggs, partial.Groups)
+	cols, rows, _, err := shard.Merge([]*shard.PartialResponse{solo})
+	if err != nil {
+		return fmt.Errorf("self-verify: finalising own partial: %w", err)
+	}
+	want, err := oe.QueryStarFlowContext(r.Context(), q)
+	if err != nil {
+		return fmt.Errorf("self-verify: reference executor: %w", err)
+	}
+	if len(cols) != len(want.Columns) || len(rows) != len(want.Rows) {
+		return fmt.Errorf("self-verify: partial finalises to %dx%d, reference is %dx%d", len(rows), len(cols), len(want.Rows), len(want.Columns))
+	}
+	for i, row := range rows {
+		got := olap.RenderRow(row)
+		ref := olap.RenderRow(want.Rows[i])
+		for j := range got {
+			if got[j] != ref[j] {
+				return fmt.Errorf("self-verify: row %d column %q: partial %q, reference %q", i, cols[j], got[j], ref[j])
+			}
+		}
+	}
+	return nil
 }
 
 // testingOLAPBeforeQuery, when set, runs after the cache miss — with
@@ -324,18 +416,7 @@ func (s *Server) handleOLAPStats(w http.ResponseWriter, _ *http.Request) {
 func olapBody(res *olap.Result) olapResponse {
 	out := olapResponse{Columns: res.Columns, Rows: [][]string{}}
 	for _, row := range res.Rows {
-		vals := make([]string, len(row))
-		for i, v := range row {
-			// String values render as their raw content. (Trimming
-			// quotes off the SQL-literal form v.String() would also eat
-			// legitimate leading/trailing apostrophes from the data.)
-			if v.Kind() == expr.KindString {
-				vals[i] = v.AsString()
-			} else {
-				vals[i] = v.String()
-			}
-		}
-		out.Rows = append(out.Rows, vals)
+		out.Rows = append(out.Rows, olap.RenderRow(row))
 	}
 	return out
 }
@@ -469,6 +550,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		resp["replica"] = s.replicaStatus()
 	} else {
 		resp["role"] = "primary"
+	}
+	// Shard identity + epoch: what the gather router polls to verify
+	// the topology it scatters over, and what an operator compares
+	// across shards to spot a node loading out of lockstep.
+	if spec := s.p.Shard(); spec.Enabled() {
+		resp["shard_index"] = spec.Index
+		resp["shard_count"] = spec.Count
+		if db := s.p.DB(); db != nil {
+			resp["epoch"] = db.Version()
+		}
 	}
 	if db := s.p.DB(); db != nil {
 		backend := "memory"

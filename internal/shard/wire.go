@@ -1,0 +1,225 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+
+	"quarry/internal/engine"
+	"quarry/internal/expr"
+	"quarry/internal/xlm"
+)
+
+// Wire format of the partial-aggregate protocol: the JSON body a
+// shard returns from POST /api/olap/partial and the router feeds into
+// Merge. Every float64 travels as its IEEE-754 bit pattern in a
+// uint64 — encoding/json round-trips integers up to 2^64 exactly,
+// while float JSON text would mangle NaN/Inf outright and any decimal
+// rendering shorter than bit-exact would break the byte-identity
+// contract the whole protocol exists for.
+
+// ValueWire is one expr.Value on the wire. Kind uses the expr kind
+// names ("null", "int", "float", "string", "bool").
+type ValueWire struct {
+	Kind string `json:"k"`
+	Int  int64  `json:"i,omitempty"`
+	Bits uint64 `json:"f,omitempty"` // math.Float64bits for Kind "float"
+	Str  string `json:"s,omitempty"`
+	Bool bool   `json:"b,omitempty"`
+}
+
+// EncodeValue converts a value to its wire form.
+func EncodeValue(v expr.Value) ValueWire {
+	w := ValueWire{Kind: v.Kind().String()}
+	switch v.Kind() {
+	case expr.KindInt:
+		w.Int = v.AsInt()
+	case expr.KindFloat:
+		f, _ := v.AsFloat()
+		w.Bits = math.Float64bits(f)
+	case expr.KindString:
+		w.Str = v.AsString()
+	case expr.KindBool:
+		w.Bool = v.AsBool()
+	}
+	return w
+}
+
+// Decode converts a wire value back. Unknown kinds are an error, not
+// a NULL: a corrupt or version-skewed peer must fail the query, never
+// feed wrong values into a merge.
+func (w ValueWire) Decode() (expr.Value, error) {
+	switch w.Kind {
+	case "null", "":
+		return expr.Null(), nil
+	case "int":
+		return expr.Int(w.Int), nil
+	case "float":
+		return expr.Float(math.Float64frombits(w.Bits)), nil
+	case "string":
+		return expr.Str(w.Str), nil
+	case "bool":
+		return expr.Bool(w.Bool), nil
+	default:
+		return expr.Value{}, fmt.Errorf("shard: unknown value kind %q on the wire", w.Kind)
+	}
+}
+
+// MeasureWire is one aggregate's mergeable state for one group
+// (engine.MeasurePartial on the wire).
+type MeasureWire struct {
+	Count    int64 `json:"count"`
+	IntSum   int64 `json:"int_sum,omitempty"`
+	SumIsInt bool  `json:"sum_is_int"`
+	// Float-sum expansion, each part as Float64bits.
+	SumParts      []uint64   `json:"sum_parts,omitempty"`
+	SumSpecial    uint64     `json:"sum_special,omitempty"`
+	SumHasSpecial bool       `json:"sum_has_special,omitempty"`
+	Min           *ValueWire `json:"min,omitempty"`
+	Max           *ValueWire `json:"max,omitempty"`
+}
+
+// GroupWire is one group's partial state: key values + measures.
+type GroupWire struct {
+	Key      []ValueWire   `json:"key"`
+	Measures []MeasureWire `json:"measures"`
+}
+
+// AggWire echoes one declared aggregate so the gather side can build
+// its merge aggregator without knowing the schema.
+type AggWire struct {
+	Func string `json:"func"`
+	Out  string `json:"out"`
+}
+
+// PartialResponse is the full body of a shard's partial answer.
+type PartialResponse struct {
+	// Shard identity + epoch, validated by Merge: indexes must cover
+	// exactly 0..ShardCount-1 and every epoch must agree.
+	ShardIndex int    `json:"shard_index"`
+	ShardCount int    `json:"shard_count"`
+	Epoch      uint64 `json:"epoch"`
+	// Result shape: output column names (group columns first), how
+	// many of them are group columns, and the declared aggregates.
+	Columns   []string    `json:"columns"`
+	GroupCols int         `json:"group_cols"`
+	Aggs      []AggWire   `json:"aggs"`
+	Groups    []GroupWire `json:"groups"`
+}
+
+// EncodePartial builds the wire body from a shard-local partial
+// aggregation (the olap layer's pre-merge states).
+func EncodePartial(index, count int, epoch uint64, columns []string, groupCols int, aggs []xlm.AggSpec, groups []engine.AggPartial) *PartialResponse {
+	resp := &PartialResponse{
+		ShardIndex: index,
+		ShardCount: count,
+		Epoch:      epoch,
+		Columns:    append([]string(nil), columns...),
+		GroupCols:  groupCols,
+		Aggs:       make([]AggWire, len(aggs)),
+		Groups:     make([]GroupWire, len(groups)),
+	}
+	for i, a := range aggs {
+		resp.Aggs[i] = AggWire{Func: a.Func, Out: a.Out}
+	}
+	for gi := range groups {
+		g := &groups[gi]
+		gw := GroupWire{
+			Key:      make([]ValueWire, len(g.Group)),
+			Measures: make([]MeasureWire, len(g.Measures)),
+		}
+		for i, v := range g.Group {
+			gw.Key[i] = EncodeValue(v)
+		}
+		for i := range g.Measures {
+			m := &g.Measures[i]
+			mw := MeasureWire{
+				Count:         m.Count,
+				IntSum:        m.IntSum,
+				SumIsInt:      m.SumIsInt,
+				SumHasSpecial: m.SumHasSpecial,
+			}
+			if len(m.SumParts) > 0 {
+				mw.SumParts = make([]uint64, len(m.SumParts))
+				for k, p := range m.SumParts {
+					mw.SumParts[k] = math.Float64bits(p)
+				}
+			}
+			if m.SumHasSpecial {
+				mw.SumSpecial = math.Float64bits(m.SumSpecial)
+			}
+			if !m.Min.IsNull() {
+				w := EncodeValue(m.Min)
+				mw.Min = &w
+			}
+			if !m.Max.IsNull() {
+				w := EncodeValue(m.Max)
+				mw.Max = &w
+			}
+			gw.Measures[i] = mw
+		}
+		resp.Groups[gi] = gw
+	}
+	return resp
+}
+
+// DecodeGroups converts the wire groups back into engine partials.
+func (r *PartialResponse) DecodeGroups() ([]engine.AggPartial, error) {
+	out := make([]engine.AggPartial, len(r.Groups))
+	for gi := range r.Groups {
+		gw := &r.Groups[gi]
+		if len(gw.Key) != r.GroupCols {
+			return nil, fmt.Errorf("shard: group %d has %d key values, response declares %d group columns", gi, len(gw.Key), r.GroupCols)
+		}
+		if len(gw.Measures) != len(r.Aggs) {
+			return nil, fmt.Errorf("shard: group %d has %d measures, response declares %d aggregates", gi, len(gw.Measures), len(r.Aggs))
+		}
+		p := engine.AggPartial{
+			Group:    make([]expr.Value, len(gw.Key)),
+			Measures: make([]engine.MeasurePartial, len(gw.Measures)),
+		}
+		for i, vw := range gw.Key {
+			v, err := vw.Decode()
+			if err != nil {
+				return nil, err
+			}
+			p.Group[i] = v
+		}
+		for i := range gw.Measures {
+			mw := &gw.Measures[i]
+			m := engine.MeasurePartial{
+				Count:         mw.Count,
+				IntSum:        mw.IntSum,
+				SumIsInt:      mw.SumIsInt,
+				SumHasSpecial: mw.SumHasSpecial,
+				Min:           expr.Null(),
+				Max:           expr.Null(),
+			}
+			if len(mw.SumParts) > 0 {
+				m.SumParts = make([]float64, len(mw.SumParts))
+				for k, b := range mw.SumParts {
+					m.SumParts[k] = math.Float64frombits(b)
+				}
+			}
+			if mw.SumHasSpecial {
+				m.SumSpecial = math.Float64frombits(mw.SumSpecial)
+			}
+			if mw.Min != nil {
+				v, err := mw.Min.Decode()
+				if err != nil {
+					return nil, err
+				}
+				m.Min = v
+			}
+			if mw.Max != nil {
+				v, err := mw.Max.Decode()
+				if err != nil {
+					return nil, err
+				}
+				m.Max = v
+			}
+			p.Measures[i] = m
+		}
+		out[gi] = p
+	}
+	return out, nil
+}
