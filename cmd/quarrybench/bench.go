@@ -46,11 +46,18 @@ type Percentiles struct {
 // StatsDelta is the server-side counter movement over the run,
 // scraped from GET /api/olap/stats before and after.
 type StatsDelta struct {
-	Queries       int64   `json:"queries"`
-	QueryErrors   int64   `json:"query_errors"`
-	CacheHits     int64   `json:"cache_hits"`
-	CacheMisses   int64   `json:"cache_misses"`
-	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	Queries int64 `json:"queries"`
+	// The server's accounting identity: Queries = Answered + Shed +
+	// QueryErrors, exact once the run has drained (the harness scrapes
+	// after the last in-flight request completes). DeadlineExceeded is
+	// the 504 subset of QueryErrors, not an extra term.
+	Answered         int64   `json:"answered"`
+	Shed             int64   `json:"shed"`
+	QueryErrors      int64   `json:"query_errors"`
+	DeadlineExceeded int64   `json:"deadline_exceeded"`
+	CacheHits        int64   `json:"cache_hits"`
+	CacheMisses      int64   `json:"cache_misses"`
+	CacheHitRatio    float64 `json:"cache_hit_ratio"`
 	// Materialized-aggregate traffic; all zero when matagg is off.
 	MatAggHits         int64   `json:"matagg_hits"`
 	MatAggRewrites     int64   `json:"matagg_rewrites"`
@@ -68,19 +75,27 @@ type QueryCount struct {
 
 // LoadReport is the run artifact (BENCH_load_<sha>.json).
 type LoadReport struct {
-	SHA             string       `json:"sha,omitempty"`
-	Target          string       `json:"target"`
-	OfferedQPS      float64      `json:"offered_qps"`
-	ZipfS           float64      `json:"zipf_s"`
-	Seed            int64        `json:"seed"`
-	DurationSeconds float64      `json:"duration_seconds"`
-	Scheduled       int64        `json:"scheduled"`
-	Requests        int64        `json:"requests"` // completed, incl. oracle re-fetches
-	Errors          int64        `json:"errors"`   // transport failures + non-2xx
-	ErrorRate       float64      `json:"error_rate"`
-	ThroughputRPS   float64      `json:"throughput_rps"`
-	Latency         Percentiles  `json:"latency"`
-	Mix             []QueryCount `json:"mix"`
+	SHA             string  `json:"sha,omitempty"`
+	Target          string  `json:"target"`
+	OfferedQPS      float64 `json:"offered_qps"`
+	ZipfS           float64 `json:"zipf_s"`
+	Seed            int64   `json:"seed"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Scheduled       int64   `json:"scheduled"`
+	Requests        int64   `json:"requests"` // completed, incl. oracle re-fetches
+	// Every completed request is exactly one of answered (2xx), shed
+	// (429 admission refusal — the server working as designed under
+	// overload, NOT an error) or error (transport failure or any other
+	// non-2xx, including 504 deadline expiries).
+	Answered      int64        `json:"answered"`
+	Shed          int64        `json:"shed"`
+	ShedRate      float64      `json:"shed_rate"`
+	Errors        int64        `json:"errors"`
+	ErrorRate     float64      `json:"error_rate"`
+	ThroughputRPS float64      `json:"throughput_rps"`
+	GoodputRPS    float64      `json:"goodput_rps"` // answered (2xx) per second
+	Latency       Percentiles  `json:"latency"`     // admitted (2xx) requests only
+	Mix           []QueryCount `json:"mix"`
 	// Oracle spot-check accounting. Mismatches MUST be zero: a
 	// non-zero value means the fast path diverged from the reference
 	// executor. A pair whose two fetches report different warehouse
@@ -143,6 +158,8 @@ func runBench(cfg benchConfig) (*LoadReport, error) {
 	var (
 		h          = newHist()
 		requests   atomic.Int64
+		answered   atomic.Int64
+		shed       atomic.Int64
 		errors     atomic.Int64
 		perQuery   = make([]atomic.Int64, len(queries))
 		oracleChk  atomic.Int64
@@ -197,16 +214,33 @@ func runBench(cfg benchConfig) (*LoadReport, error) {
 		}()
 	}
 
+	// outcome buckets one completed request: every request is exactly
+	// one of answered / shed / error, and only ADMITTED (2xx) latencies
+	// feed the histogram — under deliberate overload a shed answers in
+	// microseconds, and mixing those into the percentiles would make an
+	// overloaded server look faster the harder it sheds.
+	outcome := func(code int, err error, latNs int64) (ok bool) {
+		requests.Add(1)
+		switch {
+		case err == nil && code/100 == 2:
+			h.Record(latNs)
+			answered.Add(1)
+			return true
+		case err == nil && code == http.StatusTooManyRequests:
+			// Admission-control shed: the server protecting its SLO is
+			// correct behaviour, accounted apart from real errors.
+			shed.Add(1)
+		default:
+			errors.Add(1)
+		}
+		return false
+	}
+
 	fire := func(sched time.Time, qi int, oracle bool) {
 		perQuery[qi].Add(1)
 		genBefore := reloadGen.Load()
 		code, fastHdr, fastBody, err := post("/api/olap", bodies[qi])
-		h.Record(time.Since(sched).Nanoseconds())
-		requests.Add(1)
-		ok := err == nil && code/100 == 2
-		if !ok {
-			errors.Add(1)
-		}
+		ok := outcome(code, err, time.Since(sched).Nanoseconds())
 		if !oracle || !ok {
 			return
 		}
@@ -216,10 +250,7 @@ func runBench(cfg benchConfig) (*LoadReport, error) {
 		// republished between the fetches.
 		oStart := time.Now()
 		oCode, oHdr, oBody, oErr := post("/api/olap", oracleBodies[qi])
-		h.Record(time.Since(oStart).Nanoseconds())
-		requests.Add(1)
-		if oErr != nil || oCode/100 != 2 {
-			errors.Add(1)
+		if !outcome(oCode, oErr, time.Since(oStart).Nanoseconds()) {
 			return
 		}
 		// Version-skew detection. The X-Quarry-Version header names the
@@ -281,8 +312,11 @@ func runBench(cfg benchConfig) (*LoadReport, error) {
 		DurationSeconds: elapsed.Seconds(),
 		Scheduled:       scheduled,
 		Requests:        requests.Load(),
+		Answered:        answered.Load(),
+		Shed:            shed.Load(),
 		Errors:          errors.Load(),
 		ThroughputRPS:   float64(requests.Load()) / elapsed.Seconds(),
+		GoodputRPS:      float64(answered.Load()) / elapsed.Seconds(),
 		Latency: Percentiles{
 			P50:  float64(h.Quantile(0.50)) / 1e3,
 			P95:  float64(h.Quantile(0.95)) / 1e3,
@@ -299,6 +333,7 @@ func runBench(cfg benchConfig) (*LoadReport, error) {
 	}
 	if rep.Requests > 0 {
 		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
 	}
 	for i, q := range queries {
 		rep.Mix = append(rep.Mix, QueryCount{Name: q.Name, Requests: perQuery[i].Load()})
@@ -319,10 +354,13 @@ func runBench(cfg benchConfig) (*LoadReport, error) {
 // reflects only this run's traffic, even against a long-lived server.
 func statsDelta(before, after *serverStats) *StatsDelta {
 	d := &StatsDelta{
-		Queries:     after.Queries - before.Queries,
-		QueryErrors: after.QueryErrors - before.QueryErrors,
-		CacheHits:   after.CacheHits - before.CacheHits,
-		CacheMisses: after.CacheMisses - before.CacheMisses,
+		Queries:          after.Queries - before.Queries,
+		Answered:         after.Answered - before.Answered,
+		Shed:             after.Shed - before.Shed,
+		QueryErrors:      after.QueryErrors - before.QueryErrors,
+		DeadlineExceeded: after.DeadlineExceeded - before.DeadlineExceeded,
+		CacheHits:        after.CacheHits - before.CacheHits,
+		CacheMisses:      after.CacheMisses - before.CacheMisses,
 	}
 	if tot := d.CacheHits + d.CacheMisses; tot > 0 {
 		d.CacheHitRatio = float64(d.CacheHits) / float64(tot)

@@ -15,10 +15,14 @@ import (
 // returns 500, and oracleDiverge makes oracle-flagged answers differ
 // from fast-path ones so mismatch detection can be exercised.
 type fakeOLAP struct {
-	olapRequests  atomic.Int64
-	olapFailures  atomic.Int64
-	reloads       atomic.Int64
-	failEvery     int64
+	olapRequests atomic.Int64
+	olapFailures atomic.Int64
+	olapSheds    atomic.Int64
+	reloads      atomic.Int64
+	failEvery    int64
+	// shedEvery makes every shedEvery-th surviving request answer 429 +
+	// Retry-After, imitating quarryd's admission control under overload.
+	shedEvery     int64
 	oracleDiverge bool
 	// versionEachRequest stamps a fresh X-Quarry-Version on every
 	// /api/olap response and makes the answer version-dependent,
@@ -36,6 +40,12 @@ func (f *fakeOLAP) handler() http.Handler {
 		if f.failEvery > 0 && n%f.failEvery == 0 {
 			f.olapFailures.Add(1)
 			http.Error(w, `{"error":"injected"}`, http.StatusInternalServerError)
+			return
+		}
+		if f.shedEvery > 0 && n%f.shedEvery == 0 {
+			f.olapSheds.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"shed":true,"class":"fast"}`, http.StatusTooManyRequests)
 			return
 		}
 		var body map[string]any
@@ -68,10 +78,11 @@ func (f *fakeOLAP) handler() http.Handler {
 	mux.HandleFunc("GET /api/olap/stats", func(w http.ResponseWriter, _ *http.Request) {
 		// Counters shaped like quarryd's /api/olap/stats; matagg hits
 		// track request count so the delta is observable.
-		n := f.olapRequests.Load()
-		fmt.Fprintf(w, `{"queries":%d,"query_errors":%d,"cache_hits":%d,"cache_misses":%d,`+
+		n, errs, sheds := f.olapRequests.Load(), f.olapFailures.Load(), f.olapSheds.Load()
+		fmt.Fprintf(w, `{"queries":%d,"answered":%d,"shed":%d,"query_errors":%d,"deadline_exceeded":0,`+
+			`"cache_hits":%d,"cache_misses":%d,`+
 			`"matagg":{"hits":%d,"rewrites":0,"misses":0,"materialized":2,"materialized_bytes":4096}}`,
-			n, f.olapFailures.Load(), n/2, n-n/2, n)
+			n, n-errs-sheds, sheds, errs, n/2, n-n/2, n)
 	})
 	return mux
 }
@@ -289,5 +300,69 @@ func TestBenchRejectsBadConfig(t *testing.T) {
 	}
 	if _, err := runBench(benchConfig{QPS: 10, ZipfS: 1.0, Duration: time.Second}); err == nil {
 		t.Fatal("zipf 1.0 accepted")
+	}
+}
+
+// TestBenchShedAccounting: 429s are sheds, not errors — they carry
+// their own counter and rate, goodput counts only 2xx answers, and
+// the client's books reconcile exactly with the server's delta under
+// the identity queries = answered + shed + query_errors.
+func TestBenchShedAccounting(t *testing.T) {
+	fake := &fakeOLAP{failEvery: 9, shedEvery: 4}
+	srv := httptest.NewServer(fake.handler())
+	defer srv.Close()
+
+	rep, err := runBench(benchConfig{
+		Target:      srv.URL,
+		QPS:         300,
+		Duration:    time.Second,
+		ZipfS:       1.3,
+		Seed:        42,
+		OracleEvery: 5,
+		Timeout:     5 * time.Second,
+		Fact:        "fact_table_revenue",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Shed == 0 {
+		t.Fatal("fake server shed nothing; the shed path is untested")
+	}
+	if got := fake.olapSheds.Load(); rep.Shed != got {
+		t.Fatalf("report counts %d sheds, server issued %d", rep.Shed, got)
+	}
+	if got := fake.olapFailures.Load(); rep.Errors != got {
+		t.Fatalf("sheds leaked into errors: report %d errors, server injected %d", rep.Errors, got)
+	}
+	if rep.Answered != rep.Requests-rep.Shed-rep.Errors {
+		t.Fatalf("client books broken: answered=%d != requests=%d - shed=%d - errors=%d",
+			rep.Answered, rep.Requests, rep.Shed, rep.Errors)
+	}
+	if want := float64(rep.Shed) / float64(rep.Requests); rep.ShedRate != want {
+		t.Fatalf("ShedRate = %v, want %v", rep.ShedRate, want)
+	}
+	if rep.GoodputRPS <= 0 || rep.GoodputRPS >= rep.ThroughputRPS {
+		t.Fatalf("goodput %.1f not strictly inside (0, throughput %.1f)", rep.GoodputRPS, rep.ThroughputRPS)
+	}
+
+	// Server-side delta reconciles exactly.
+	if rep.Stats == nil {
+		t.Fatalf("stats not scraped: %s", rep.StatsError)
+	}
+	s := rep.Stats
+	if s.Queries != s.Answered+s.Shed+s.QueryErrors {
+		t.Fatalf("server identity broken: queries=%d != answered=%d + shed=%d + query_errors=%d",
+			s.Queries, s.Answered, s.Shed, s.QueryErrors)
+	}
+	if s.Shed != rep.Shed || s.Answered != rep.Answered || s.QueryErrors != rep.Errors {
+		t.Fatalf("client/server disagreement: client (a=%d s=%d e=%d) vs server delta (a=%d s=%d e=%d)",
+			rep.Answered, rep.Shed, rep.Errors, s.Answered, s.Shed, s.QueryErrors)
+	}
+
+	// No oracle mismatches: a shed first fetch never triggers the
+	// oracle re-fetch, and a shed re-fetch skips the comparison.
+	if rep.OracleMismatches != 0 {
+		t.Fatalf("%d oracle mismatches; sheds must not be compared as answers", rep.OracleMismatches)
 	}
 }

@@ -76,11 +76,14 @@ func newPicker(seed int64, s float64, n int) func() int {
 // harness reports on. Decoded loosely: fields the server does not
 // send stay zero, so the harness keeps working against older nodes.
 type serverStats struct {
-	Queries     int64 `json:"queries"`
-	QueryErrors int64 `json:"query_errors"`
-	CacheHits   int64 `json:"cache_hits"`
-	CacheMisses int64 `json:"cache_misses"`
-	MatAgg      *struct {
+	Queries          int64 `json:"queries"`
+	Answered         int64 `json:"answered"`
+	Shed             int64 `json:"shed"`
+	QueryErrors      int64 `json:"query_errors"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	CacheHits        int64 `json:"cache_hits"`
+	CacheMisses      int64 `json:"cache_misses"`
+	MatAgg           *struct {
 		Hits              int64 `json:"hits"`
 		Rewrites          int64 `json:"rewrites"`
 		Misses            int64 `json:"misses"`

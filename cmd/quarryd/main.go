@@ -8,9 +8,21 @@
 //	        [-data-dir DIR] [-compact]
 //	        [-parallelism 0] [-batch-size 0]
 //	        [-olap-concurrency 0] [-olap-cache 256]
+//	        [-slo-target 0] [-shed-policy expensive-first] [-default-deadline 0]
 //	        [-matagg] [-matagg-top-k 8] [-matagg-budget-bytes 0]
 //	        [-replica-of URL] [-replica-dir DIR] [-replica-interval 1s]
 //	        [-shards N] [-shard-index I]
+//
+// With -slo-target the serving tier defends a latency budget instead
+// of melting under overload: per-class service times (cache hit /
+// materialized aggregate / fast path / dice / oracle) are tracked as
+// EWMAs, each arriving query's queue wait is projected from the
+// current backlog, and requests whose projection blows the SLO are
+// shed with 429 + Retry-After — most expensive class first under the
+// default -shed-policy, with result-cache hits always admitted.
+// -default-deadline (or a client's X-Quarry-Deadline header) bounds
+// each query end-to-end; expiry frees the executor slot at the next
+// batch boundary and answers 504 with partial-progress stats.
 //
 // With -data-dir the warehouse lives in a paged on-disk store: the
 // first start generates and checkpoints the micro-TPC-H sources, a
@@ -71,6 +83,9 @@ func main() {
 	batchSize := flag.Int("batch-size", 0, "ETL engine rows per batch (0: engine default)")
 	olapConc := flag.Int("olap-concurrency", 0, "max concurrent OLAP queries (0: 2×GOMAXPROCS)")
 	olapCache := flag.Int("olap-cache", 256, "OLAP result cache capacity (negative disables)")
+	sloTarget := flag.Duration("slo-target", 0, "latency SLO the admission controller defends: requests whose projected queue wait blows it are shed with 429 + Retry-After (0 disables shedding)")
+	shedPolicy := flag.String("shed-policy", server.PolicyExpensiveFirst, "how to refuse work past the SLO: expensive-first (costly classes shed at lower backlog), fair (class-blind), off")
+	defaultDeadline := flag.Duration("default-deadline", 0, "per-query deadline when the client sends no X-Quarry-Deadline header; expiry answers 504 (0: no server-side deadline)")
 	matagg := flag.Bool("matagg", true, "materialize hot OLAP aggregates (adaptive, version-keyed)")
 	mataggTopK := flag.Int("matagg-top-k", 8, "materialized aggregates kept per refresh")
 	mataggBudget := flag.Int64("matagg-budget-bytes", 0, "byte budget for materialized aggregates; candidates admitted by benefit per byte (0: unlimited, benefit-ranked)")
@@ -80,6 +95,10 @@ func main() {
 	shards := flag.Int("shards", 0, "total shard count of a hash-partitioned warehouse (0: not sharded)")
 	shardIndex := flag.Int("shard-index", 0, "this node's shard index in [0,shards)")
 	flag.Parse()
+
+	if err := server.ValidateShedPolicy(*shedPolicy); err != nil {
+		log.Fatalf("quarryd: -shed-policy: %v", err)
+	}
 
 	shardSpec := shard.Spec{Index: *shardIndex, Count: *shards}
 	if shardSpec.Enabled() {
@@ -96,6 +115,7 @@ func main() {
 			store: *store, sf: *sf, parallelism: *parallelism, batchSize: *batchSize,
 			olapConc: *olapConc, olapCache: *olapCache, matagg: *matagg, mataggTopK: *mataggTopK,
 			mataggBudget: *mataggBudget,
+			sloTarget:    *sloTarget, shedPolicy: *shedPolicy, defaultDeadline: *defaultDeadline,
 		})
 		return
 	}
@@ -161,7 +181,13 @@ func main() {
 	srv := server.NewWithOptions(p, server.Options{
 		OLAPConcurrency: *olapConc,
 		OLAPCacheSize:   *olapCache,
+		SLOTarget:       *sloTarget,
+		ShedPolicy:      *shedPolicy,
+		DefaultDeadline: *defaultDeadline,
 	})
+	if *sloTarget > 0 {
+		log.Printf("quarryd: admission control on: SLO %s, policy %s", *sloTarget, *shedPolicy)
+	}
 	if shardSpec.Enabled() {
 		log.Printf("quarryd: serving as shard %s of a hash-partitioned warehouse", shardSpec)
 	}
@@ -186,15 +212,18 @@ func main() {
 // replicaConfig carries the serving knobs a replica shares with a
 // primary (engine sizing, OLAP concurrency/cache, matagg).
 type replicaConfig struct {
-	store        string
-	sf           float64
-	parallelism  int
-	batchSize    int
-	olapConc     int
-	olapCache    int
-	matagg       bool
-	mataggTopK   int
-	mataggBudget int64
+	store           string
+	sf              float64
+	parallelism     int
+	batchSize       int
+	olapConc        int
+	olapCache       int
+	matagg          bool
+	mataggTopK      int
+	mataggBudget    int64
+	sloTarget       time.Duration
+	shedPolicy      string
+	defaultDeadline time.Duration
 }
 
 // runReplica starts quarryd as a read replica: ship the primary's
@@ -272,6 +301,9 @@ func runReplica(addr, dataDir, primary, sharedDir string, interval time.Duration
 		OLAPCacheSize:   cfg.olapCache,
 		ReadOnly:        true,
 		ReplicaStatus:   syncer.Status,
+		SLOTarget:       cfg.sloTarget,
+		ShedPolicy:      cfg.shedPolicy,
+		DefaultDeadline: cfg.defaultDeadline,
 	})
 	srv.WarehouseChanged()
 	go syncer.Tail(ctx, interval, func(rep replication.Report) {

@@ -18,13 +18,23 @@
 // epoch-skewed shards (a reload racing the query) cause a bounded
 // rescatter, then 503.
 //
+// Both modes distinguish busy from dead. A backend answering 429 or
+// 503 is shedding load, not failing: it stays in rotation (no
+// demotion), its Retry-After is honored with jittered backoff, and
+// retries stop at a per-query budget (-retry-budget / -busy-retries)
+// so the router never amplifies the overload it is routing around.
+// When every candidate is busy the router answers an aggregated 429
+// with a Retry-After — "back off", never a 502 "outage".
+//
 // Usage:
 //
 //	quarryrouter -replicas http://r1:8081,http://r2:8082 [-addr :8090]
-//	             [-health-interval 2s]
+//	             [-health-interval 2s] [-retry-budget 2]
+//	             [-max-retry-after 2s]
 //	quarryrouter -shard-of http://s0:8080,http://s1:8081 [-addr :8090]
 //	             [-shard-attempts 2] [-shard-skew-retries 2]
-//	             [-shard-timeout 30s]
+//	             [-shard-timeout 30s] [-busy-retries 1]
+//	             [-max-retry-after 2s]
 package main
 
 import (
@@ -46,6 +56,9 @@ func main() {
 	shardAttempts := flag.Int("shard-attempts", 2, "attempts per shard per scatter (transport errors and 5xx retry)")
 	shardSkewRetries := flag.Int("shard-skew-retries", 2, "whole-scatter retries when shards answer at different epochs")
 	shardTimeout := flag.Duration("shard-timeout", 30*time.Second, "per-request timeout towards one shard")
+	retryBudget := flag.Int("retry-budget", 2, "replica mode: extra all-busy passes per query before answering 429 (0 disables busy retries)")
+	busyRetries := flag.Int("busy-retries", 1, "shard-gather mode: whole-scatter retries while some (not all) shards answer busy")
+	maxRetryAfter := flag.Duration("max-retry-after", 2*time.Second, "cap on backend Retry-After suggestions used for backoff")
 	flag.Parse()
 
 	if *shardOf != "" && *replicas != "" {
@@ -53,7 +66,12 @@ func main() {
 	}
 	if *shardOf != "" {
 		urls := splitURLs(*shardOf)
-		g, err := router.NewShardGather(urls, &http.Client{Timeout: *shardTimeout}, *shardAttempts, *shardSkewRetries)
+		g, err := router.NewShardGatherWithOptions(urls, &http.Client{Timeout: *shardTimeout}, router.GatherOptions{
+			Attempts:      *shardAttempts,
+			SkewRetries:   *shardSkewRetries,
+			BusyRetries:   *busyRetries,
+			MaxRetryAfter: *maxRetryAfter,
+		})
 		if err != nil {
 			log.Fatalf("quarryrouter: %v", err)
 		}
@@ -65,7 +83,14 @@ func main() {
 	}
 
 	urls := splitURLs(*replicas)
-	rt, err := router.New(urls, nil)
+	budget := *retryBudget
+	if budget <= 0 {
+		budget = -1 // Options treats 0 as "default"; the flag's 0 means off.
+	}
+	rt, err := router.NewWithOptions(urls, nil, router.Options{
+		RetryBudget:   budget,
+		MaxRetryAfter: *maxRetryAfter,
+	})
 	if err != nil {
 		log.Fatalf("quarryrouter: %v (use -replicas or -shard-of)", err)
 	}

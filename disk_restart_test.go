@@ -89,7 +89,12 @@ func answers(t *testing.T, p *quarry.Platform, label string) []*olap.Result {
 		if err != nil {
 			t.Fatalf("%s: query %d oracle: %v", label, i, err)
 		}
-		if !reflect.DeepEqual(fast, oracle) {
+		// The answer-source tag names which executor produced the rows,
+		// so it differs between the two by construction; identity is
+		// about the data, not the path that computed it.
+		fastData, oracleData := *fast, *oracle
+		fastData.Class, oracleData.Class = "", ""
+		if !reflect.DeepEqual(fastData, oracleData) {
 			t.Fatalf("%s: query %d fast path and oracle disagree", label, i)
 		}
 		out = append(out, fast)

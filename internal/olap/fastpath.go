@@ -243,5 +243,9 @@ func (e *Engine) execFast(ctx context.Context, p *starPlan, snap *storage.Snapsh
 		sortIdx[i] = i
 	}
 	rows = engine.SortRowsBy(rows, sortIdx)
-	return &Result{Columns: p.resultColumns(), Rows: rows, Version: snap.Version()}, nil
+	class := ClassFast
+	if p.dice != nil {
+		class = ClassDice
+	}
+	return &Result{Columns: p.resultColumns(), Rows: rows, Version: snap.Version(), Class: class}, nil
 }

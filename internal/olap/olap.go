@@ -108,6 +108,27 @@ type DiceSpec struct {
 	Thresholds map[string]float64
 }
 
+// Answer-source classes, stamped on Result.Class by whichever
+// executor produced the answer. The serving layer's admission
+// controller keys its per-class service-time estimates on these, so
+// they must stay stable: an unknown class falls back to the
+// fast-path estimate.
+const (
+	// ClassFast is the vectorized base-fact fast path.
+	ClassFast = "fast"
+	// ClassMatAgg is a rewrite onto a materialized aggregate.
+	ClassMatAgg = "matagg"
+	// ClassDice is a diamond-dice query (iterative fixpoint over
+	// buffered detail rows — the expensive shape).
+	ClassDice = "dice"
+	// ClassOracle is the star-flow reference executor.
+	ClassOracle = "oracle"
+	// ClassCacheHit is stamped by the serving layer when an answer
+	// comes straight from the result cache; the executors never
+	// produce it.
+	ClassCacheHit = "cache_hit"
+)
+
 // Result is an ordered, in-memory result set.
 type Result struct {
 	Columns []string
@@ -118,6 +139,11 @@ type Result struct {
 	// executing, which a concurrent ETL commit can leave one behind
 	// the snapshot the query observed.
 	Version uint64
+	// Class names the answer source (Class* constants): which executor
+	// path produced the rows. Costs differ by orders of magnitude
+	// across classes, so the serving layer tracks service times and
+	// sheds load per class.
+	Class string
 }
 
 // Engine answers cube queries against a database holding a deployed
@@ -236,6 +262,7 @@ func (e *Engine) answerPlanned(ctx context.Context, p *starPlan, snap *storage.S
 		}
 		if ok {
 			res.Version = snap.Version()
+			res.Class = ClassMatAgg
 			return res, nil
 		}
 	}

@@ -119,7 +119,7 @@ func readResult(scratch *storage.DB, p *starPlan, version uint64) (*Result, erro
 	if !ok {
 		return nil, fmt.Errorf("olap: internal: answer table missing")
 	}
-	res := &Result{Columns: p.resultColumns(), Version: version}
+	res := &Result{Columns: p.resultColumns(), Version: version, Class: ClassOracle}
 	res.Rows = valueRows(answer.Rows())
 	return res, nil
 }

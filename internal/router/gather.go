@@ -11,7 +11,12 @@
 // per-shard retries fails the whole query with 502; shards answering
 // at different warehouse epochs trigger a bounded whole-scatter retry
 // and then 503 — a delayed answer, never a mixed-epoch or
-// missing-partition one.
+// missing-partition one. A shard answering 429/503 is busy, not dead:
+// when only some shards shed, the scatter backs off (jittered,
+// honoring Retry-After) and retries whole up to busyRetries times;
+// when the WHOLE fleet sheds — or the busy budget is spent — the
+// gather fails fast with an aggregated 429, never a 502, so clients
+// and upstream routers see "back off", not "outage".
 package router
 
 import (
@@ -22,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -41,6 +47,31 @@ type ShardRouter struct {
 	// skewRetries is how many times the whole scatter is redone when
 	// shards answer at different epochs (a reload racing the query).
 	skewRetries int
+	// busyRetries is how many times the whole scatter is redone when
+	// SOME (not all) shards answered busy (429/503).
+	busyRetries int
+	// maxRetryAfter caps a shard's Retry-After suggestion before the
+	// gather sleeps on it or forwards it.
+	maxRetryAfter time.Duration
+	// sleep waits for the backoff, or returns false if ctx ends first.
+	// A field so tests can stub it out.
+	sleep func(ctx context.Context, d time.Duration) bool
+}
+
+// GatherOptions tunes a ShardRouter beyond its shard list.
+type GatherOptions struct {
+	// Attempts is how many times one shard is tried per scatter on
+	// transport errors and non-busy 5xx (<= 0 means 2).
+	Attempts int
+	// SkewRetries bounds whole-scatter retries on epoch skew
+	// (< 0 means 2).
+	SkewRetries int
+	// BusyRetries bounds whole-scatter retries when some shards are
+	// busy (< 0 means 1). 0 disables busy retries: any shed shard
+	// immediately fails the query with 429.
+	BusyRetries int
+	// MaxRetryAfter caps shard Retry-After suggestions (<= 0 means 2s).
+	MaxRetryAfter time.Duration
 }
 
 // NewShardGather builds a gather router. shards[i] must be the base
@@ -50,19 +81,38 @@ type ShardRouter struct {
 // zero-counting a partition. attempts <= 0 defaults to 2, and
 // skewRetries < 0 to 2.
 func NewShardGather(shards []string, client *http.Client, attempts, skewRetries int) (*ShardRouter, error) {
+	return NewShardGatherWithOptions(shards, client, GatherOptions{Attempts: attempts, SkewRetries: skewRetries, BusyRetries: -1})
+}
+
+// NewShardGatherWithOptions is NewShardGather with the full option
+// set; zero-value options take the documented defaults.
+func NewShardGatherWithOptions(shards []string, client *http.Client, opts GatherOptions) (*ShardRouter, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("router: no shards configured")
 	}
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
-	if attempts <= 0 {
-		attempts = 2
+	if opts.Attempts <= 0 {
+		opts.Attempts = 2
 	}
-	if skewRetries < 0 {
-		skewRetries = 2
+	if opts.SkewRetries < 0 {
+		opts.SkewRetries = 2
 	}
-	g := &ShardRouter{client: client, attempts: attempts, skewRetries: skewRetries}
+	if opts.BusyRetries < 0 {
+		opts.BusyRetries = 1
+	}
+	if opts.MaxRetryAfter <= 0 {
+		opts.MaxRetryAfter = 2 * time.Second
+	}
+	g := &ShardRouter{
+		client:        client,
+		attempts:      opts.Attempts,
+		skewRetries:   opts.SkewRetries,
+		busyRetries:   opts.BusyRetries,
+		maxRetryAfter: opts.MaxRetryAfter,
+		sleep:         sleepCtx,
+	}
 	for _, raw := range shards {
 		base := strings.TrimRight(strings.TrimSpace(raw), "/")
 		if base == "" {
@@ -143,7 +193,12 @@ type shardAttempt struct {
 	// is forwarded to the client rather than retried.
 	status int
 	body   []byte
-	err    error // transport failure or persistent 5xx
+	// busy marks a 429/503 answer: the shard is healthy but shedding.
+	// Never treated as err — busy shards trigger scatter-level backoff,
+	// not the partial-answer-refusing 502 path.
+	busy       bool
+	retryAfter time.Duration // the busy shard's (uncapped) suggestion
+	err        error         // transport failure or persistent 5xx
 }
 
 // handleOLAP answers one cube query by scatter-gather.
@@ -158,14 +213,49 @@ func (g *ShardRouter) handleOLAP(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	var lastSkew error
-	for attempt := 0; attempt <= g.skewRetries; attempt++ {
+	skewLeft, busyLeft := g.skewRetries, g.busyRetries
+	for {
 		results := g.scatter(req.Context(), body)
-		resps := make([]*shard.PartialResponse, len(results))
+		// Dead shards first: a hole in the topology is an outage no
+		// amount of backoff fixes, so it wins over busyness elsewhere.
 		for i, r := range results {
 			if r.err != nil {
 				http.Error(w, fmt.Sprintf("shard gather: shard %d (%s) unavailable, refusing partial answer: %v", i, g.shards[i], r.err), http.StatusBadGateway)
 				return
 			}
+		}
+		// Busy shards: healthy but shedding. The scatter needs every
+		// shard, so even one busy shard blocks the answer.
+		busyCount, busyAfter := 0, defaultRetryAfter
+		for _, r := range results {
+			if r.busy {
+				busyCount++
+				if r.retryAfter > busyAfter {
+					busyAfter = r.retryAfter
+				}
+			}
+		}
+		if busyCount > 0 {
+			if busyAfter > g.maxRetryAfter {
+				busyAfter = g.maxRetryAfter
+			}
+			if busyCount == len(results) || busyLeft <= 0 {
+				// Whole fleet shedding (retrying would just re-offer the
+				// load that caused it) or busy budget spent: aggregate
+				// into one honest 429 — "back off", not "outage".
+				w.Header().Set("Retry-After", strconv.FormatInt(int64(busyAfter.Seconds()+0.5), 10))
+				http.Error(w, fmt.Sprintf("shard gather: %d/%d shards busy (shedding), retry later", busyCount, len(results)), http.StatusTooManyRequests)
+				return
+			}
+			busyLeft--
+			if !g.sleep(req.Context(), jittered(busyAfter)) {
+				// Client gone mid-backoff; nothing left to answer.
+				return
+			}
+			continue
+		}
+		resps := make([]*shard.PartialResponse, len(results))
+		for i, r := range results {
 			if r.status != 0 {
 				// The shard itself rejected the query; its verdict is
 				// deterministic and final.
@@ -182,6 +272,10 @@ func (g *ShardRouter) handleOLAP(w http.ResponseWriter, req *http.Request) {
 				// A reload is racing the scatter; a fresh scatter usually
 				// lands on one epoch.
 				lastSkew = err
+				if skewLeft <= 0 {
+					break
+				}
+				skewLeft--
 				continue
 			}
 			http.Error(w, "shard gather: "+err.Error(), http.StatusBadGateway)
@@ -244,6 +338,11 @@ func (g *ShardRouter) askShard(ctx context.Context, base string, body []byte) sh
 			continue
 		}
 		switch {
+		case isBusyStatus(resp.StatusCode):
+			// Shedding, not broken. No tight per-shard retry — hammering
+			// an overloaded shard only deepens its backlog; the scatter
+			// loop decides whether to back off and retry the whole fleet.
+			return shardAttempt{busy: true, retryAfter: retryAfterOf(resp.Header), status: resp.StatusCode, body: respBody}
 		case resp.StatusCode >= 500:
 			last = shardAttempt{err: fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(respBody)))}
 			continue

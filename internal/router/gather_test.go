@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -351,5 +352,130 @@ func TestGatherHealth(t *testing.T) {
 	}
 	if body.Shards[0].Epoch != 9 {
 		t.Fatalf("shard 0 epoch = %d, want 9", body.Shards[0].Epoch)
+	}
+}
+
+// busyShard makes a fake shard answer 429 + Retry-After while
+// shedding holds — admission control on a healthy shard.
+func busyShard(fs *fakeShard, shedding *atomic.Bool, index, count int, epoch uint64, t *testing.T) {
+	fs.serve(func(w http.ResponseWriter, r *http.Request) {
+		if shedding.Load() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"shed":true}`, http.StatusTooManyRequests)
+			return
+		}
+		writePartial(w, partialFor(t, index, count, epoch))
+	})
+}
+
+// gatherWithOptions builds a gather whose sleep is stubbed out so
+// busy-backoff tests run instantly; onSleep may mutate fleet state to
+// simulate draining during the backoff.
+func gatherWithOptions(t *testing.T, shards []*fakeShard, opts GatherOptions, onSleep func()) (*ShardRouter, *httptest.Server) {
+	t.Helper()
+	urls := make([]string, len(shards))
+	for i, s := range shards {
+		urls[i] = s.ts.URL
+	}
+	g, err := NewShardGatherWithOptions(urls, &http.Client{Timeout: 5 * time.Second}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.sleep = func(ctx context.Context, d time.Duration) bool {
+		if d <= 0 || d > g.maxRetryAfter {
+			t.Errorf("backoff %v outside (0, %v]", d, g.maxRetryAfter)
+		}
+		if onSleep != nil {
+			onSleep()
+		}
+		return true
+	}
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(ts.Close)
+	return g, ts
+}
+
+// TestGatherWholeFleetBusyFailsFast: when EVERY shard sheds, a retry
+// could only re-offer the load that caused it — the gather answers an
+// aggregated 429 + Retry-After immediately, with no backoff sleep and
+// exactly one scatter, and never a 502.
+func TestGatherWholeFleetBusyFailsFast(t *testing.T) {
+	var shedding atomic.Bool
+	shedding.Store(true)
+	shards := []*fakeShard{
+		newFakeShard(t, 0, 2, 7),
+		newFakeShard(t, 1, 2, 7),
+	}
+	busyShard(shards[0], &shedding, 0, 2, 7, t)
+	busyShard(shards[1], &shedding, 1, 2, 7, t)
+	_, ts := gatherWithOptions(t, shards, GatherOptions{Attempts: 1, BusyRetries: 3}, func() {
+		t.Error("gather slept on a whole-fleet-busy scatter; it must fail fast")
+	})
+	resp, body := postGather(t, ts.URL)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d (%s), want aggregated 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("aggregated 429 carries no Retry-After")
+	}
+	if shards[0].hits.Load() != 1 || shards[1].hits.Load() != 1 {
+		t.Fatalf("scatter count = %d/%d hits, want 1/1 (no busy retries)", shards[0].hits.Load(), shards[1].hits.Load())
+	}
+}
+
+// TestGatherPartialBusyRetriesAndSucceeds: one shard shedding while
+// its siblings answer triggers a jittered whole-scatter retry; once
+// the busy shard drains during the backoff, the query completes with
+// the full merged answer.
+func TestGatherPartialBusyRetriesAndSucceeds(t *testing.T) {
+	var shedding atomic.Bool
+	shedding.Store(true)
+	shards := []*fakeShard{
+		newFakeShard(t, 0, 2, 7),
+		newFakeShard(t, 1, 2, 7),
+	}
+	busyShard(shards[1], &shedding, 1, 2, 7, t)
+	_, ts := gatherWithOptions(t, shards, GatherOptions{Attempts: 1, BusyRetries: 1}, func() {
+		shedding.Store(false) // the shard drains during the backoff
+	})
+	resp, body := postGather(t, ts.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (%s), want the retried scatter to succeed", resp.StatusCode, body)
+	}
+	if body != oracleBody(t) {
+		t.Fatalf("merged answer differs from oracle after busy retry: %s", body)
+	}
+	if shards[1].hits.Load() != 2 {
+		t.Fatalf("busy shard hit %d times, want 2 (shed, then served)", shards[1].hits.Load())
+	}
+}
+
+// TestGatherBusyBudgetExhausts429: a shard that keeps shedding past
+// the busy budget turns the query into an aggregated 429 — busy is
+// never reported as the 502 outage contract reserved for dead shards.
+func TestGatherBusyBudgetExhausts429(t *testing.T) {
+	var shedding atomic.Bool
+	shedding.Store(true)
+	shards := []*fakeShard{
+		newFakeShard(t, 0, 2, 7),
+		newFakeShard(t, 1, 2, 7),
+	}
+	busyShard(shards[1], &shedding, 1, 2, 7, t)
+	var slept atomic.Int64
+	_, ts := gatherWithOptions(t, shards, GatherOptions{Attempts: 1, BusyRetries: 1}, func() {
+		slept.Add(1)
+	})
+	resp, body := postGather(t, ts.URL)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d (%s), want 429 after busy budget", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "busy") {
+		t.Fatalf("429 body does not say busy: %s", body)
+	}
+	if slept.Load() != 1 {
+		t.Fatalf("gather slept %d times, want exactly the busy budget (1)", slept.Load())
+	}
+	if shards[1].hits.Load() != 2 {
+		t.Fatalf("busy shard hit %d times, want 2 (initial + 1 budgeted retry)", shards[1].hits.Load())
 	}
 }

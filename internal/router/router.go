@@ -17,7 +17,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -27,6 +29,59 @@ import (
 // maxBodyBytes bounds the buffered request body. OLAP requests are a
 // few hundred bytes of SQL or xRQ; anything near the cap is abuse.
 const maxBodyBytes = 1 << 20
+
+// Busy-backend handling, shared by the replica router and the shard
+// gather. A 429 (admission-control shed) or 503 (queue refusal) is a
+// HEALTHY backend protecting itself: it must never be demoted from
+// the ring — during an overload spike every replica sheds, and
+// demote-on-429 would turn load shedding into mass demotion and a
+// fleet-wide 502. Busy answers are retried with jittered backoff
+// honoring the backend's Retry-After, under a per-query retry budget
+// so the retries themselves cannot amplify the overload; a query
+// whose budget runs out is answered with an aggregated 429 +
+// Retry-After — "come back later", not "the fleet is dead".
+
+// defaultRetryAfter is assumed when a busy answer carries no
+// (parseable) Retry-After header.
+const defaultRetryAfter = time.Second
+
+// isBusyStatus classifies the statuses that mean "healthy but
+// refusing work right now".
+func isBusyStatus(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// retryAfterOf reads a Retry-After header (whole seconds — the only
+// form quarryd emits; HTTP-dates fall back to the default).
+func retryAfterOf(hdr http.Header) time.Duration {
+	if s, err := strconv.ParseInt(strings.TrimSpace(hdr.Get("Retry-After")), 10, 64); err == nil && s > 0 {
+		return time.Duration(s) * time.Second
+	}
+	return defaultRetryAfter
+}
+
+// jittered spreads a backoff uniformly over [d/2, d): synchronized
+// clients honoring the same Retry-After verbatim would re-arrive as
+// one thundering herd and be shed again together.
+func jittered(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
+}
+
+// sleepCtx waits d unless ctx ends first; false means the caller's
+// client is gone and the retry is pointless.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
 
 // backend is one replica the router scatters over.
 type backend struct {
@@ -42,22 +97,63 @@ type Router struct {
 	client   *http.Client
 	next     atomic.Uint64
 
+	// retryBudget is how many extra passes over the ring one request
+	// may spend waiting out busy (429/503) backends before it is
+	// answered with an aggregated 429. Bounded so retries cannot
+	// multiply offered load during the very overload that caused them.
+	retryBudget int
+	// maxRetryAfter caps the backoff honored from a backend's
+	// Retry-After header, so one absurd header cannot park requests.
+	maxRetryAfter time.Duration
+	// sleep is the backoff primitive (seam for tests; sleepCtx
+	// otherwise).
+	sleep func(ctx context.Context, d time.Duration) bool
+
 	// probeMu serializes health sweeps (the background loop and any
 	// test-triggered probe).
 	probeMu sync.Mutex
 }
 
+// Options tunes a replica router beyond its defaults.
+type Options struct {
+	// RetryBudget: extra busy-retry passes per query (default 2;
+	// negative disables busy retries entirely — busy answers 429
+	// immediately once the whole ring was tried).
+	RetryBudget int
+	// MaxRetryAfter caps the per-pass backoff (default 2s).
+	MaxRetryAfter time.Duration
+}
+
 // New builds a router over the given replica base URLs (e.g.
-// "http://replica1:8081"). All backends start healthy — the first
-// failed request or health probe demotes them.
+// "http://replica1:8081") with default options. All backends start
+// healthy — the first failed request or health probe demotes them.
 func New(replicas []string, client *http.Client) (*Router, error) {
+	return NewWithOptions(replicas, client, Options{})
+}
+
+// NewWithOptions builds a router with explicit overload tuning.
+func NewWithOptions(replicas []string, client *http.Client, opts Options) (*Router, error) {
 	if len(replicas) == 0 {
 		return nil, fmt.Errorf("router: no replicas configured")
 	}
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
-	r := &Router{client: client}
+	if opts.RetryBudget == 0 {
+		opts.RetryBudget = 2
+	}
+	if opts.RetryBudget < 0 {
+		opts.RetryBudget = 0
+	}
+	if opts.MaxRetryAfter <= 0 {
+		opts.MaxRetryAfter = 2 * time.Second
+	}
+	r := &Router{
+		client:        client,
+		retryBudget:   opts.RetryBudget,
+		maxRetryAfter: opts.MaxRetryAfter,
+		sleep:         sleepCtx,
+	}
 	for _, raw := range replicas {
 		base := strings.TrimRight(strings.TrimSpace(raw), "/")
 		if base == "" {
@@ -194,29 +290,66 @@ func (r *Router) handleProxy(w http.ResponseWriter, req *http.Request) {
 		}
 	}
 	var lastErr string
-	for _, b := range r.candidates() {
-		status, hdr, respBody, err := r.forward(req, b, body)
-		if err != nil {
-			// Network-level failure: demote and try the next replica.
-			b.healthy.Store(false)
-			lastErr = fmt.Sprintf("%s: %v", b.base, err)
-			continue
-		}
-		if status >= 500 {
-			// The replica answered but is unwell (e.g. mid-restart).
-			// Its response is not the query's answer — demote, retry.
-			b.healthy.Store(false)
-			lastErr = fmt.Sprintf("%s: HTTP %d", b.base, status)
-			continue
-		}
-		for k, vs := range hdr {
-			for _, v := range vs {
-				w.Header().Add(k, v)
+	for pass := 0; ; pass++ {
+		sawBusy := false
+		busyAfter := defaultRetryAfter
+		for _, b := range r.candidates() {
+			status, hdr, respBody, err := r.forward(req, b, body)
+			if err != nil {
+				// Network-level failure: demote and try the next replica.
+				b.healthy.Store(false)
+				lastErr = fmt.Sprintf("%s: %v", b.base, err)
+				continue
 			}
+			if isBusyStatus(status) {
+				// Busy, not dead: a shedding (429) or queue-refusing
+				// (503) replica is healthy and protecting itself —
+				// demoting it would cascade load shedding into mass
+				// demotion. Stays in rotation; remember its Retry-After
+				// and try a sibling.
+				sawBusy = true
+				if ra := retryAfterOf(hdr); ra > busyAfter {
+					busyAfter = ra
+				}
+				lastErr = fmt.Sprintf("%s: HTTP %d (busy)", b.base, status)
+				continue
+			}
+			if status >= 500 {
+				// The replica answered but is unwell (e.g. mid-restart).
+				// Its response is not the query's answer — demote, retry.
+				b.healthy.Store(false)
+				lastErr = fmt.Sprintf("%s: HTTP %d", b.base, status)
+				continue
+			}
+			for k, vs := range hdr {
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			w.WriteHeader(status)
+			w.Write(respBody)
+			return
 		}
-		w.WriteHeader(status)
-		w.Write(respBody)
-		return
+		if !sawBusy {
+			// Every backend is down or erroring — a real outage.
+			break
+		}
+		if busyAfter > r.maxRetryAfter {
+			busyAfter = r.maxRetryAfter
+		}
+		if pass >= r.retryBudget {
+			// Budget exhausted with the fleet still busy: aggregate the
+			// shedding into one honest 429 — the fleet is alive, the
+			// client should back off, and the router must not keep
+			// re-offering the load that caused the shedding.
+			w.Header().Set("Retry-After", strconv.FormatInt(int64(busyAfter.Seconds()+0.5), 10))
+			http.Error(w, "router: all replicas busy (shedding), retry later: "+lastErr, http.StatusTooManyRequests)
+			return
+		}
+		if !r.sleep(req.Context(), jittered(busyAfter)) {
+			// Client gone mid-backoff; nothing left to answer.
+			return
+		}
 	}
 	http.Error(w, "router: no replica available: "+lastErr, http.StatusBadGateway)
 }

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // fakeReplica answers /api/olap with its own tag and counts hits, so
@@ -184,5 +185,175 @@ func TestProbeRecoversBackend(t *testing.T) {
 	rt.Probe(context.Background())
 	if !rt.backends[0].healthy.Load() {
 		t.Fatal("recovered backend not re-admitted by probe")
+	}
+}
+
+// busyReplica answers 429 + Retry-After while shedding is true, and
+// serves normally once it clears — a healthy quarryd protecting its
+// SLO, not a dead node.
+func busyReplica(t *testing.T, tag string, shedding *atomic.Bool, sheds *atomic.Int64) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/api/health":
+			w.Write([]byte(`{"status":"ok"}`))
+		case "/api/olap":
+			if shedding.Load() {
+				sheds.Add(1)
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, `{"shed":true}`, http.StatusTooManyRequests)
+				return
+			}
+			body, _ := io.ReadAll(r.Body)
+			fmt.Fprintf(w, "%s:%s", tag, body)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestSheddingBackendStaysInRotation is the regression test for the
+// demote-on-429 bug: a backend shedding load must keep its healthy
+// mark and keep receiving traffic — siblings absorb the overflow, and
+// the moment it stops shedding it serves again with no health-probe
+// round trip needed.
+func TestSheddingBackendStaysInRotation(t *testing.T) {
+	var shedding atomic.Bool
+	var sheds atomic.Int64
+	shedding.Store(true)
+	a := busyReplica(t, "a", &shedding, &sheds)
+	var bHits atomic.Int64
+	b := fakeReplica(t, "b", &bHits)
+	rt, err := New([]string{a.URL, b.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 4; i++ {
+		status, body := postOLAP(t, ts.URL, "q")
+		if status != http.StatusOK || body != "b:q" {
+			t.Fatalf("request %d = %d %q, want the non-shedding backend's answer", i, status, body)
+		}
+	}
+	if !rt.backends[0].healthy.Load() {
+		t.Fatal("shedding backend was demoted — 429 must mean busy, not dead")
+	}
+	if sheds.Load() == 0 {
+		t.Fatal("shedding backend received no traffic — it left the rotation")
+	}
+
+	// Shed-then-recover: once it stops shedding it serves immediately.
+	shedding.Store(false)
+	served := false
+	for i := 0; i < 4; i++ {
+		status, body := postOLAP(t, ts.URL, "q")
+		if status != http.StatusOK {
+			t.Fatalf("post-recovery request %d = %d %q", i, status, body)
+		}
+		if body == "a:q" {
+			served = true
+		}
+	}
+	if !served {
+		t.Fatal("recovered backend never served — still out of rotation")
+	}
+}
+
+// TestWholeFleetBusyAggregates429: when every backend sheds, the
+// router answers an aggregated 429 with a Retry-After — back off, not
+// a 502 outage — and demotes nobody.
+func TestWholeFleetBusyAggregates429(t *testing.T) {
+	var shedding atomic.Bool
+	var sheds atomic.Int64
+	shedding.Store(true)
+	a := busyReplica(t, "a", &shedding, &sheds)
+	b := busyReplica(t, "b", &shedding, &sheds)
+	rt, err := NewWithOptions([]string{a.URL, b.URL}, nil, Options{RetryBudget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Post(ts.URL+"/api/olap", "application/json", strings.NewReader("q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("whole-fleet busy = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("aggregated 429 carries no Retry-After")
+	}
+	for i, b := range rt.backends {
+		if !b.healthy.Load() {
+			t.Fatalf("backend %d demoted by shedding", i)
+		}
+	}
+}
+
+// TestRetryBudgetBoundsBusyRetries: with every backend busy, the
+// router spends exactly retryBudget backoff passes (honoring
+// Retry-After, jittered) and then answers 429 — retries never amplify
+// the overload unboundedly.
+func TestRetryBudgetBoundsBusyRetries(t *testing.T) {
+	var shedding atomic.Bool
+	var sheds atomic.Int64
+	shedding.Store(true)
+	a := busyReplica(t, "a", &shedding, &sheds)
+	rt, err := NewWithOptions([]string{a.URL}, nil, Options{RetryBudget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept atomic.Int64
+	rt.sleep = func(ctx context.Context, d time.Duration) bool {
+		slept.Add(1)
+		if d <= 0 || d > rt.maxRetryAfter {
+			t.Errorf("backoff %v outside (0, %v]", d, rt.maxRetryAfter)
+		}
+		return true
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+
+	status, _ := postOLAP(t, ts.URL, "q")
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("exhausted budget = %d, want 429", status)
+	}
+	if slept.Load() != 2 {
+		t.Fatalf("router slept %d times, want exactly the retry budget (2)", slept.Load())
+	}
+	if sheds.Load() != 3 {
+		t.Fatalf("backend saw %d attempts, want 3 (initial pass + 2 budgeted retries)", sheds.Load())
+	}
+}
+
+// TestBusyRetrySucceedsAfterBackoff: a backend that sheds one pass
+// and recovers before the retry serves the request — the client never
+// sees the transient shed.
+func TestBusyRetrySucceedsAfterBackoff(t *testing.T) {
+	var shedding atomic.Bool
+	var sheds atomic.Int64
+	shedding.Store(true)
+	a := busyReplica(t, "a", &shedding, &sheds)
+	rt, err := NewWithOptions([]string{a.URL}, nil, Options{RetryBudget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.sleep = func(ctx context.Context, d time.Duration) bool {
+		shedding.Store(false) // backend drains during the backoff
+		return true
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+
+	status, body := postOLAP(t, ts.URL, "q")
+	if status != http.StatusOK || body != "a:q" {
+		t.Fatalf("retry after recovery = %d %q, want the backend's answer", status, body)
 	}
 }

@@ -9,16 +9,20 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"quarry/internal/core"
 	"quarry/internal/olap"
@@ -46,6 +50,22 @@ type Options struct {
 	// ReplicaStatus, when set, marks this node a replica in
 	// /api/health and reports its replication lag there.
 	ReplicaStatus func() replication.Status
+	// SLOTarget is the latency budget the admission controller defends:
+	// when an arriving OLAP request's projected queue wait (plus, under
+	// the expensive-first policy, its own per-class cost estimate)
+	// exceeds it, the request is shed with 429 + Retry-After. 0
+	// disables shedding entirely.
+	SLOTarget time.Duration
+	// ShedPolicy picks how the controller refuses work once SLOTarget
+	// is blown: PolicyExpensiveFirst (default — costly classes are
+	// refused at a lower backlog than cheap ones), PolicyFair
+	// (class-blind), or PolicyOff.
+	ShedPolicy string
+	// DefaultDeadline bounds every OLAP query's end-to-end time when
+	// the client sends no X-Quarry-Deadline header; expiry answers 504
+	// instead of holding the connection. 0 means no server-side
+	// deadline.
+	DefaultDeadline time.Duration
 }
 
 // Server serves a Platform.
@@ -58,13 +78,29 @@ type Server struct {
 	// cache holds OLAP results keyed by query + warehouse version; it
 	// is purged whenever /api/run reloads the warehouse.
 	cache *olap.ResultCache
-	// olapQueries/olapErrors count POST /api/olap traffic for
-	// /api/olap/stats: every request increments olapQueries, and every
-	// one that does not end in a 2xx (bad body, queue abandon, failed
-	// execution) also increments olapErrors — so load harnesses can
-	// reconcile their client-side accounting against the server's.
-	olapQueries atomic.Int64
-	olapErrors  atomic.Int64
+	// adm is the SLO-driven admission controller shared by /api/olap
+	// and /api/olap/partial; always non-nil (shedding disabled when
+	// SLOTarget is 0, but the per-class service-time tracking runs
+	// regardless so /api/olap/stats can always report class costs).
+	adm *admission
+	// defaultDeadline is Options.DefaultDeadline.
+	defaultDeadline time.Duration
+	// Monotonic POST /api/olap traffic counters for /api/olap/stats.
+	// Every request increments olapQueries and then exactly one of the
+	// other three, so the accounting identity
+	//
+	//	queries = answered + shed + query_errors
+	//
+	// holds exactly whenever no request is in flight — load harnesses
+	// (quarrybench) scrape before and after a drained run and
+	// reconcile their client-side deltas against it.
+	// olapDeadline counts the subset of olapErrors that were 504s
+	// (deadline expiry, queued or mid-query).
+	olapQueries  atomic.Int64
+	olapAnswered atomic.Int64
+	olapShed     atomic.Int64
+	olapErrors   atomic.Int64
+	olapDeadline atomic.Int64
 	// refreshes tracks the background materialized-aggregate refreshes
 	// kicked off by /api/run, so shutdown/tests can drain them.
 	refreshes sync.WaitGroup
@@ -89,12 +125,14 @@ func NewWithOptions(p *core.Platform, opts Options) *Server {
 		opts.OLAPCacheSize = 256
 	}
 	s := &Server{
-		p:             p,
-		mux:           http.NewServeMux(),
-		pool:          make(chan struct{}, opts.OLAPConcurrency),
-		readOnly:      opts.ReadOnly,
-		replicaStatus: opts.ReplicaStatus,
-		cache:         olap.NewResultCache(opts.OLAPCacheSize),
+		p:               p,
+		mux:             http.NewServeMux(),
+		pool:            make(chan struct{}, opts.OLAPConcurrency),
+		readOnly:        opts.ReadOnly,
+		replicaStatus:   opts.ReplicaStatus,
+		cache:           olap.NewResultCache(opts.OLAPCacheSize),
+		adm:             newAdmission(opts.SLOTarget, opts.ShedPolicy, opts.OLAPConcurrency),
+		defaultDeadline: opts.DefaultDeadline,
 	}
 	s.mux.HandleFunc("GET /api/health", s.handleHealth)
 	s.mux.HandleFunc("GET /api/ontology/graph", s.handleGraph)
@@ -166,8 +204,112 @@ type olapResponse struct {
 	Rows    [][]string `json:"rows"`
 }
 
+// deadlineHeader carries a client's per-request latency budget: a Go
+// duration string ("250ms", "2s") or a bare integer in milliseconds.
+// The server's DefaultDeadline applies when the header is absent.
+const deadlineHeader = "X-Quarry-Deadline"
+
+// queryBudget resolves one request's effective deadline budget:
+// header first, server default second, 0 for none. A malformed
+// header is the client's error.
+func (s *Server) queryBudget(r *http.Request) (time.Duration, error) {
+	h := strings.TrimSpace(r.Header.Get(deadlineHeader))
+	if h == "" {
+		return s.defaultDeadline, nil
+	}
+	var d time.Duration
+	if ms, err := strconv.ParseInt(h, 10, 64); err == nil {
+		d = time.Duration(ms) * time.Millisecond
+	} else if d, err = time.ParseDuration(h); err != nil {
+		return 0, fmt.Errorf("invalid %s header %q: want a positive Go duration (e.g. \"250ms\") or integer milliseconds", deadlineHeader, h)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("invalid %s header %q: budget must be positive", deadlineHeader, h)
+	}
+	return d, nil
+}
+
+// shedResponse is the body of a 429: the request was refused by the
+// admission controller, not failed — retrying after RetryAfterMs is
+// expected to succeed.
+type shedResponse struct {
+	Error           string  `json:"error"`
+	Shed            bool    `json:"shed"`
+	Class           string  `json:"class"`
+	ProjectedWaitMs float64 `json:"projected_wait_ms"`
+	RetryAfterMs    int64   `json:"retry_after_ms"`
+}
+
+// writeShed answers a refused request with 429 + Retry-After.
+func writeShed(w http.ResponseWriter, class queryClass, retryAfter, projected time.Duration) {
+	w.Header().Set("Retry-After", strconv.FormatInt(int64(retryAfter.Seconds()+0.5), 10))
+	writeJSON(w, http.StatusTooManyRequests, shedResponse{
+		Error: fmt.Sprintf("overloaded: projected wait %s exceeds the SLO; retry after %s",
+			projected.Round(time.Millisecond), retryAfter),
+		Shed:            true,
+		Class:           classNames[class],
+		ProjectedWaitMs: float64(projected) / float64(time.Millisecond),
+		RetryAfterMs:    retryAfter.Milliseconds(),
+	})
+}
+
+// deadlineResponse is the body of a 504: the query's deadline expired
+// before it finished. Partial-progress fields tell the caller where
+// the budget went (queued vs executing).
+type deadlineResponse struct {
+	Error            string  `json:"error"`
+	DeadlineExceeded bool    `json:"deadline_exceeded"`
+	Class            string  `json:"class"`
+	BudgetMs         float64 `json:"budget_ms"`
+	ElapsedMs        float64 `json:"elapsed_ms"`
+	QueueWaitMs      float64 `json:"queue_wait_ms"`
+	// Executed is false when the deadline expired while still queued
+	// for an executor slot: the query itself never started.
+	Executed bool `json:"executed"`
+}
+
+// failOLAP answers a query that did not produce a result, after
+// its admission ticket has been settled: silence for a vanished
+// client, 504 with partial-progress stats when the server-side
+// deadline expired, 422 otherwise. Returns true when the failure was
+// a deadline expiry (the caller's counters differ).
+func failOLAP(w http.ResponseWriter, r *http.Request, ctx context.Context, class queryClass,
+	budget time.Duration, arrival, execStart time.Time, executed bool, err error) (deadline bool) {
+	if r.Context().Err() != nil {
+		// The CLIENT's context died: it disconnected (or gave up on its
+		// own deadline). If the failure happened while still queued
+		// there is a last-gasp 503 attempt, mirroring the pre-deadline
+		// behaviour; mid-query there is no one left to answer.
+		if !executed {
+			writeErr(w, http.StatusServiceUnavailable, r.Context().Err())
+		}
+		return false
+	}
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		elapsed := time.Since(arrival)
+		queueWait := execStart.Sub(arrival)
+		if !executed {
+			queueWait = elapsed
+		}
+		writeJSON(w, http.StatusGatewayTimeout, deadlineResponse{
+			Error: fmt.Sprintf("deadline exceeded: %s budget spent (%s queued) before the %s query finished",
+				budget, queueWait.Round(time.Millisecond), classNames[class]),
+			DeadlineExceeded: true,
+			Class:            classNames[class],
+			BudgetMs:         float64(budget) / float64(time.Millisecond),
+			ElapsedMs:        float64(elapsed) / float64(time.Millisecond),
+			QueueWaitMs:      float64(queueWait) / float64(time.Millisecond),
+			Executed:         executed,
+		})
+		return true
+	}
+	writeErr(w, http.StatusUnprocessableEntity, err)
+	return false
+}
+
 func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
 	s.olapQueries.Add(1)
+	arrival := time.Now()
 	var body olapRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&body); err != nil {
 		s.olapErrors.Add(1)
@@ -181,19 +323,51 @@ func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
 	// the version here and reusing it for the Put would, when an ETL
 	// run commits between the two, file a newer-snapshot result under
 	// the older version's key and serve stale-keyed data forever
-	// after. Hits are answered before touching the query pool, so
-	// cached answers never queue behind heavy queries.
+	// after. Hits are answered before touching the query pool — and
+	// before admission control: a cache hit costs microseconds and is
+	// ALWAYS admitted, which is what keeps dashboards alive while the
+	// expensive classes shed.
 	var canonical []byte
 	if db := s.p.DB(); db != nil {
 		if c, err := json.Marshal(body); err == nil {
 			canonical = c
 			if res, ok := s.cache.Get(fmt.Sprintf("v%d:%s", db.Version(), c)); ok {
+				s.olapAnswered.Add(1)
+				s.adm.observe(classCacheHit, time.Since(arrival).Nanoseconds())
 				w.Header().Set("X-Quarry-Cache", "hit")
+				w.Header().Set("X-Quarry-Class", olap.ClassCacheHit)
 				w.Header().Set("X-Quarry-Version", fmt.Sprintf("%d", res.Version))
 				writeJSON(w, http.StatusOK, olapBody(res))
 				return
 			}
 		}
+	}
+	budget, err := s.queryBudget(r)
+	if err != nil {
+		s.olapErrors.Add(1)
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// The deadline rides the request context end-to-end: queue wait
+	// below, then the executors' batch-boundary checks, so an expired
+	// query frees its slot at the next batch instead of running to
+	// completion for an answer nobody is owed anymore.
+	ctx := r.Context()
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, arrival.Add(budget))
+		defer cancel()
+	}
+	// Admission: project this request's queue wait from the current
+	// backlog and its own class cost; shed with 429 + Retry-After when
+	// the projection blows the SLO. Refusing here costs microseconds —
+	// the whole point is to spend them instead of a timeout.
+	class := predictClass(body.Oracle, body.Dice != nil)
+	tkt, admitted, retryAfter, projected := s.adm.admit(class)
+	if !admitted {
+		s.olapShed.Add(1)
+		writeShed(w, class, retryAfter, projected)
+		return
 	}
 	// Bounded-concurrency query pool: at most cap(s.pool) queries
 	// execute at once, the rest queue here. A client that disconnects
@@ -203,17 +377,31 @@ func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
 	// boundary (the request context flows into the executors).
 	select {
 	case s.pool <- struct{}{}:
-	case <-r.Context().Done():
+	case <-ctx.Done():
+		s.adm.done(tkt, class, -1) // never executed: no service-time observation
 		s.olapErrors.Add(1)
-		writeErr(w, http.StatusServiceUnavailable, r.Context().Err())
+		if failOLAP(w, r, ctx, class, budget, arrival, arrival, false, ctx.Err()) {
+			s.olapDeadline.Add(1)
+		}
 		return
 	}
+	// The slot is held until the response is WRITTEN, not just until the
+	// query executes: marshalling a large result is real work, and the
+	// pool is what bounds it (releasing early lets an overloaded node
+	// marshal dozens of multi-megabyte answers at once and collapse).
+	// The admission EWMA must therefore observe the same span the slot
+	// is held for — execution plus serialization — or the backlog
+	// projection promises a drain rate the pool cannot deliver and
+	// admitted requests overshoot the SLO; that is why the success path
+	// below settles its ticket after writeJSON, not after the query.
 	defer func() { <-s.pool }()
+	execStart := time.Now()
 	if testingOLAPBeforeQuery != nil {
 		testingOLAPBeforeQuery()
 	}
 	oe, err := s.p.OLAP()
 	if err != nil {
+		s.adm.done(tkt, class, time.Since(execStart).Nanoseconds())
 		s.olapErrors.Add(1)
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
@@ -227,29 +415,40 @@ func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
 	}
 	var res *olap.Result
 	if body.Oracle {
-		res, err = oe.QueryStarFlowContext(r.Context(), q)
+		res, err = oe.QueryStarFlowContext(ctx, q)
 	} else {
-		res, err = oe.QueryContext(r.Context(), q)
+		res, err = oe.QueryContext(ctx, q)
 	}
+	execNs := time.Since(execStart).Nanoseconds()
 	if err != nil {
+		// The slot time was burned even though the query failed, so it
+		// still feeds the class's service-time estimate.
+		s.adm.done(tkt, class, execNs)
 		s.olapErrors.Add(1)
-		if r.Context().Err() != nil {
-			// Abandoned query: the slot was released early; there is no
-			// client left to answer.
-			return
+		if failOLAP(w, r, ctx, class, budget, arrival, execStart, true, err) {
+			s.olapDeadline.Add(1)
 		}
-		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	s.olapAnswered.Add(1)
 	if canonical != nil {
+		// An expired or failed query never reaches this Put: only
+		// completed answers are published to the result cache.
 		s.cache.Put(fmt.Sprintf("v%d:%s", res.Version, canonical), res)
 		w.Header().Set("X-Quarry-Cache", "miss")
 	}
+	w.Header().Set("X-Quarry-Class", res.Class)
 	// The version of the snapshot the answer actually came from, so
 	// clients cross-checking two answers (e.g. quarrybench's oracle
 	// spot checks) can tell version skew from disagreement.
 	w.Header().Set("X-Quarry-Version", fmt.Sprintf("%d", res.Version))
 	writeJSON(w, http.StatusOK, olapBody(res))
+	// Settled AFTER the write so the observed service time spans the
+	// whole slot-holding: execution plus marshal/write (see the slot
+	// comment above). EWMA attribution uses the class that ACTUALLY
+	// answered (a predicted fast-path query may have been served by a
+	// materialized aggregate), keeping the estimates honest per class.
+	s.adm.done(tkt, classOf(res.Class), time.Since(execStart).Nanoseconds())
 }
 
 // handleOLAPPartial answers a cube query as pre-finalisation partial
@@ -263,20 +462,47 @@ func (s *Server) handleOLAP(w http.ResponseWriter, r *http.Request) {
 // against its local star-flow reference executor over the same
 // partition; a mismatch is a 500, never a wrong partial.
 func (s *Server) handleOLAPPartial(w http.ResponseWriter, r *http.Request) {
+	arrival := time.Now()
 	var body olapRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&body); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	budget, err := s.queryBudget(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx := r.Context()
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, arrival.Add(budget))
+		defer cancel()
+	}
+	// Partials share the admission controller with /api/olap: an
+	// overloaded shard sheds its partials with 429 too, and the gather
+	// router treats that as "busy, retry later" rather than a dead
+	// shard. (Partial traffic is not counted in the /api/olap stats
+	// counters — those cover that endpoint alone — but the per-class
+	// admission stats see it.)
+	class := predictClass(body.Oracle, body.Dice != nil)
+	tkt, admitted, retryAfter, projected := s.adm.admit(class)
+	if !admitted {
+		writeShed(w, class, retryAfter, projected)
+		return
+	}
 	select {
 	case s.pool <- struct{}{}:
-	case <-r.Context().Done():
-		writeErr(w, http.StatusServiceUnavailable, r.Context().Err())
+	case <-ctx.Done():
+		s.adm.done(tkt, class, -1)
+		failOLAP(w, r, ctx, class, budget, arrival, arrival, false, ctx.Err())
 		return
 	}
 	defer func() { <-s.pool }()
+	execStart := time.Now()
 	oe, err := s.p.OLAP()
 	if err != nil {
+		s.adm.done(tkt, class, time.Since(execStart).Nanoseconds())
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
@@ -287,12 +513,10 @@ func (s *Server) handleOLAPPartial(w http.ResponseWriter, r *http.Request) {
 	if body.Dice != nil {
 		q.Dice = &olap.DiceSpec{Func: body.Dice.Func, Col: body.Dice.Col, Thresholds: body.Dice.Thresholds}
 	}
-	partial, err := oe.QueryPartialContext(r.Context(), q)
+	partial, err := oe.QueryPartialContext(ctx, q)
 	if err != nil {
-		if r.Context().Err() != nil {
-			return
-		}
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		s.adm.done(tkt, class, time.Since(execStart).Nanoseconds())
+		failOLAP(w, r, ctx, class, budget, arrival, execStart, true, err)
 		return
 	}
 	spec := s.p.Shard()
@@ -301,25 +525,30 @@ func (s *Server) handleOLAPPartial(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := shard.EncodePartial(spec.Index, spec.Count, partial.Version, partial.Columns, partial.GroupCols, partial.Aggs, partial.Groups)
 	if body.Oracle {
-		if err := s.selfVerifyPartial(r, oe, q, partial); err != nil {
+		if err := s.selfVerifyPartial(ctx, oe, q, partial); err != nil {
+			s.adm.done(tkt, class, time.Since(execStart).Nanoseconds())
 			writeErr(w, http.StatusInternalServerError, err)
 			return
 		}
 	}
 	w.Header().Set("X-Quarry-Version", fmt.Sprintf("%d", partial.Version))
 	writeJSON(w, http.StatusOK, resp)
+	// Settled after the write, as in handleOLAP, so the estimate covers
+	// everything the slot was held for — including the encode and the
+	// oracle self-verify.
+	s.adm.done(tkt, class, time.Since(execStart).Nanoseconds())
 }
 
 // selfVerifyPartial finalises the shard's own partial as a 1-way merge
 // and compares the rendered rows byte-for-byte against the star-flow
 // reference executor over the same local partition.
-func (s *Server) selfVerifyPartial(r *http.Request, oe *olap.Engine, q olap.CubeQuery, partial *olap.Partial) error {
+func (s *Server) selfVerifyPartial(ctx context.Context, oe *olap.Engine, q olap.CubeQuery, partial *olap.Partial) error {
 	solo := shard.EncodePartial(0, 1, partial.Version, partial.Columns, partial.GroupCols, partial.Aggs, partial.Groups)
 	cols, rows, _, err := shard.Merge([]*shard.PartialResponse{solo})
 	if err != nil {
 		return fmt.Errorf("self-verify: finalising own partial: %w", err)
 	}
-	want, err := oe.QueryStarFlowContext(r.Context(), q)
+	want, err := oe.QueryStarFlowContext(ctx, q)
 	if err != nil {
 		return fmt.Errorf("self-verify: reference executor: %w", err)
 	}
@@ -344,18 +573,35 @@ func (s *Server) selfVerifyPartial(r *http.Request, oe *olap.Engine, q olap.Cube
 // inside that window. Never set outside tests.
 var testingOLAPBeforeQuery func()
 
-// olapStatsResponse is the admin view of the serving layer's caches.
+// olapStatsResponse is the admin view of the serving layer's caches
+// and admission controller.
 type olapStatsResponse struct {
-	// Raw POST /api/olap traffic counters (errors counts every request
-	// that did not end in a 2xx, including abandoned queued queries).
-	Queries     int64 `json:"queries"`
-	QueryErrors int64 `json:"query_errors"`
+	// Raw POST /api/olap traffic counters, all monotonic. Every request
+	// lands in exactly one of answered / shed / query_errors, so over
+	// any window with no requests in flight
+	//
+	//	queries = answered + shed + query_errors
+	//
+	// holds exactly (quarrybench's stats-delta reconciliation depends
+	// on it). query_errors counts every non-2xx that is not a shed —
+	// bad bodies, abandoned queued queries, failed executions, and
+	// deadline expiries; deadline_exceeded separately counts the 504
+	// subset of those errors.
+	Queries          int64 `json:"queries"`
+	Answered         int64 `json:"answered"`
+	Shed             int64 `json:"shed"`
+	QueryErrors      int64 `json:"query_errors"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
 	// Result cache (query + version keyed LRU).
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
 	CacheEntries int   `json:"cache_entries"`
 	// Warehouse structural version (bumped once per ETL run commit).
 	WarehouseVersion uint64 `json:"warehouse_version"`
+	// Admission controller: SLO config, projected wait, and per-class
+	// service-time estimates / occupancy / shed counts. Partial
+	// (shard) traffic shows up here but not in the counters above.
+	Admission admissionStats `json:"admission"`
 	// Materialized-aggregate store; null when disabled.
 	MatAgg *olap.MatAggStats `json:"matagg,omitempty"`
 }
@@ -400,7 +646,11 @@ func (s *Server) scheduleMatAggRefresh() {
 func (s *Server) handleOLAPStats(w http.ResponseWriter, _ *http.Request) {
 	var out olapStatsResponse
 	out.Queries = s.olapQueries.Load()
+	out.Answered = s.olapAnswered.Load()
+	out.Shed = s.olapShed.Load()
 	out.QueryErrors = s.olapErrors.Load()
+	out.DeadlineExceeded = s.olapDeadline.Load()
+	out.Admission = s.adm.stats()
 	out.CacheHits, out.CacheMisses = s.cache.Stats()
 	out.CacheEntries = s.cache.Len()
 	if db := s.p.DB(); db != nil {
@@ -545,6 +795,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	// aggregate is keyed on, so operators can correlate cache
 	// behaviour with reloads.
 	resp := map[string]any{"status": "ok"}
+	// Overload posture: whether this node sheds, and the lifetime
+	// shed/deadline counters — the first numbers to look at when
+	// clients report 429s or 504s.
+	if s.adm.shedding() {
+		resp["slo_target_ms"] = float64(s.adm.slo) / float64(time.Millisecond)
+		resp["shed_policy"] = s.adm.policy
+	}
+	resp["shed"] = s.olapShed.Load()
+	resp["deadline_exceeded"] = s.olapDeadline.Load()
 	if s.replicaStatus != nil {
 		resp["role"] = "replica"
 		resp["replica"] = s.replicaStatus()
